@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round.
+
+    The experiments are end-to-end pipeline sweeps; repeating them for
+    statistical timing would multiply the harness runtime without adding
+    information, so each is measured exactly once.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,24 @@
+"""Figure 3: allocation-strategy comparison.
+
+Shape to verify: the adaptive strategies are competitive on every metric
+(the paper reports them as the most robust choice overall).
+"""
+
+from _util import run_once
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+def test_fig3_allocation(benchmark, bench_setting, save_artifact):
+    results = run_once(
+        benchmark, run_fig3, bench_setting, datasets=("tdrive", "oldenburg")
+    )
+    save_artifact("fig3_allocation", format_fig3(results))
+    for dataset, per_strategy in results.items():
+        errs = {s: v["transition_error"] for s, v in per_strategy.items()}
+        best = min(errs.values())
+        adaptive = min(errs["Adaptive_b"], errs["Adaptive_p"])
+        # The paper reports Adaptive as robust rather than uniformly best
+        # (Sample wins transition error on Oldenburg, Section V-D): require
+        # Adaptive to stay within a small margin of the best strategy.
+        assert adaptive <= best + 0.1, (dataset, errs)

@@ -1,0 +1,31 @@
+"""Figure 4: utility versus window size w.
+
+Shape to verify: RetraSyn leads the baselines at every w, with a mild
+decline as w grows (more timestamps share the same budget).
+"""
+
+from _util import run_once
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+WINDOWS = (5, 10, 20)
+
+
+def test_fig4_window(benchmark, bench_setting, save_artifact):
+    results = run_once(
+        benchmark,
+        run_fig4,
+        bench_setting,
+        windows=WINDOWS,
+        datasets=("tdrive",),
+        metrics=("transition_error", "query_error", "trip_error"),
+    )
+    save_artifact("fig4_window", format_fig4(results))
+    per_method = results["tdrive"]["transition_error"]
+    for w in WINDOWS:
+        retra = min(per_method["RetraSyn_b"][w], per_method["RetraSyn_p"][w])
+        baseline_best = min(
+            per_method[b][w] for b in ("LBD", "LBA", "LPD", "LPA")
+        )
+        # RetraSyn at least matches the best baseline at every window size.
+        assert retra <= baseline_best + 0.05, (w, per_method)

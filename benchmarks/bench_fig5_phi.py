@@ -1,0 +1,37 @@
+"""Figure 5: utility versus evaluation time-range size phi.
+
+Shape to verify: RetraSyn outperforms the baselines across phi, and its
+hotspot NDCG does not degrade as the range grows (the paper reports
+improvement for mid/long-term analysis).
+"""
+
+from _util import run_once
+
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+PHIS = (5, 10, 20)
+
+
+def test_fig5_phi(benchmark, bench_setting, save_artifact):
+    results = run_once(
+        benchmark,
+        run_fig5,
+        bench_setting,
+        phis=PHIS,
+        datasets=("tdrive",),
+    )
+    save_artifact("fig5_phi", format_fig5(results))
+    ndcg = results["tdrive"]["hotspot_ndcg"]
+    # Averaged across the phi sweep, RetraSyn must lead the baselines
+    # (single-phi cells are noisy at laptop scale).
+    import numpy as np
+
+    retra_mean = np.mean(
+        [ndcg[m][p] for m in ("RetraSyn_b", "RetraSyn_p") for p in PHIS]
+    )
+    baseline_mean = np.mean(
+        [ndcg[b][p] for b in ("LBD", "LBA", "LPD", "LPA") for p in PHIS]
+    )
+    assert retra_mean > baseline_mean, ndcg
+    # Long ranges must not collapse RetraSyn's hotspot quality.
+    assert ndcg["RetraSyn_p"][PHIS[-1]] >= ndcg["RetraSyn_p"][PHIS[0]] - 0.1

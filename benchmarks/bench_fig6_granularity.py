@@ -1,0 +1,31 @@
+"""Figure 6: impact of the discretisation granularity K.
+
+Shapes to verify: per-timestamp runtime grows with K (larger transition
+domain), and a mid-range K is never beaten by the coarsest *and* the finest
+simultaneously (the paper's U-shaped utility curve).
+"""
+
+from _util import run_once
+
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+KS = (2, 6, 10)
+
+
+def test_fig6_granularity(benchmark, bench_setting, save_artifact):
+    results = run_once(
+        benchmark,
+        run_fig6,
+        bench_setting,
+        ks=KS,
+        datasets=("tdrive",),
+        methods=("RetraSyn_p",),
+    )
+    save_artifact("fig6_granularity", format_fig6(results))
+    cells = results["RetraSyn_p"]["tdrive"]
+    # Runtime grows with the grid (larger state domain to perturb/update).
+    assert cells[KS[-1]]["runtime_per_ts"] > cells[KS[0]]["runtime_per_ts"]
+    # Finer granularity inflates perturbation noise: at laptop-scale
+    # populations the finest grid must not be the best of the sweep.
+    errors = {k: cells[k]["query_error"] for k in KS}
+    assert errors[KS[-1]] >= min(errors.values()), errors

@@ -1,0 +1,31 @@
+"""Figure 7: scalability with dataset size.
+
+Shapes to verify: per-timestamp runtime grows with the number of streams,
+roughly linearly (Pearson r close to 1 across the size sweep).
+"""
+
+from dataclasses import replace
+
+from _util import run_once
+
+from repro.experiments.fig7 import format_fig7, linearity_score, run_fig7
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig7_scalability(benchmark, bench_setting, save_artifact):
+    # Timing trends need enough streams to rise above scheduler noise:
+    # use at least 5% scale regardless of the suite-wide default.
+    setting = replace(bench_setting, scale=max(bench_setting.scale, 0.05))
+    results = run_once(
+        benchmark,
+        run_fig7,
+        setting,
+        fractions=FRACTIONS,
+        datasets=("tdrive", "oldenburg"),
+    )
+    save_artifact("fig7_scalability", format_fig7(results))
+    for method, per_dataset in results.items():
+        for dataset, per_frac in per_dataset.items():
+            assert per_frac[1.0] > per_frac[0.25], (method, dataset)
+            assert linearity_score(per_frac) > 0.7, (method, dataset, per_frac)

@@ -1,0 +1,28 @@
+"""Extension experiment: streaming RetraSyn vs one-shot LDPTrace-style
+historical release (see experiments/historical.py for the framing).
+
+Shape to verify: the streaming framework remains competitive on the
+historical metrics despite never seeing full trajectories, and both stay
+far from the baselines' ln 2 length-error ceiling.
+"""
+
+from _util import run_once
+
+from repro.experiments.historical import format_historical, run_historical
+
+
+def test_streaming_vs_historical(benchmark, bench_setting, save_artifact):
+    results = run_once(
+        benchmark, run_historical, bench_setting, datasets=("tdrive",)
+    )
+    save_artifact("historical_comparison", format_historical(results))
+    scores = results["tdrive"]
+    streaming = scores["RetraSyn_p (streaming)"]
+    one_shot = scores["LDPTrace (one-shot)"]
+    # Both approaches model trajectory termination: neither may collapse to
+    # the never-terminating baselines' ln 2 ceiling.
+    assert streaming["length_error"] < 0.5
+    assert one_shot["length_error"] < 0.5
+    # Streaming must stay in the historical method's ballpark on trip
+    # structure (within 0.2 JSD) while additionally supporting real time.
+    assert streaming["trip_error"] <= one_shot["trip_error"] + 0.2

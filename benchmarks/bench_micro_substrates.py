@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the hot substrate operations.
+
+These measure the primitives the complexity analysis (paper Section IV-B)
+is about: user-side perturbation ``O(|S|)`` per user, curator aggregation,
+grid discretisation, and one synthesis step.  Unlike the table/figure
+benches these use pytest-benchmark's statistical timing (many rounds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mobility_model import GlobalMobilityModel
+from repro.core.synthesis import Synthesizer
+from repro.core.fast_synthesis import VectorizedSynthesizer
+from repro.geo.grid import unit_grid
+from repro.ldp.oue import OptimizedUnaryEncoding
+from repro.stream.state_space import TransitionStateSpace
+
+
+@pytest.fixture(scope="module")
+def space10():
+    return TransitionStateSpace(unit_grid(10))
+
+
+def test_oue_collect_fast(benchmark, space10):
+    """Aggregated collection over the full transition domain (fast mode)."""
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, space10.size, size=5000)
+    oracle = OptimizedUnaryEncoding(space10.size, 1.0, rng=0, mode="fast")
+    benchmark(oracle.collect, values)
+
+
+def test_oue_perturb_exact(benchmark, space10):
+    """Literal per-user bit-vector perturbation (user-side cost)."""
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, space10.size, size=500)
+    oracle = OptimizedUnaryEncoding(space10.size, 1.0, rng=0, mode="exact")
+    benchmark(oracle.perturb_many, values)
+
+
+def test_grid_locate_many(benchmark):
+    grid = unit_grid(18)
+    rng = np.random.default_rng(0)
+    xs = rng.uniform(-0.1, 1.1, 100_000)
+    ys = rng.uniform(-0.1, 1.1, 100_000)
+    benchmark(grid.locate_many, xs, ys)
+
+
+def test_state_space_construction(benchmark):
+    grid = unit_grid(18)
+    benchmark(lambda: TransitionStateSpace(grid))
+
+
+def _loaded_synthesizer(engine_cls, space, n_streams):
+    rng = np.random.default_rng(0)
+    model = GlobalMobilityModel(space)
+    model.set_all(rng.random(space.size))
+    syn = engine_cls(model, lam=15.0, rng=1)
+    syn.spawn_from_entering(0, n_streams)
+    return syn
+
+
+def test_synthesis_step_object(benchmark, space10):
+    syn = _loaded_synthesizer(Synthesizer, space10, 5000)
+    t = [0]
+
+    def step():
+        t[0] += 1
+        syn.step(t[0], target_size=5000)
+
+    benchmark(step)
+
+
+def test_synthesis_step_vectorized(benchmark, space10):
+    syn = _loaded_synthesizer(VectorizedSynthesizer, space10, 5000)
+    t = [0]
+
+    def step():
+        t[0] += 1
+        syn.step(t[0], target_size=5000)
+
+    benchmark(step)
+
+
+def test_mobility_model_row_distributions(benchmark, space10):
+    rng = np.random.default_rng(0)
+    model = GlobalMobilityModel(space10)
+
+    def rebuild_and_query():
+        model.set_all(rng.random(space10.size))  # invalidates caches
+        for origin in range(space10.n_cells):
+            model.row_distribution(origin)
+
+    benchmark(rebuild_and_query)

@@ -1,0 +1,32 @@
+"""Extension experiment: utility improves with population size (Eq. 3).
+
+Shape to verify: density error at full population is no worse than at a
+quarter of the population — the 1/n variance law surfacing as utility.
+"""
+
+from dataclasses import replace
+
+from _util import run_once
+
+from repro.experiments.population_utility import (
+    format_population_utility,
+    run_population_utility,
+)
+
+
+def test_population_utility(benchmark, bench_setting, save_artifact):
+    setting = replace(bench_setting, scale=max(bench_setting.scale, 0.05))
+    results = run_once(
+        benchmark,
+        run_population_utility,
+        setting,
+        fractions=(0.25, 1.0),
+        datasets=("tdrive",),
+        n_repeats=3,
+    )
+    save_artifact(
+        "population_utility", format_population_utility(results)
+    )
+    per_metric = results["tdrive"]
+    for metric, cells in per_metric.items():
+        assert cells[1.0] <= cells[0.25] + 0.02, (metric, cells)

@@ -1,0 +1,53 @@
+"""Table III: overall utility of all methods across privacy budgets.
+
+Regenerates the paper's main comparison — 6 methods x 4 epsilons x 8
+metrics per dataset — at laptop scale.  The shape to verify: RetraSyn_b/p
+lead every metric, RetraSyn improves with epsilon, baselines fluctuate, and
+the baselines' Length Error pins at ln 2 = 0.6931.
+"""
+
+from _util import run_once
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def bench_dataset(benchmark, bench_setting, save_artifact, dataset: str):
+    results = run_once(
+        benchmark,
+        run_table3,
+        bench_setting,
+        epsilons=(0.5, 1.0, 1.5, 2.0),
+        datasets=(dataset,),
+    )
+    save_artifact(f"table3_{dataset}", format_table3(results))
+    return results
+
+
+def test_table3_tdrive(benchmark, bench_setting, save_artifact):
+    results = bench_dataset(benchmark, bench_setting, save_artifact, "tdrive")
+    scores = results["tdrive"]
+    # Headline shape: RetraSyn beats every baseline on density error at eps=1.
+    retra = scores["density_error"]["RetraSyn_p"][1.0]
+    for baseline in ("LBD", "LBA", "LPD", "LPA"):
+        assert retra < scores["density_error"][baseline][1.0]
+    # Baselines' length error pinned at ln 2.
+    for baseline in ("LBD", "LBA", "LPD", "LPA"):
+        assert abs(scores["length_error"][baseline][1.0] - 0.6931) < 0.05
+
+
+def test_table3_oldenburg(benchmark, bench_setting, save_artifact):
+    results = bench_dataset(benchmark, bench_setting, save_artifact, "oldenburg")
+    scores = results["oldenburg"]
+    retra = scores["query_error"]["RetraSyn_p"][1.0]
+    assert retra < max(
+        scores["query_error"][b][1.0] for b in ("LBD", "LBA", "LPD", "LPA")
+    )
+
+
+def test_table3_sanjoaquin(benchmark, bench_setting, save_artifact):
+    results = bench_dataset(benchmark, bench_setting, save_artifact, "sanjoaquin")
+    scores = results["sanjoaquin"]
+    retra = scores["hotspot_ndcg"]["RetraSyn_p"][1.0]
+    assert retra > min(
+        scores["hotspot_ndcg"][b][1.0] for b in ("LBD", "LBA", "LPD", "LPA")
+    )

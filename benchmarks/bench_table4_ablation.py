@@ -1,0 +1,29 @@
+"""Table IV: ablation of DMU and entering/quitting events.
+
+Shapes to verify: NoEQ destroys trajectory-level metrics (Length Error at
+ln 2, degraded trip error) while full RetraSyn does not; AllUpdate updates
+the whole model each round yet does not beat RetraSyn overall.
+"""
+
+from _util import run_once
+
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def test_table4_ablation(benchmark, bench_setting, save_artifact):
+    results = run_once(
+        benchmark, run_table4, bench_setting, datasets=("tdrive", "oldenburg")
+    )
+    save_artifact(
+        "table4_ablation",
+        format_table4(results),
+    )
+    for dataset, scores in results.items():
+        # Entering/quitting ablation: length error pinned at ln 2.
+        assert scores["NoEQ_p"]["length_error"] > 0.6, dataset
+        assert scores["RetraSyn_p"]["length_error"] < 0.6, dataset
+        # NoEQ must be no better than RetraSyn on trip error.
+        assert (
+            scores["RetraSyn_p"]["trip_error"]
+            <= scores["NoEQ_p"]["trip_error"] + 0.05
+        ), dataset

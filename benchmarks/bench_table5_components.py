@@ -1,0 +1,24 @@
+"""Table V: component efficiency of RetraSyn_p.
+
+Shape to verify: real-time synthesis dominates the per-timestamp cost and
+mobility-model construction / DMU are negligible, as in the paper.
+"""
+
+from _util import run_once
+
+from repro.experiments.table5 import format_table5, run_table5
+
+
+def test_table5_components(benchmark, bench_setting, save_artifact):
+    results = run_once(
+        benchmark,
+        run_table5,
+        bench_setting,
+        datasets=("tdrive", "oldenburg", "sanjoaquin"),
+        oracle_mode="exact",  # user-side cost reflects the literal protocol
+    )
+    save_artifact("table5_components", format_table5(results))
+    for dataset, comps in results.items():
+        assert comps["synthesis"] >= comps["dmu"], dataset
+        assert comps["synthesis"] >= comps["model_construction"], dataset
+        assert comps["total"] > 0, dataset

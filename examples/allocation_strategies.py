@@ -1,0 +1,72 @@
+"""How the adaptive allocator reacts to a distribution shift.
+
+Section III-E motivates data-dependent allocation: when mobility patterns
+change abruptly (rush hour starts, an incident reroutes traffic), more
+budget/users should be spent; when the stream is steady, approximation is
+nearly free.  This example builds a stream whose dominant flow *reverses*
+half-way through and compares Adaptive, Uniform, and Sample population
+allocation — including the per-timestamp reporter counts that show Adaptive
+spiking right after the shift.
+
+Run:  python examples/allocation_strategies.py
+"""
+
+import numpy as np
+
+from repro.core.retrasyn import RetraSyn, RetraSynConfig
+from repro.datasets.synthetic import make_two_hotspot_stream
+from repro.metrics.registry import evaluate_all
+
+SHIFT_AT = 40
+
+
+def sparkline(values, width=60) -> str:
+    """Tiny text chart of a series."""
+    blocks = " .:-=+*#%@"
+    arr = np.asarray(values, dtype=float)
+    if arr.size > width:
+        # Average-pool into `width` buckets.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.asarray([arr[a:b].mean() if b > a else 0.0
+                          for a, b in zip(edges[:-1], edges[1:])])
+    hi = arr.max() or 1.0
+    return "".join(blocks[int(v / hi * (len(blocks) - 1))] for v in arr)
+
+
+def main() -> None:
+    data = make_two_hotspot_stream(
+        k=6, n_streams=2500, n_timestamps=80, shift_at=SHIFT_AT, seed=0
+    )
+    print(f"stream with a flow reversal at t={SHIFT_AT}: {data.stats()}\n")
+
+    results = {}
+    for allocator in ("adaptive", "uniform", "sample"):
+        cfg = RetraSynConfig(epsilon=1.0, w=10, allocator=allocator, seed=0)
+        run = RetraSyn(cfg).run(data)
+        scores = evaluate_all(
+            data, run.synthetic, phi=10,
+            metrics=("transition_error", "query_error", "kendall_tau"), rng=0,
+        )
+        results[allocator] = (run, scores)
+
+    print("reporters sampled per timestamp (watch the post-shift spike):")
+    for allocator, (run, _s) in results.items():
+        print(f"  {allocator:9s} |{sparkline(run.reporters_per_timestamp)}|")
+
+    print(f"\n{'allocator':9s} {'transition_err':>14s} {'query_err':>10s} "
+          f"{'kendall_tau':>12s}")
+    for allocator, (_run, s) in results.items():
+        print(f"{allocator:9s} {s['transition_error']:14.4f} "
+              f"{s['query_error']:10.4f} {s['kendall_tau']:12.4f}")
+
+    adaptive_run = results["adaptive"][0]
+    before = np.mean(adaptive_run.reporters_per_timestamp[5:SHIFT_AT])
+    after = np.mean(
+        adaptive_run.reporters_per_timestamp[SHIFT_AT:SHIFT_AT + 10]
+    )
+    print(f"\nadaptive reporters/t: {before:.1f} before the shift, "
+          f"{after:.1f} in the 10 steps after")
+
+
+if __name__ == "__main__":
+    main()

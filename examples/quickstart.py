@@ -1,0 +1,38 @@
+"""Quickstart: private real-time trajectory synthesis in ~20 lines.
+
+Generates a T-Drive-like taxi stream, runs RetraSyn under w-event ε-LDP,
+verifies the privacy guarantee, and scores the synthetic database on all
+eight utility metrics of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RetraSyn, RetraSynConfig, evaluate_all, load_dataset
+from repro.metrics.registry import HIGHER_IS_BETTER
+
+
+def main() -> None:
+    # 1. A trajectory stream: taxis reporting their location every 10 min.
+    data = load_dataset("tdrive", scale=0.05, seed=0)
+    print(f"dataset: {data.stats()}")
+
+    # 2. Synthesize privately: population division, adaptive allocation.
+    config = RetraSynConfig(epsilon=1.0, w=20, division="population", seed=0)
+    run = RetraSyn(config).run(data)
+
+    # 3. The privacy ledger proves every user satisfied w-event eps-LDP.
+    print(f"\nprivacy audit: {run.accountant.summary()}")
+
+    # 4. The synthetic database is a drop-in substitute for the raw stream.
+    syn = run.synthetic
+    print(f"synthetic DB: {len(syn)} streams, {syn.n_timestamps} timestamps")
+
+    # 5. Score it on the paper's eight metrics.
+    print("\nutility (vs the raw stream):")
+    for name, value in evaluate_all(data, syn, phi=10, rng=0).items():
+        direction = "higher=better" if name in HIGHER_IS_BETTER else "lower=better"
+        print(f"  {name:18s} {value:8.4f}   ({direction})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""RetraSyn: real-time trajectory stream synthesis under w-event ε-LDP.
+
+A full reproduction of *"Real-Time Trajectory Synthesis with Local
+Differential Privacy"* (ICDE 2024): the RetraSyn framework, the LDP-IDS
+baselines it is compared against, the datasets of the evaluation section,
+and all eight utility metrics.
+
+Quickstart::
+
+    from repro import RetraSyn, RetraSynConfig, load_dataset, evaluate_all
+
+    data = load_dataset("tdrive", scale=0.05, seed=0)
+    run = RetraSyn(RetraSynConfig(epsilon=1.0, w=20, seed=0)).run(data)
+    assert run.accountant.verify()          # w-event ε-LDP held
+    scores = evaluate_all(data, run.synthetic, phi=10, rng=0)
+"""
+
+from repro.analysis import FlowAnalyzer, TrajectoryAnalyzer, fidelity_report
+from repro.core import (
+    GlobalMobilityModel,
+    OnlineRetraSyn,
+    RetraSyn,
+    RetraSynConfig,
+    SynthesisRun,
+    Synthesizer,
+    VectorizedSynthesizer,
+    make_all_update,
+    make_no_eq,
+    make_retrasyn,
+)
+from repro.baselines import LBA, LBD, LPA, LPD, make_baseline
+from repro.datasets import (
+    load_dataset,
+    make_oldenburg,
+    make_sanjoaquin,
+    make_tdrive,
+)
+from repro.geo import BoundingBox, Grid, Point, Trajectory, CellTrajectory
+from repro.ldp import OptimizedUnaryEncoding, PrivacyAccountant
+from repro.metrics import ALL_METRICS, evaluate_all
+from repro.planning import DeploymentPlan, plan_report, recommend_k
+from repro.stream import StreamDataset, TransitionStateSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RetraSyn",
+    "RetraSynConfig",
+    "OnlineRetraSyn",
+    "SynthesisRun",
+    "Synthesizer",
+    "VectorizedSynthesizer",
+    "GlobalMobilityModel",
+    "TrajectoryAnalyzer",
+    "FlowAnalyzer",
+    "fidelity_report",
+    "make_retrasyn",
+    "make_all_update",
+    "make_no_eq",
+    "LBD",
+    "LBA",
+    "LPD",
+    "LPA",
+    "make_baseline",
+    "load_dataset",
+    "make_tdrive",
+    "make_oldenburg",
+    "make_sanjoaquin",
+    "Grid",
+    "Point",
+    "BoundingBox",
+    "Trajectory",
+    "CellTrajectory",
+    "OptimizedUnaryEncoding",
+    "PrivacyAccountant",
+    "ALL_METRICS",
+    "evaluate_all",
+    "DeploymentPlan",
+    "plan_report",
+    "recommend_k",
+    "StreamDataset",
+    "TransitionStateSpace",
+    "__version__",
+]

@@ -1,0 +1,116 @@
+"""Ad-hoc spatio-temporal queries over a trajectory database.
+
+These are the downstream tasks the paper's introduction motivates (traffic
+monitoring, congestion prediction, emergency response).  They run equally on
+real and synthetic databases; in the private deployment only the synthetic
+one is available — and by the post-processing property (Theorem 2) querying
+it costs no additional privacy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.geo.point import BoundingBox
+from repro.stream.stream import StreamDataset
+
+
+class TrajectoryAnalyzer:
+    """Query layer over one :class:`StreamDataset`."""
+
+    def __init__(self, dataset: StreamDataset) -> None:
+        self.dataset = dataset
+        self.grid = dataset.grid
+        self._counts = dataset.cell_counts_matrix()
+
+    # ------------------------------------------------------------------ #
+    # counting queries
+    # ------------------------------------------------------------------ #
+    def range_count(
+        self,
+        region: BoundingBox,
+        t_from: int = 0,
+        t_to: Optional[int] = None,
+    ) -> int:
+        """Points inside ``region`` during ``[t_from, t_to]`` (inclusive)."""
+        t_to = self._clip_t(t_to)
+        cells = np.asarray(self.grid.cells_in_region(region), dtype=np.int64)
+        if cells.size == 0:
+            return 0
+        return int(self._counts[t_from : t_to + 1][:, cells].sum())
+
+    def active_users(self, t: int) -> int:
+        """Streams reporting at timestamp ``t``."""
+        return int(self._counts[t].sum())
+
+    def occupancy_series(self, region: BoundingBox) -> np.ndarray:
+        """Per-timestamp point counts inside ``region``."""
+        cells = np.asarray(self.grid.cells_in_region(region), dtype=np.int64)
+        if cells.size == 0:
+            return np.zeros(self.dataset.n_timestamps, dtype=np.int64)
+        return self._counts[:, cells].sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # hotspot / popularity queries
+    # ------------------------------------------------------------------ #
+    def top_k_cells(
+        self, k: int = 10, t_from: int = 0, t_to: Optional[int] = None
+    ) -> list[tuple[int, int]]:
+        """The ``k`` busiest cells in a time window, as (cell, count)."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        t_to = self._clip_t(t_to)
+        totals = self._counts[t_from : t_to + 1].sum(axis=0)
+        order = np.argsort(totals, kind="stable")[::-1][:k]
+        return [(int(c), int(totals[c])) for c in order]
+
+    def visit_share(self, cell: int) -> float:
+        """Fraction of all points falling in ``cell`` over the horizon."""
+        total = self._counts.sum()
+        if total == 0:
+            return 0.0
+        return float(self._counts[:, cell].sum() / total)
+
+    def density(self, t: int) -> np.ndarray:
+        """Normalised spatial distribution at timestamp ``t``."""
+        row = self._counts[t].astype(float)
+        total = row.sum()
+        if total == 0:
+            return np.full(row.size, 1.0 / row.size)
+        return row / total
+
+    # ------------------------------------------------------------------ #
+    # trip-level queries
+    # ------------------------------------------------------------------ #
+    def trip_lengths(self) -> np.ndarray:
+        """Number of reports per stream."""
+        return np.asarray([len(t) for t in self.dataset.trajectories])
+
+    def od_matrix(self) -> np.ndarray:
+        """Origin-destination counts: ``od[i, j]`` trips from cell i to j."""
+        n = self.grid.n_cells
+        od = np.zeros((n, n), dtype=np.int64)
+        for traj in self.dataset.trajectories:
+            if len(traj) > 0:
+                od[traj.cells[0], traj.cells[-1]] += 1
+        return od
+
+    def busiest_trips(self, k: int = 5) -> list[tuple[tuple[int, int], int]]:
+        """Top-``k`` (origin, destination) pairs by trip count."""
+        od = self.od_matrix()
+        flat = np.argsort(od, axis=None, kind="stable")[::-1][:k]
+        out = []
+        for idx in flat:
+            i, j = divmod(int(idx), od.shape[1])
+            out.append(((i, j), int(od[i, j])))
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _clip_t(self, t_to: Optional[int]) -> int:
+        horizon = self.dataset.n_timestamps - 1
+        if t_to is None:
+            return horizon
+        return min(int(t_to), horizon)

@@ -1,0 +1,34 @@
+"""LDP-IDS baselines (Ren et al., SIGMOD 2022), adapted per the paper.
+
+LDP-IDS is the state-of-the-art w-event ε-LDP *histogram* stream publisher.
+Following Section V-A, it is adapted to trajectory publishing by letting it
+collect transition states with its two-step private mechanism and feeding
+the released statistics into the same Markov generator as RetraSyn — but
+without entering/quitting modelling, dynamic user tracking, or size
+adjustment.
+
+Four strategies:
+
+* :class:`~repro.baselines.ldp_ids.LBD` — budget division, exponentially
+  decaying publication budgets;
+* :class:`~repro.baselines.ldp_ids.LBA` — budget absorption: uniform
+  per-timestamp publication budgets, skipped budgets absorbed later;
+* :class:`~repro.baselines.ldp_ids.LPD` — population analogue of LBD;
+* :class:`~repro.baselines.ldp_ids.LPA` — population analogue of LBA.
+"""
+
+from repro.baselines.histogram import HistogramStreamPublisher
+from repro.baselines.ldp_ids import LBA, LBD, LPA, LPD, LdpIdsConfig, make_baseline
+from repro.baselines.ldptrace import LDPTraceConfig, LDPTraceSynthesizer
+
+__all__ = [
+    "LBD",
+    "LBA",
+    "LPD",
+    "LPA",
+    "LdpIdsConfig",
+    "make_baseline",
+    "HistogramStreamPublisher",
+    "LDPTraceConfig",
+    "LDPTraceSynthesizer",
+]

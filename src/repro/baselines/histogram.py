@@ -1,0 +1,234 @@
+"""Generic LDP-IDS histogram stream publisher.
+
+LDP-IDS (Ren et al., SIGMOD 2022) is natively a *histogram* publisher: at
+every timestamp each user holds one value from a finite domain, and the
+curator releases an estimated frequency vector under w-event ε-LDP.  The
+trajectory baselines in :mod:`repro.baselines.ldp_ids` are an adaptation of
+this machinery to transition states; this module provides the original,
+domain-agnostic form so the library also covers the baseline's own task
+(e.g. publishing visited-cell histograms, app-usage counters, or any
+categorical stream).
+
+The two-step mechanism per timestamp:
+
+1. **dissimilarity estimation** — a cheap private estimate ``ĉ_t`` decides
+   whether the stream drifted from the last release: ``dis = mean((ĉ_t −
+   r_{t−1})²) − Var`` (variance-corrected, clamped at 0);
+2. **publish or approximate** — if ``dis`` exceeds the error of a fresh
+   publication, publish with the strategy's budget/user allotment;
+   otherwise re-release ``r_{t−1}`` for free.
+
+Strategies: ``lbd`` (budget distribution), ``lba`` (budget absorption),
+``lpd``/``lpa`` (population analogues with a fixed-set assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.ldp_ids import AbsorptionSchedule, LdpIdsConfig
+from repro.exceptions import ConfigurationError
+from repro.ldp.accountant import PrivacyAccountant
+from repro.ldp.oue import OptimizedUnaryEncoding, oue_variance
+from repro.rng import ensure_rng
+
+
+@dataclass
+class HistogramRelease:
+    """One timestamp's published histogram."""
+
+    t: int
+    frequencies: np.ndarray
+    published: bool  # False = approximated with the previous release
+    n_reporters: int
+
+
+@dataclass
+class HistogramRun:
+    """Output of a full histogram-publication run."""
+
+    releases: list[HistogramRelease] = field(default_factory=list)
+    accountant: Optional[PrivacyAccountant] = None
+
+    @property
+    def n_published(self) -> int:
+        return sum(1 for r in self.releases if r.published)
+
+    def frequency_matrix(self) -> np.ndarray:
+        """``(T, d)`` matrix of released frequencies."""
+        return np.stack([r.frequencies for r in self.releases])
+
+
+class HistogramStreamPublisher:
+    """Publish per-timestamp histograms of a categorical stream.
+
+    Parameters
+    ----------
+    domain_size:
+        Cardinality of the users' value domain.
+    config:
+        An :class:`~repro.baselines.ldp_ids.LdpIdsConfig` (ε, w, strategy).
+    """
+
+    def __init__(self, domain_size: int, config: LdpIdsConfig) -> None:
+        if domain_size < 1:
+            raise ConfigurationError(f"domain_size must be >= 1, got {domain_size}")
+        self.domain_size = int(domain_size)
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        stream: Sequence[Sequence[tuple[int, int]]],
+    ) -> HistogramRun:
+        """Process a full stream.
+
+        ``stream[t]`` is the list of ``(user_id, value)`` pairs reported at
+        timestamp ``t``; values lie in ``[0, domain_size)``.
+        """
+        cfg = self.config
+        rng = ensure_rng(cfg.seed)
+        accountant = (
+            PrivacyAccountant(cfg.epsilon, cfg.w) if cfg.track_privacy else None
+        )
+        release = np.zeros(self.domain_size)
+        have_release = False
+        out = HistogramRun(accountant=accountant)
+
+        eps_dissim = cfg.epsilon / (2 * cfg.w)
+        pub_spends: list[float] = []
+        pub_users: list[int] = []
+        schedule = AbsorptionSchedule()
+        n0 = max(1, len(stream[0]) if stream else 1)
+        m_dissim = max(1, int(round(n0 / (2 * cfg.w))))
+        last_report: dict[int, int] = {}
+
+        for t, reports in enumerate(stream):
+            if cfg.division == "budget":
+                release, have_release, published, n_rep = self._budget_step(
+                    t, list(reports), release, have_release, rng,
+                    eps_dissim, pub_spends, schedule, accountant,
+                )
+            else:
+                release, have_release, published, n_rep = self._population_step(
+                    t, list(reports), release, have_release, rng,
+                    n0, m_dissim, pub_users, schedule, last_report, accountant,
+                )
+            out.releases.append(
+                HistogramRelease(
+                    t=t,
+                    frequencies=release.copy(),
+                    published=published,
+                    n_reporters=n_rep,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _collect(self, rng, values, epsilon) -> np.ndarray:
+        oracle = OptimizedUnaryEncoding(
+            self.domain_size, epsilon, rng=rng, mode=self.config.oracle_mode
+        )
+        return oracle.collect(values) / max(1, len(values))
+
+    def _budget_step(
+        self, t, reports, release, have_release, rng,
+        eps_dissim, pub_spends, schedule, accountant,
+    ):
+        cfg = self.config
+        n = len(reports)
+        if n == 0:
+            pub_spends.append(0.0)
+            if cfg.strategy == "lba":
+                schedule.tick()
+            return release, have_release, False, 0
+        values = [v for _u, v in reports]
+        est = self._collect(rng, values, eps_dissim)
+        if accountant is not None:
+            accountant.spend_many((u for u, _v in reports), t, eps_dissim)
+        dis = max(
+            0.0, float(np.mean((est - release) ** 2)) - oue_variance(eps_dissim, n)
+        )
+
+        eps_cap = cfg.epsilon / 2.0
+        window = sum(pub_spends[-(cfg.w - 1):]) if cfg.w > 1 else 0.0
+        eps_rm = max(0.0, eps_cap - window)
+        if cfg.strategy == "lbd":
+            candidate = eps_rm / 2.0
+        else:
+            if schedule.tick():
+                candidate = min(schedule.units * cfg.epsilon / (2 * cfg.w), eps_cap, eps_rm)
+            else:
+                candidate = 0.0
+
+        err_pub = oue_variance(candidate, n) if candidate > 1e-12 else float("inf")
+        publish = not have_release or dis > err_pub
+        if publish and candidate > 1e-12:
+            release = self._collect(rng, values, candidate)
+            have_release = True
+            if accountant is not None:
+                accountant.spend_many((u for u, _v in reports), t, candidate)
+            pub_spends.append(candidate)
+            if cfg.strategy == "lba":
+                schedule.publish()
+            return release, have_release, True, n
+        pub_spends.append(0.0)
+        return release, have_release, False, n
+
+    def _population_step(
+        self, t, reports, release, have_release, rng,
+        n0, m_dissim, pub_users, schedule, last_report, accountant,
+    ):
+        cfg = self.config
+        available = [
+            (u, v)
+            for u, v in reports
+            if u not in last_report or t - last_report[u] >= cfg.w
+        ]
+        if not available:
+            pub_users.append(0)
+            if cfg.strategy == "lpa":
+                schedule.tick()
+            return release, have_release, False, 0
+        rng.shuffle(available)
+        m1 = min(m_dissim, len(available))
+        dissim, rest = available[:m1], available[m1:]
+        est = self._collect(rng, [v for _u, v in dissim], cfg.epsilon)
+        for u, _v in dissim:
+            last_report[u] = t
+            if accountant is not None:
+                accountant.spend(u, t, cfg.epsilon)
+        dis = max(
+            0.0, float(np.mean((est - release) ** 2)) - oue_variance(cfg.epsilon, m1)
+        )
+
+        cap = n0 // 2
+        window = sum(pub_users[-(cfg.w - 1):]) if cfg.w > 1 else 0
+        n_rm = max(0, cap - window)
+        if cfg.strategy == "lpd":
+            candidate = n_rm // 2
+        else:
+            if schedule.tick():
+                candidate = min(schedule.units * max(1, n0 // (2 * cfg.w)), cap, n_rm)
+            else:
+                candidate = 0
+
+        err_pub = oue_variance(cfg.epsilon, candidate) if candidate >= 1 else float("inf")
+        publish = not have_release or dis > err_pub
+        if publish and candidate >= 1 and rest:
+            group = rest[: min(candidate, len(rest))]
+            release = self._collect(rng, [v for _u, v in group], cfg.epsilon)
+            have_release = True
+            for u, _v in group:
+                last_report[u] = t
+                if accountant is not None:
+                    accountant.spend(u, t, cfg.epsilon)
+            pub_users.append(len(group))
+            if cfg.strategy == "lpa":
+                schedule.publish()
+            return release, have_release, True, m1 + len(group)
+        pub_users.append(0)
+        return release, have_release, False, m1

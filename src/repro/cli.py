@@ -1,0 +1,251 @@
+"""Command-line interface.
+
+Usage (after installing the package)::
+
+    python -m repro datasets generate --name tdrive --scale 0.05 --out td.npz
+    python -m repro datasets stats td.npz
+    python -m repro run --method RetraSyn_p --input td.npz --epsilon 1.0 \
+        --w 20 --out syn.npz
+    python -m repro evaluate td.npz syn.npz --phi 10
+    python -m repro experiment table3 --scale 0.02
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.comparison import fidelity_report, format_fidelity_report
+from repro.datasets.io import load_stream_dataset, save_stream_dataset
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.experiments.runner import ExperimentSetting, make_method
+
+
+def _add_datasets_parser(sub) -> None:
+    p = sub.add_parser("datasets", help="generate or inspect datasets")
+    inner = p.add_subparsers(dest="datasets_cmd", required=True)
+
+    gen = inner.add_parser("generate", help="generate one of the paper's datasets")
+    gen.add_argument("--name", required=True, choices=available_datasets())
+    gen.add_argument("--scale", type=float, default=0.05)
+    gen.add_argument("--k", type=int, default=6)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    stats = inner.add_parser("stats", help="print Table I-style statistics")
+    stats.add_argument("path", help="dataset .npz path")
+
+    listing = inner.add_parser("list", help="list generatable dataset names")
+    del listing  # no extra arguments
+
+
+def _add_run_parser(sub) -> None:
+    p = sub.add_parser("run", help="run a synthesis method over a dataset")
+    p.add_argument(
+        "--method",
+        default="RetraSyn_p",
+        help="RetraSyn_b/RetraSyn_p/AllUpdate_*/NoEQ_*/LBD/LBA/LPD/LPA",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help="dataset .npz path")
+    src.add_argument("--dataset", choices=available_datasets(), help="generate fresh")
+    p.add_argument("--scale", type=float, default=0.05, help="with --dataset")
+    p.add_argument("--epsilon", type=float, default=1.0)
+    p.add_argument("--w", type=int, default=20)
+    p.add_argument("--allocator", default="adaptive",
+                   choices=("adaptive", "uniform", "sample", "random"))
+    p.add_argument("--engine", default="object",
+                   choices=("object", "vectorized"),
+                   help="synthesis engine (RetraSyn variants only)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="synthetic output .npz path")
+    p.add_argument("--no-audit", action="store_true",
+                   help="skip the privacy-ledger audit (faster)")
+
+
+def _add_evaluate_parser(sub) -> None:
+    p = sub.add_parser("evaluate", help="score a synthetic DB against the real one")
+    p.add_argument("real", help="real dataset .npz")
+    p.add_argument("synthetic", help="synthetic dataset .npz")
+    p.add_argument("--phi", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_experiment_parser(sub) -> None:
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument(
+        "artifact",
+        choices=(
+            "table3", "table4", "table5",
+            "fig3", "fig4", "fig5", "fig6", "fig7",
+            "historical",
+        ),
+    )
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--w", type=int, default=10)
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--datasets", nargs="+", default=None)
+
+
+def _add_plan_parser(sub) -> None:
+    p = sub.add_parser(
+        "plan", help="predict noise/SNR for a deployment configuration"
+    )
+    p.add_argument("--epsilon", type=float, default=1.0)
+    p.add_argument("--w", type=int, default=20)
+    p.add_argument("--n-active", type=int, default=10_000)
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--division", choices=("population", "budget"),
+                   default="population")
+    p.add_argument("--portion", type=float, default=0.05)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RetraSyn: LDP real-time trajectory synthesis (ICDE 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_datasets_parser(sub)
+    _add_run_parser(sub)
+    _add_evaluate_parser(sub)
+    _add_experiment_parser(sub)
+    _add_plan_parser(sub)
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# command implementations
+# ---------------------------------------------------------------------- #
+def _cmd_datasets(args) -> int:
+    if args.datasets_cmd == "list":
+        for name in available_datasets():
+            print(name)
+        return 0
+    if args.datasets_cmd == "generate":
+        data = load_dataset(args.name, scale=args.scale, k=args.k, seed=args.seed)
+        save_stream_dataset(data, args.out)
+        print(f"wrote {args.out}: {data.stats()}")
+        return 0
+    if args.datasets_cmd == "stats":
+        data = load_stream_dataset(args.path)
+        for key, value in data.stats().items():
+            print(f"{key:16s} {value}")
+        return 0
+    return 2
+
+
+def _cmd_run(args) -> int:
+    if args.input:
+        data = load_stream_dataset(args.input)
+    else:
+        data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    overrides = {"track_privacy": not args.no_audit}
+    if args.method.lower() not in ("lbd", "lba", "lpd", "lpa"):
+        overrides["engine"] = args.engine
+    algo = make_method(
+        args.method,
+        epsilon=args.epsilon,
+        w=args.w,
+        seed=args.seed,
+        allocator=args.allocator,
+        **overrides,
+    )
+    run = algo.run(data)
+    save_stream_dataset(run.synthetic, args.out)
+    print(f"wrote {args.out}: {run.synthetic.stats()}")
+    if run.accountant is not None:
+        summary = run.accountant.summary()
+        print(f"privacy audit: {summary}")
+        if not summary["satisfied"]:
+            print("ERROR: w-event LDP guarantee violated", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    real = load_stream_dataset(args.real)
+    syn = load_stream_dataset(args.synthetic)
+    report = fidelity_report(real, syn, phi=args.phi, rng=args.seed)
+    print(format_fidelity_report(report))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    setting = ExperimentSetting(
+        scale=args.scale, w=args.w, k=args.k, seed=args.seed
+    )
+    datasets = tuple(args.datasets) if args.datasets else None
+    if args.artifact == "table3":
+        from repro.experiments.table3 import format_table3, run_table3
+
+        print(format_table3(run_table3(setting, datasets=datasets)))
+    elif args.artifact == "table4":
+        from repro.experiments.table4 import format_table4, run_table4
+
+        print(format_table4(run_table4(setting, datasets=datasets)))
+    elif args.artifact == "table5":
+        from repro.experiments.table5 import format_table5, run_table5
+
+        print(format_table5(run_table5(setting, datasets=datasets)))
+    elif args.artifact == "fig3":
+        from repro.experiments.fig3 import format_fig3, run_fig3
+
+        print(format_fig3(run_fig3(setting, datasets=datasets or ("tdrive", "oldenburg"))))
+    elif args.artifact == "fig4":
+        from repro.experiments.fig4 import format_fig4, run_fig4
+
+        print(format_fig4(run_fig4(setting, datasets=datasets or ("tdrive", "oldenburg"))))
+    elif args.artifact == "fig5":
+        from repro.experiments.fig5 import format_fig5, run_fig5
+
+        print(format_fig5(run_fig5(setting, datasets=datasets or ("tdrive", "oldenburg"))))
+    elif args.artifact == "fig6":
+        from repro.experiments.fig6 import format_fig6, run_fig6
+
+        print(format_fig6(run_fig6(setting, datasets=datasets)))
+    elif args.artifact == "fig7":
+        from repro.experiments.fig7 import format_fig7, run_fig7
+
+        print(format_fig7(run_fig7(setting, datasets=datasets)))
+    elif args.artifact == "historical":
+        from repro.experiments.historical import format_historical, run_historical
+
+        print(format_historical(run_historical(setting, datasets=datasets or ("tdrive",))))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.planning import DeploymentPlan, format_plan_report, plan_report
+
+    plan = DeploymentPlan(
+        epsilon=args.epsilon,
+        w=args.w,
+        n_active=args.n_active,
+        k=args.k,
+        division=args.division,
+        portion=args.portion,
+    )
+    print(format_plan_report(plan_report(plan)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "run": _cmd_run,
+        "evaluate": _cmd_evaluate,
+        "experiment": _cmd_experiment,
+        "plan": _cmd_plan,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

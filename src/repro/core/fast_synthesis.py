@@ -1,0 +1,259 @@
+"""Vectorized real-time synthesis (the paper's Section VII future work).
+
+The reference :class:`~repro.core.synthesis.Synthesizer` keeps one Python
+object per live stream; Table V shows synthesis dominating the per-timestamp
+cost.  This module provides :class:`VectorizedSynthesizer` — a drop-in
+replacement that advances *all* live streams with array operations:
+
+* per-cell movement distributions are compiled once per model version into
+  padded ``(|C|, 9)`` probability / destination matrices;
+* each timestamp draws one uniform vector for quits and one for moves, and
+  resolves destinations with a row-wise inverse-CDF lookup;
+* trajectories are materialised into :class:`CellTrajectory` objects only
+  when the run finishes.
+
+The generative *distribution* is identical to the reference implementation
+(property-tested in ``tests/core/test_fast_synthesis.py``); only the order
+in which random variates are consumed differs, so per-seed outputs are not
+bit-identical across the two engines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mobility_model import GlobalMobilityModel
+from repro.exceptions import ConfigurationError
+from repro.geo.trajectory import CellTrajectory
+from repro.rng import RngLike, ensure_rng
+
+_ABSENT = -1
+
+
+class _CompiledModel:
+    """Padded array view of a mobility model, rebuilt per model version."""
+
+    def __init__(self, model: GlobalMobilityModel) -> None:
+        space = model.space
+        n = space.n_cells
+        width = max(len(space.out_destinations(c)) for c in range(n))
+        self.dest = np.full((n, width), 0, dtype=np.int64)
+        self.cum_probs = np.ones((n, width), dtype=float)
+        self.quit_raw = np.zeros(n, dtype=float)
+        for cell in range(n):
+            probs, quit = model.row_distribution(cell)
+            dests = space.out_destinations(cell)
+            total = probs.sum()
+            norm = probs / total if total > 0 else np.full(len(dests), 1 / len(dests))
+            cum = np.cumsum(norm)
+            cum[-1] = 1.0  # guard against rounding
+            self.dest[cell, : len(dests)] = dests
+            self.dest[cell, len(dests):] = dests[-1]
+            self.cum_probs[cell, : len(dests)] = cum
+            self.cum_probs[cell, len(dests):] = 1.0
+            self.quit_raw[cell] = quit
+        self.version = model.version
+
+
+class VectorizedSynthesizer:
+    """Array-based synthesizer with the same contract as ``Synthesizer``.
+
+    Parameters mirror :class:`~repro.core.synthesis.Synthesizer`.
+    """
+
+    _GROWTH = 1.5
+
+    def __init__(
+        self,
+        model: GlobalMobilityModel,
+        lam: float,
+        enable_termination: bool = True,
+        rng: RngLike = None,
+        initial_capacity: int = 1024,
+    ) -> None:
+        if lam <= 0:
+            raise ConfigurationError(f"lambda must be positive, got {lam}")
+        self.model = model
+        self.lam = float(lam)
+        self.enable_termination = bool(enable_termination)
+        self.rng = ensure_rng(rng)
+        self._capacity = max(16, int(initial_capacity))
+        self._horizon = 64
+        self._buf = np.full((self._capacity, self._horizon), _ABSENT, dtype=np.int32)
+        self._start = np.zeros(self._capacity, dtype=np.int64)
+        self._length = np.zeros(self._capacity, dtype=np.int64)
+        self._alive = np.zeros(self._capacity, dtype=bool)
+        self._n = 0  # total streams ever created
+        self._compiled: Optional[_CompiledModel] = None
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    @property
+    def n_live(self) -> int:
+        return int(self._alive[: self._n].sum())
+
+    @property
+    def live_streams(self) -> list[CellTrajectory]:
+        return [
+            self._materialise(i)
+            for i in np.flatnonzero(self._alive[: self._n])
+        ]
+
+    def all_trajectories(self) -> list[CellTrajectory]:
+        """Every synthetic stream ever created."""
+        return [self._materialise(i) for i in range(self._n)]
+
+    def _materialise(self, i: int) -> CellTrajectory:
+        cells = self._buf[i, : self._length[i]].tolist()
+        traj = CellTrajectory(int(self._start[i]), cells, user_id=int(i))
+        traj.terminated = not bool(self._alive[i])
+        return traj
+
+    # ------------------------------------------------------------------ #
+    # capacity management
+    # ------------------------------------------------------------------ #
+    def _ensure_capacity(self, extra_streams: int, t: int) -> None:
+        need_rows = self._n + extra_streams
+        if need_rows > self._capacity:
+            new_cap = max(need_rows, int(self._capacity * self._GROWTH))
+            grown = np.full((new_cap, self._horizon), _ABSENT, dtype=np.int32)
+            grown[: self._capacity] = self._buf
+            self._buf = grown
+            for name in ("_start", "_length"):
+                arr = getattr(self, name)
+                grown_1d = np.zeros(new_cap, dtype=arr.dtype)
+                grown_1d[: self._capacity] = arr
+                setattr(self, name, grown_1d)
+            alive = np.zeros(new_cap, dtype=bool)
+            alive[: self._capacity] = self._alive
+            self._alive = alive
+            self._capacity = new_cap
+        # Columns: longest stream length is bounded by t - min(start) + 1.
+        need_cols = int((self._length[: self._n].max(initial=0)) + 2)
+        need_cols = max(need_cols, 2)
+        if need_cols > self._horizon:
+            new_h = max(need_cols, int(self._horizon * self._GROWTH))
+            grown = np.full((self._capacity, new_h), _ABSENT, dtype=np.int32)
+            grown[:, : self._horizon] = self._buf
+            self._buf = grown
+            self._horizon = new_h
+
+    # ------------------------------------------------------------------ #
+    # stream creation
+    # ------------------------------------------------------------------ #
+    def _spawn_cells(self, t: int, cells: np.ndarray) -> None:
+        count = cells.size
+        if count == 0:
+            return
+        self._ensure_capacity(count, t)
+        rows = np.arange(self._n, self._n + count)
+        self._buf[rows, 0] = cells
+        self._start[rows] = t
+        self._length[rows] = 1
+        self._alive[rows] = True
+        self._n += count
+
+    def spawn_from_entering(self, t: int, count: int) -> None:
+        """Fresh streams with start cells sampled from E."""
+        if count <= 0:
+            return
+        probs = self.model.enter_distribution()
+        self._spawn_cells(t, self.rng.choice(probs.size, size=count, p=probs))
+
+    def spawn_uniform(self, t: int, count: int) -> None:
+        """Uniformly seeded streams (NoEQ / baseline initialisation)."""
+        if count <= 0:
+            return
+        self._spawn_cells(
+            t, self.rng.integers(0, self.model.space.n_cells, size=count)
+        )
+
+    def spawn_from_distribution(self, t: int, count: int, probs: np.ndarray) -> None:
+        """Streams seeded from an explicit start-cell distribution."""
+        if count <= 0:
+            return
+        probs = np.asarray(probs, dtype=float)
+        if probs.size != self.model.space.n_cells:
+            raise ConfigurationError(
+                f"expected {self.model.space.n_cells} start-cell probabilities, "
+                f"got {probs.size}"
+            )
+        total = probs.sum()
+        if total <= 0:
+            self.spawn_uniform(t, count)
+            return
+        self._spawn_cells(
+            t, self.rng.choice(probs.size, size=count, p=probs / total)
+        )
+
+    # ------------------------------------------------------------------ #
+    # the vectorized generative step
+    # ------------------------------------------------------------------ #
+    def _compile(self) -> _CompiledModel:
+        if self._compiled is None or self._compiled.version != self.model.version:
+            self._compiled = _CompiledModel(self.model)
+        return self._compiled
+
+    def step(self, t: int, target_size: Optional[int] = None) -> None:
+        """Advance all live streams to ``t``; optionally adjust the size."""
+        self._generate(t)
+        if target_size is not None:
+            self._adjust_size(t, int(target_size))
+
+    def _generate(self, t: int) -> None:
+        rows = np.flatnonzero(self._alive[: self._n])
+        if rows.size == 0:
+            return
+        self._ensure_capacity(0, t)
+        compiled = self._compile()
+        cells = self._buf[rows, self._length[rows] - 1].astype(np.int64)
+
+        if self.enable_termination:
+            quit_probs = np.minimum(
+                self._length[rows] / self.lam * compiled.quit_raw[cells], 1.0
+            )
+            quit_mask = self.rng.random(rows.size) < quit_probs
+        else:
+            quit_mask = np.zeros(rows.size, dtype=bool)
+        if quit_mask.any():
+            self._alive[rows[quit_mask]] = False
+        stay_rows = rows[~quit_mask]
+        if stay_rows.size == 0:
+            return
+        stay_cells = cells[~quit_mask]
+        draws = self.rng.random(stay_rows.size)
+        # Row-wise inverse-CDF: index of the first cum-prob exceeding u.
+        dest_idx = (draws[:, None] > compiled.cum_probs[stay_cells]).sum(axis=1)
+        new_cells = compiled.dest[stay_cells, dest_idx]
+        self._buf[stay_rows, self._length[stay_rows]] = new_cells
+        self._length[stay_rows] += 1
+
+    def _adjust_size(self, t: int, target: int) -> None:
+        if target < 0:
+            raise ConfigurationError(f"target size must be >= 0, got {target}")
+        live_rows = np.flatnonzero(self._alive[: self._n])
+        deficit = target - live_rows.size
+        if deficit > 0:
+            self.spawn_from_entering(t, deficit)
+            return
+        if deficit == 0 or not self.enable_termination:
+            return
+        n_drop = -deficit
+        quit_dist = self.model.quit_distribution()
+        last_cells = self._buf[live_rows, self._length[live_rows] - 1]
+        weights = quit_dist[last_cells] + 1e-9
+        weights = weights / weights.sum()
+        drop = self.rng.choice(live_rows.size, size=n_drop, replace=False, p=weights)
+        drop_rows = live_rows[np.atleast_1d(drop)]
+        # Withdraw the cell generated for t: quitting means the final
+        # report was at t-1 (matches the reference synthesizer).
+        fresh = (self._start[drop_rows] + self._length[drop_rows] - 1 == t) & (
+            self._length[drop_rows] > 1
+        )
+        shrink = drop_rows[fresh]
+        self._buf[shrink, self._length[shrink] - 1] = _ABSENT
+        self._length[shrink] -= 1
+        self._alive[drop_rows] = False

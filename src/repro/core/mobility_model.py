@@ -1,0 +1,168 @@
+"""Global mobility model (paper Section III-B, Eq. 6).
+
+The model stores one estimated frequency per transition state.  From these it
+derives, on demand:
+
+* the **movement distribution** out of each cell, with the quit mass folded
+  into the denominator::
+
+      Pr(m_ij)        = f_ij / (Σ_{x ∈ N_ci} f_ix + f_iQ)
+      Pr(quit | c_i)  = f_iQ / (Σ_{x ∈ N_ci} f_ix + f_iQ)
+
+* the **entering distribution** ``Pr(e_i) = f_Ei / Σ f_Ex`` and the
+  **quitting distribution** ``Pr(q_j) = f_jQ / Σ f_xQ``.
+
+Frequencies are estimates from a debiased frequency oracle, so they may be
+negative; all derivations clip at zero first (post-processing is free,
+Theorem 2).  When a row carries no mass the model falls back to the uniform
+distribution over that row's legal destinations, which keeps synthesis total.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.stream.state_space import TransitionStateSpace
+
+
+class GlobalMobilityModel:
+    """Frequency store + distribution derivations over a state space."""
+
+    def __init__(self, space: TransitionStateSpace) -> None:
+        self.space = space
+        self._freqs = np.zeros(space.size, dtype=float)
+        self._version = 0
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # state access / update
+    # ------------------------------------------------------------------ #
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Current estimated frequency of every state (read-only copy)."""
+        return self._freqs.copy()
+
+    @property
+    def version(self) -> int:
+        """Bumped on every update; lets callers invalidate derived caches."""
+        return self._version
+
+    def set_all(self, freqs: np.ndarray) -> None:
+        """Replace the full frequency vector (AllUpdate variant / init)."""
+        freqs = np.asarray(freqs, dtype=float)
+        if freqs.shape != self._freqs.shape:
+            raise ConfigurationError(
+                f"expected {self._freqs.shape} frequencies, got {freqs.shape}"
+            )
+        self._freqs = freqs.copy()
+        self._invalidate()
+
+    def update_selected(self, indices: Sequence[int], freqs: np.ndarray) -> None:
+        """Overwrite only the selected states (the DMU path, Section III-C).
+
+        ``freqs`` is the full freshly collected frequency vector; only the
+        entries listed in ``indices`` are written into the model.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        freqs = np.asarray(freqs, dtype=float)
+        if freqs.shape != self._freqs.shape:
+            raise ConfigurationError(
+                f"expected {self._freqs.shape} frequencies, got {freqs.shape}"
+            )
+        self._freqs[idx] = freqs[idx]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._cache.clear()
+
+    def _clipped(self) -> np.ndarray:
+        cached = self._cache.get("clipped")
+        if cached is None:
+            cached = np.clip(self._freqs, 0.0, None)
+            self._cache["clipped"] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # derived distributions (Eq. 6)
+    # ------------------------------------------------------------------ #
+    def row_distribution(self, origin: int) -> tuple[np.ndarray, float]:
+        """Movement probabilities out of ``origin`` plus the raw quit prob.
+
+        Returns ``(move_probs, quit_prob)`` where ``move_probs`` aligns with
+        :meth:`TransitionStateSpace.out_destinations` and
+        ``move_probs.sum() + quit_prob == 1`` whenever the row has mass.  For
+        a massless row the movement part is uniform and ``quit_prob`` is 0.
+        """
+        key = ("row", origin)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        f = self._clipped()
+        out_idx = self.space.out_move_indices(origin)
+        moves = f[out_idx]
+        quit_mass = 0.0
+        if self.space.include_eq:
+            quit_mass = f[self.space.index_of_quit(origin)]
+        denom = moves.sum() + quit_mass
+        if denom <= 0.0:
+            probs = np.full(out_idx.size, 1.0 / out_idx.size)
+            result = (probs, 0.0)
+        else:
+            result = (moves / denom, float(quit_mass / denom))
+        self._cache[key] = result
+        return result
+
+    def movement_probs(self, origin: int) -> np.ndarray:
+        """``Pr(m_ij)`` over destinations of ``origin`` (Eq. 6, first line)."""
+        return self.row_distribution(origin)[0]
+
+    def quit_prob(self, origin: int) -> float:
+        """Raw (un-reweighted) ``Pr(quit | c_i)``; see Eq. 8 for reweighting."""
+        return self.row_distribution(origin)[1]
+
+    def enter_distribution(self) -> np.ndarray:
+        """``Pr(e_i)`` over all cells (Eq. 6, second line).
+
+        Falls back to uniform when the entering states carry no mass so the
+        synthesizer can always seed new streams.
+        """
+        cached = self._cache.get("enter")
+        if cached is None:
+            f = self._clipped()[self.space.enter_indices]
+            total = f.sum()
+            cached = f / total if total > 0 else np.full(f.size, 1.0 / f.size)
+            self._cache["enter"] = cached
+        return cached
+
+    def quit_distribution(self) -> np.ndarray:
+        """``Pr(q_j)`` over all cells (Eq. 6, second line)."""
+        cached = self._cache.get("quit")
+        if cached is None:
+            f = self._clipped()[self.space.quit_indices]
+            total = f.sum()
+            cached = f / total if total > 0 else np.full(f.size, 1.0 / f.size)
+            self._cache["quit"] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # matrix views (used by metrics and reports)
+    # ------------------------------------------------------------------ #
+    def transition_matrix(self) -> np.ndarray:
+        """Dense ``|C| x |C|`` first-order Markov matrix (zero off-domain).
+
+        Rows are origins; each row sums to ``1 − Pr(quit | origin)`` for
+        rows with mass (the missing mass is the termination probability).
+        """
+        n = self.space.n_cells
+        mat = np.zeros((n, n), dtype=float)
+        for origin in range(n):
+            probs, _quit = self.row_distribution(origin)
+            for dest, p in zip(self.space.out_destinations(origin), probs):
+                mat[origin, dest] = p
+        return mat

@@ -1,0 +1,312 @@
+"""Incremental (online) curator interface.
+
+:class:`~repro.core.retrasyn.RetraSyn` processes a finished
+:class:`~repro.stream.stream.StreamDataset` in one call — convenient for
+experiments, but a *real-time* deployment receives reports timestamp by
+timestamp.  :class:`OnlineRetraSyn` is that interface::
+
+    curator = OnlineRetraSyn(grid, RetraSynConfig(epsilon=1.0, w=20), lam=14)
+    for t in range(...):                      # as wall-clock time advances
+        step = curator.process_timestep(
+            t,
+            participants=[(uid, state), ...],  # users able to report at t
+            newly_entered=[uid, ...],
+            quitted=[uid, ...],
+            n_real_active=count,
+        )
+        publish(curator.live_snapshot())       # current synthetic positions
+
+    run = curator.result(n_timestamps=T)       # full SynthesisRun at the end
+
+The batch pipeline is implemented on top of this class, so both paths share
+one code base and one set of invariants (privacy accounting, DMU, size
+adjustment).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocation import (
+    AllocationContext,
+    make_budget_allocator,
+    make_population_allocator,
+)
+from repro.core.dmu import DMUSelector
+from repro.core.mobility_model import GlobalMobilityModel
+from repro.core.synthesis import Synthesizer
+from repro.exceptions import ConfigurationError
+from repro.geo.grid import Grid
+from repro.ldp.accountant import PrivacyAccountant
+from repro.ldp.oue import OptimizedUnaryEncoding
+from repro.rng import ensure_rng
+from repro.stream.encoder import UserSideEncoder
+from repro.stream.events import StateKind, TransitionState
+from repro.stream.state_space import TransitionStateSpace
+from repro.stream.user_tracker import UserTracker
+
+#: Collections with less budget than this are skipped outright.
+_MIN_EPSILON = 1e-8
+
+
+@dataclass(frozen=True)
+class TimestepResult:
+    """What happened inside one :meth:`OnlineRetraSyn.process_timestep`."""
+
+    t: int
+    n_reporters: int
+    epsilon_used: float
+    n_significant: int
+    n_live_synthetic: int
+
+
+class OnlineRetraSyn:
+    """Stateful per-timestamp RetraSyn curator.
+
+    Parameters
+    ----------
+    grid:
+        Discretisation grid shared with the reporting users.
+    config:
+        A :class:`~repro.core.retrasyn.RetraSynConfig`.
+    lam:
+        Termination restriction factor λ (Eq. 8).  The batch pipeline
+        defaults it to the dataset's average length; online deployments
+        supply a domain estimate.
+    """
+
+    def __init__(self, grid: Grid, config, lam: float) -> None:
+        if lam <= 0:
+            raise ConfigurationError(f"lambda must be positive, got {lam}")
+        self.grid = grid
+        self.config = config
+        self.rng = ensure_rng(config.seed)
+        self.space = TransitionStateSpace(
+            grid, include_entering_quitting=config.model_entering_quitting
+        )
+        self.encoder = UserSideEncoder(self.space)
+        self.model = GlobalMobilityModel(self.space)
+        if config.engine == "vectorized":
+            from repro.core.fast_synthesis import VectorizedSynthesizer
+
+            self.synthesizer = VectorizedSynthesizer(
+                self.model,
+                lam=lam,
+                enable_termination=config.model_entering_quitting,
+                rng=self.rng,
+            )
+        else:
+            self.synthesizer = Synthesizer(
+                self.model,
+                lam=lam,
+                enable_termination=config.model_entering_quitting,
+                rng=self.rng,
+            )
+        self.selector = DMUSelector()
+        self.context = AllocationContext(kappa=config.kappa)
+        self.accountant = (
+            PrivacyAccountant(config.epsilon, config.w)
+            if config.track_privacy
+            else None
+        )
+        self.timings = {
+            "user_side": 0.0,
+            "model_construction": 0.0,
+            "dmu": 0.0,
+            "synthesis": 0.0,
+        }
+        self.reporters_per_timestamp: list[int] = []
+        self.significant_per_timestamp: list[int] = []
+        self._model_initialized = False
+        self._last_t: Optional[int] = None
+
+        if config.division == "population":
+            self._pop_alloc = (
+                None
+                if config.allocator == "random"
+                else make_population_allocator(
+                    config.allocator, config.w,
+                    alpha=config.alpha, p_max=config.p_max,
+                )
+            )
+            self._budget_alloc = None
+            self._tracker = UserTracker(config.w)
+            self._report_phase: dict[int, int] = {}
+        else:
+            self._pop_alloc = None
+            self._budget_alloc = make_budget_allocator(
+                config.allocator, config.epsilon, config.w,
+                alpha=config.alpha, p_max=config.p_max,
+            )
+            self._tracker = None
+
+    # ------------------------------------------------------------------ #
+    # the per-timestamp protocol round
+    # ------------------------------------------------------------------ #
+    def process_timestep(
+        self,
+        t: int,
+        participants: Sequence[tuple[int, TransitionState]],
+        newly_entered: Sequence[int] = (),
+        quitted: Sequence[int] = (),
+        n_real_active: int = 0,
+    ) -> TimestepResult:
+        """Run one full collection → update → synthesis round.
+
+        ``participants`` are (user_id, transition_state) pairs for every
+        user *able* to report at ``t``; the allocation strategy decides who
+        actually does.  ``n_real_active`` drives size adjustment.
+        """
+        cfg = self.config
+        if self._last_t is not None and t != self._last_t + 1:
+            raise ConfigurationError(
+                f"timestamps must be consecutive: got {t} after {self._last_t}"
+            )
+        self._last_t = t
+
+        if not cfg.model_entering_quitting:
+            participants = [
+                (uid, s) for uid, s in participants if s.kind is StateKind.MOVE
+            ]
+
+        chosen, eps_used = self._select_reporters(t, participants, newly_entered)
+        n_reporters = len(chosen)
+        self.reporters_per_timestamp.append(n_reporters)
+
+        collected = self._collect(t, chosen, eps_used)
+        if self._tracker is not None:
+            self._tracker.mark_quitted(quitted)
+
+        n_significant = self._update_model(collected, eps_used, n_reporters)
+        self.significant_per_timestamp.append(n_significant)
+
+        self._synthesize(t, n_real_active)
+        return TimestepResult(
+            t=t,
+            n_reporters=n_reporters,
+            epsilon_used=eps_used if n_reporters else 0.0,
+            n_significant=n_significant,
+            n_live_synthetic=self.synthesizer.n_live,
+        )
+
+    # ------------------------------------------------------------------ #
+    # phases
+    # ------------------------------------------------------------------ #
+    def _select_reporters(self, t, participants, newly_entered):
+        cfg = self.config
+        if cfg.division == "population":
+            self._tracker.register(newly_entered)
+            if cfg.allocator == "random":
+                for uid in newly_entered:
+                    self._report_phase[uid] = int(self.rng.integers(0, cfg.w))
+            self._tracker.recycle(t)
+            eligible = [
+                (uid, s)
+                for uid, s in participants
+                if self._tracker.status(uid).value == "active"
+            ]
+            if cfg.allocator == "random":
+                chosen = [
+                    (uid, s)
+                    for uid, s in eligible
+                    if self._report_phase.get(uid, 0) == t % cfg.w
+                ]
+            else:
+                p_t = self._pop_alloc.propose(t, self.context)
+                n_sample = int(round(p_t * len(eligible)))
+                if n_sample > 0 and eligible:
+                    idx = self.rng.choice(
+                        len(eligible),
+                        size=min(n_sample, len(eligible)),
+                        replace=False,
+                    )
+                    chosen = [eligible[int(i)] for i in np.atleast_1d(idx)]
+                else:
+                    chosen = []
+            return chosen, cfg.epsilon
+
+        eps_t = self._budget_alloc.propose(t, self.context)
+        if eps_t < _MIN_EPSILON:
+            chosen, eps_used = [], 0.0
+        else:
+            chosen, eps_used = list(participants), eps_t
+        self._budget_alloc.commit(eps_used)
+        return chosen, eps_used
+
+    def _collect(self, t, chosen, eps_used):
+        if not chosen:
+            return None
+        oracle = OptimizedUnaryEncoding(
+            self.space.size, eps_used, rng=self.rng, mode=self.config.oracle_mode
+        )
+        states = [s for _uid, s in chosen]
+        tic = time.perf_counter()
+        ones = oracle.simulate_ones(self.encoder.encode(states))
+        self.timings["user_side"] += time.perf_counter() - tic
+
+        tic = time.perf_counter()
+        counts = oracle.debias(ones, len(chosen))
+        collected = counts / len(chosen)
+        self.timings["model_construction"] += time.perf_counter() - tic
+
+        if self.accountant is not None:
+            self.accountant.spend_many((uid for uid, _s in chosen), t, eps_used)
+        if self._tracker is not None:
+            self._tracker.mark_reported([uid for uid, _s in chosen], t)
+        self.context.record_collection(collected)
+        return collected
+
+    def _update_model(self, collected, eps_used, n_reporters) -> int:
+        tic = time.perf_counter()
+        n_significant = 0
+        if collected is not None:
+            if not self._model_initialized or self.config.update_strategy == "all":
+                self.model.set_all(collected)
+                n_significant = self.space.size
+                self._model_initialized = True
+            else:
+                decision = self.selector.select(
+                    self.model.frequencies, collected, eps_used, n_reporters
+                )
+                self.model.update_selected(decision.selected, collected)
+                n_significant = decision.n_selected
+            self.context.record_significant_ratio(n_significant / self.space.size)
+        self.timings["dmu"] += time.perf_counter() - tic
+        return n_significant
+
+    def _synthesize(self, t, n_real_active) -> None:
+        cfg = self.config
+        tic = time.perf_counter()
+        if t == 0:
+            if cfg.model_entering_quitting:
+                self.synthesizer.spawn_from_entering(0, n_real_active)
+            else:
+                self.synthesizer.spawn_uniform(0, n_real_active)
+        else:
+            target = n_real_active if cfg.model_entering_quitting else None
+            self.synthesizer.step(t, target)
+        self.timings["synthesis"] += time.perf_counter() - tic
+
+    # ------------------------------------------------------------------ #
+    # outputs
+    # ------------------------------------------------------------------ #
+    def live_snapshot(self) -> np.ndarray:
+        """Current cells of all live synthetic streams."""
+        return np.asarray(
+            [tr.last_cell for tr in self.synthesizer.live_streams], dtype=np.int64
+        )
+
+    def synthetic_dataset(self, n_timestamps: int, name: str = "online"):
+        """Materialise everything synthesized so far as a StreamDataset."""
+        from repro.stream.stream import StreamDataset
+
+        return StreamDataset(
+            self.grid,
+            self.synthesizer.all_trajectories(),
+            n_timestamps=n_timestamps,
+            name=name,
+        )

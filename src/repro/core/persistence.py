@@ -1,0 +1,107 @@
+"""Persistence for mobility models and pipeline configurations.
+
+A deployed curator needs to survive restarts: the learned global mobility
+model (frequencies over the transition-state space) and the pipeline
+configuration are saved together so a new process can resume synthesis with
+the same state.  Models are stored as npz (frequencies + the grid geometry
+and state-space flags needed to rebuild the space); configurations as JSON.
+
+Restoring a model is pure post-processing of already-released statistics
+(paper Theorem 2), so persistence never touches the privacy budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.mobility_model import GlobalMobilityModel
+from repro.core.retrasyn import RetraSynConfig
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.geo.grid import Grid
+from repro.geo.point import BoundingBox
+from repro.stream.state_space import TransitionStateSpace
+
+_MODEL_FORMAT_VERSION = 1
+
+
+def save_model(model: GlobalMobilityModel, path: Union[str, Path]) -> None:
+    """Write a mobility model (and its space geometry) to ``path``."""
+    space = model.space
+    grid = space.grid
+    np.savez_compressed(
+        Path(path),
+        version=np.asarray([_MODEL_FORMAT_VERSION]),
+        frequencies=model.frequencies,
+        grid_k=np.asarray([grid.k]),
+        bbox=np.asarray(
+            [grid.bbox.min_x, grid.bbox.min_y, grid.bbox.max_x, grid.bbox.max_y]
+        ),
+        include_eq=np.asarray([int(space.include_eq)]),
+    )
+
+
+def load_model(path: Union[str, Path]) -> GlobalMobilityModel:
+    """Rebuild a mobility model saved by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"model file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["version"][0])
+        if version != _MODEL_FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported model format version {version} "
+                f"(expected {_MODEL_FORMAT_VERSION})"
+            )
+        freqs = archive["frequencies"]
+        k = int(archive["grid_k"][0])
+        bx = archive["bbox"]
+        include_eq = bool(int(archive["include_eq"][0]))
+    grid = Grid(
+        BoundingBox(float(bx[0]), float(bx[1]), float(bx[2]), float(bx[3])), k
+    )
+    space = TransitionStateSpace(grid, include_entering_quitting=include_eq)
+    if freqs.shape != (space.size,):
+        raise DatasetError(
+            f"frequency vector of length {freqs.shape} does not match the "
+            f"reconstructed state space of size {space.size}"
+        )
+    model = GlobalMobilityModel(space)
+    model.set_all(freqs)
+    return model
+
+
+def config_to_dict(config: RetraSynConfig) -> dict:
+    """JSON-safe dictionary form of a pipeline configuration."""
+    out = dataclasses.asdict(config)
+    seed = out.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        # Generators are process-local state; persist only reproducible seeds.
+        out["seed"] = None
+    return out
+
+
+def config_from_dict(data: dict) -> RetraSynConfig:
+    """Inverse of :func:`config_to_dict` (validates via the dataclass)."""
+    known = {f.name for f in dataclasses.fields(RetraSynConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"unknown config fields: {sorted(unknown)}")
+    return RetraSynConfig(**data)
+
+
+def save_config(config: RetraSynConfig, path: Union[str, Path]) -> None:
+    """Write a configuration as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=2) + "\n")
+
+
+def load_config(path: Union[str, Path]) -> RetraSynConfig:
+    """Read a configuration written by :func:`save_config`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"config file not found: {path}")
+    return config_from_dict(json.loads(path.read_text()))

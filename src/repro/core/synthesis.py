@@ -1,0 +1,226 @@
+"""Real-time trajectory synthesis (paper Section III-D).
+
+The synthesizer keeps a set of *live* synthetic streams and, at every
+timestamp, performs:
+
+1. **New point generation** — each live stream either terminates with the
+   length-reweighted quit probability (Eq. 8)::
+
+       Pr(quit | c_i) = (ℓ / λ) · f_iQ / (Σ_{x ∈ N_ci} f_ix + f_iQ)
+
+   (``ℓ`` = current stream length, ``λ`` = termination restriction factor,
+   set to the dataset's average trajectory length in the experiments) or
+   extends by one cell sampled from the movement distribution.
+
+2. **Size adjustment** — the number of live synthetic streams is matched to
+   the real active-user count: shortfalls are filled with fresh streams
+   whose start cell is sampled from the entering distribution ``E``;
+   excesses are terminated with probability proportional to the quitting
+   distribution ``Q`` evaluated at each stream's last cell.
+
+Every stream ever created is retained, so the synthesizer's output doubles
+as a complete historical database for trajectory-level metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mobility_model import GlobalMobilityModel
+from repro.exceptions import ConfigurationError
+from repro.geo.trajectory import CellTrajectory
+from repro.rng import RngLike, ensure_rng
+
+
+class Synthesizer:
+    """Maintains the evolving synthetic database ``T_syn``.
+
+    Parameters
+    ----------
+    model:
+        The global mobility model distributions are read from.
+    lam:
+        Termination restriction factor λ of Eq. 8.  Larger values delay
+        termination; the paper sets λ to the dataset's average length.
+    enable_termination:
+        ``False`` disables quit sampling and size-down adjustment — used by
+        the NoEQ ablation and the LDP-IDS baselines.
+    rng:
+        Randomness for all sampling.
+    """
+
+    def __init__(
+        self,
+        model: GlobalMobilityModel,
+        lam: float,
+        enable_termination: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        if lam <= 0:
+            raise ConfigurationError(f"lambda must be positive, got {lam}")
+        self.model = model
+        self.lam = float(lam)
+        self.enable_termination = bool(enable_termination)
+        self.rng = ensure_rng(rng)
+        self._live: list[CellTrajectory] = []
+        self._finished: list[CellTrajectory] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    @property
+    def live_streams(self) -> list[CellTrajectory]:
+        return list(self._live)
+
+    @property
+    def n_live(self) -> int:
+        return len(self._live)
+
+    def all_trajectories(self) -> list[CellTrajectory]:
+        """Every synthetic stream ever created (finished + still live)."""
+        return self._finished + self._live
+
+    # ------------------------------------------------------------------ #
+    # stream creation / termination
+    # ------------------------------------------------------------------ #
+    def _new_stream(self, t: int, start_cell: int) -> None:
+        traj = CellTrajectory(t, [int(start_cell)], user_id=self._next_id)
+        self._next_id += 1
+        self._live.append(traj)
+
+    def spawn_from_entering(self, t: int, count: int) -> None:
+        """Append ``count`` fresh streams with start cells sampled from E."""
+        if count <= 0:
+            return
+        probs = self.model.enter_distribution()
+        cells = self.rng.choice(probs.size, size=count, p=probs)
+        for c in np.atleast_1d(cells):
+            self._new_stream(t, int(c))
+
+    def spawn_uniform(self, t: int, count: int) -> None:
+        """Seed streams uniformly at random (NoEQ / baseline initialisation)."""
+        if count <= 0:
+            return
+        cells = self.rng.integers(0, self.model.space.n_cells, size=count)
+        for c in cells:
+            self._new_stream(t, int(c))
+
+    def spawn_from_distribution(self, t: int, count: int, probs: np.ndarray) -> None:
+        """Seed streams from an explicit start-cell distribution.
+
+        Used by the LDP-IDS baselines, which have no entering distribution
+        and instead seed from the origin marginal of their released model.
+        """
+        if count <= 0:
+            return
+        probs = np.asarray(probs, dtype=float)
+        if probs.size != self.model.space.n_cells:
+            raise ConfigurationError(
+                f"expected {self.model.space.n_cells} start-cell probabilities, "
+                f"got {probs.size}"
+            )
+        total = probs.sum()
+        if total <= 0:
+            self.spawn_uniform(t, count)
+            return
+        cells = self.rng.choice(probs.size, size=count, p=probs / total)
+        for c in np.atleast_1d(cells):
+            self._new_stream(t, int(c))
+
+    def _terminate(self, index: int) -> None:
+        traj = self._live.pop(index)
+        traj.terminate()
+        self._finished.append(traj)
+
+    # ------------------------------------------------------------------ #
+    # the per-timestamp generative step
+    # ------------------------------------------------------------------ #
+    def step(self, t: int, target_size: Optional[int] = None) -> None:
+        """Advance every live stream to timestamp ``t`` and adjust the size.
+
+        ``target_size`` is the real active-user count at ``t``; ``None``
+        skips size adjustment entirely (NoEQ / baselines).
+        """
+        self._generate_new_points(t)
+        if target_size is not None:
+            self._adjust_size(t, int(target_size))
+
+    def _generate_new_points(self, t: int) -> None:
+        if not self._live:
+            return
+        space = self.model.space
+        survivors: list[CellTrajectory] = []
+        quitters: list[CellTrajectory] = []
+        # Group live streams by current cell so each row's distribution is
+        # computed once and destinations are sampled in a single draw.
+        by_cell: dict[int, list[CellTrajectory]] = {}
+        for traj in self._live:
+            by_cell.setdefault(traj.last_cell, []).append(traj)
+
+        for cell, trajs in by_cell.items():
+            move_probs, quit_raw = self.model.row_distribution(cell)
+            destinations = space.out_destinations(cell)
+            lengths = np.asarray([len(tr) for tr in trajs], dtype=float)
+            if self.enable_termination and quit_raw > 0.0:
+                quit_probs = np.minimum(lengths / self.lam * quit_raw, 1.0)
+            else:
+                quit_probs = np.zeros(len(trajs))
+            draws = self.rng.random(len(trajs))
+            quit_mask = draws < quit_probs
+            stay = [tr for tr, q in zip(trajs, quit_mask) if not q]
+            quitters.extend(tr for tr, q in zip(trajs, quit_mask) if q)
+            if stay:
+                total = move_probs.sum()
+                if total <= 0.0:
+                    # All of the row's mass sits on quitting but the stream
+                    # survived the quit draw: move uniformly over legal
+                    # destinations rather than stalling the stream.
+                    norm = np.full(len(destinations), 1.0 / len(destinations))
+                else:
+                    norm = move_probs / total
+                next_cells = self.rng.choice(
+                    len(destinations), size=len(stay), p=norm
+                )
+                for tr, j in zip(stay, np.atleast_1d(next_cells)):
+                    tr.append(destinations[int(j)])
+                survivors.extend(stay)
+
+        for tr in quitters:
+            tr.terminate()
+            self._finished.append(tr)
+        self._live = survivors
+
+    def _adjust_size(self, t: int, target: int) -> None:
+        if target < 0:
+            raise ConfigurationError(f"target size must be >= 0, got {target}")
+        deficit = target - len(self._live)
+        if deficit > 0:
+            self.spawn_from_entering(t, deficit)
+            return
+        if deficit == 0:
+            return
+        # Excess: terminate |deficit| streams, weighted by Q at last cells.
+        n_drop = -deficit
+        if not self.enable_termination:
+            return
+        quit_dist = self.model.quit_distribution()
+        weights = np.asarray([quit_dist[tr.last_cell] for tr in self._live])
+        # Blend in a tiny uniform component so the weight vector always has
+        # enough non-zero entries for replacement-free sampling.
+        weights = weights + 1e-9
+        weights = weights / weights.sum()
+        drop_idx = self.rng.choice(
+            len(self._live), size=n_drop, replace=False, p=weights
+        )
+        for i in sorted(np.atleast_1d(drop_idx), reverse=True):
+            traj = self._live.pop(int(i))
+            # Quitting at t means the final report happened at t-1, so the
+            # cell just generated for t is withdrawn; this keeps the
+            # synthetic active count equal to the target at every t.
+            if traj.end_time == t and len(traj) > 1:
+                traj.cells.pop()
+            traj.terminate()
+            self._finished.append(traj)

@@ -1,0 +1,77 @@
+"""Ablation variants of Table IV and convenience constructors.
+
+* **AllUpdate** — replaces the DMU mechanism with a full-model overwrite at
+  every collection timestamp (``update_strategy="all"``), accumulating the
+  full perturbation noise each round.
+* **NoEQ** — drops entering/quitting transitions entirely: the state space
+  contains only movements, the synthetic database is seeded uniformly at
+  random, streams never terminate and no size adjustment happens
+  (``model_entering_quitting=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.retrasyn import RetraSyn, RetraSynConfig
+from repro.rng import RngLike
+
+
+def make_retrasyn(
+    division: str = "population",
+    epsilon: float = 1.0,
+    w: int = 20,
+    allocator: str = "adaptive",
+    seed: RngLike = None,
+    **overrides,
+) -> RetraSyn:
+    """The full method: RetraSyn_p (default) or RetraSyn_b."""
+    cfg = RetraSynConfig(
+        epsilon=epsilon,
+        w=w,
+        division=division,
+        allocator=allocator,
+        seed=seed,
+        **overrides,
+    )
+    return RetraSyn(cfg)
+
+
+def make_all_update(
+    division: str = "population",
+    epsilon: float = 1.0,
+    w: int = 20,
+    seed: RngLike = None,
+    **overrides,
+) -> RetraSyn:
+    """Table IV's AllUpdate_b / AllUpdate_p: no significant-transition
+    selection, the whole model is overwritten every collection round."""
+    cfg = RetraSynConfig(
+        epsilon=epsilon,
+        w=w,
+        division=division,
+        update_strategy="all",
+        seed=seed,
+        **overrides,
+    )
+    return RetraSyn(cfg)
+
+
+def make_no_eq(
+    division: str = "population",
+    epsilon: float = 1.0,
+    w: int = 20,
+    seed: RngLike = None,
+    **overrides,
+) -> RetraSyn:
+    """Table IV's NoEQ_b / NoEQ_p: movement-only modelling, random
+    initialisation, perpetual streams, no size adjustment."""
+    cfg = RetraSynConfig(
+        epsilon=epsilon,
+        w=w,
+        division=division,
+        model_entering_quitting=False,
+        seed=seed,
+        **overrides,
+    )
+    return RetraSyn(cfg)

@@ -1,0 +1,59 @@
+"""Dataset generators and loaders.
+
+The paper evaluates on T-Drive (real Beijing taxi traces) and two synthetic
+datasets produced by Brinkhoff's network-based moving-object generator
+(Oldenburg, SanJoaquin).  This environment has no network access, so the
+substitutions documented in DESIGN.md apply:
+
+* :mod:`repro.datasets.tdrive` — a taxi-fleet simulator over the Beijing
+  5th-ring extent with hotspot-biased origin/destination flows, calibrated
+  to Table I's scale statistics;
+* :mod:`repro.datasets.brinkhoff` — a from-scratch re-implementation of the
+  network-based moving-objects mechanic (road graph + shortest-path
+  movement + per-timestamp arrivals + random quits) with the Oldenburg and
+  SanJoaquin population dynamics;
+* :mod:`repro.datasets.synthetic` — small analytic generators for tests.
+
+All generators return a :class:`repro.stream.stream.StreamDataset` and take
+a ``scale`` factor so laptop-scale runs and paper-scale runs share one code
+path.
+"""
+
+from repro.datasets.tdrive import TDriveConfig, make_tdrive
+from repro.datasets.brinkhoff import (
+    BrinkhoffConfig,
+    NetworkGenerator,
+    make_oldenburg,
+    make_sanjoaquin,
+)
+from repro.datasets.synthetic import (
+    make_random_walks,
+    make_two_hotspot_stream,
+    make_lane_stream,
+)
+from repro.datasets.io import load_stream_dataset, save_stream_dataset
+from repro.datasets.preprocess import (
+    RawFix,
+    load_fixes_csv,
+    preprocess_raw_traces,
+)
+from repro.datasets.registry import available_datasets, load_dataset
+
+__all__ = [
+    "TDriveConfig",
+    "make_tdrive",
+    "BrinkhoffConfig",
+    "NetworkGenerator",
+    "make_oldenburg",
+    "make_sanjoaquin",
+    "make_random_walks",
+    "make_two_hotspot_stream",
+    "make_lane_stream",
+    "save_stream_dataset",
+    "load_stream_dataset",
+    "RawFix",
+    "load_fixes_csv",
+    "preprocess_raw_traces",
+    "available_datasets",
+    "load_dataset",
+]

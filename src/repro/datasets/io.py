@@ -1,0 +1,87 @@
+"""Persistence for stream datasets.
+
+Datasets are stored as a single compressed ``.npz`` archive: flat arrays of
+cells plus per-trajectory offsets, start times and user ids, and the grid
+geometry needed to reconstruct the :class:`~repro.geo.grid.Grid`.  The
+format is stable, versioned and round-trip tested.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geo.grid import Grid
+from repro.geo.point import BoundingBox
+from repro.geo.trajectory import CellTrajectory
+from repro.stream.stream import StreamDataset
+
+_FORMAT_VERSION = 1
+
+
+def save_stream_dataset(dataset: StreamDataset, path: Union[str, Path]) -> None:
+    """Write ``dataset`` to ``path`` as a compressed npz archive."""
+    path = Path(path)
+    cells = np.concatenate(
+        [np.asarray(t.cells, dtype=np.int64) for t in dataset.trajectories]
+    ) if dataset.trajectories else np.zeros(0, dtype=np.int64)
+    lengths = np.asarray([len(t) for t in dataset.trajectories], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    np.savez_compressed(
+        path,
+        version=np.asarray([_FORMAT_VERSION]),
+        cells=cells,
+        offsets=offsets,
+        start_times=np.asarray(
+            [t.start_time for t in dataset.trajectories], dtype=np.int64
+        ),
+        user_ids=np.asarray(
+            [t.user_id for t in dataset.trajectories], dtype=np.int64
+        ),
+        n_timestamps=np.asarray([dataset.n_timestamps]),
+        grid_k=np.asarray([dataset.grid.k]),
+        bbox=np.asarray(
+            [
+                dataset.grid.bbox.min_x,
+                dataset.grid.bbox.min_y,
+                dataset.grid.bbox.max_x,
+                dataset.grid.bbox.max_y,
+            ]
+        ),
+        name=np.asarray([dataset.name]),
+    )
+
+
+def load_stream_dataset(path: Union[str, Path]) -> StreamDataset:
+    """Read a dataset previously written by :func:`save_stream_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["version"][0])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported dataset format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        cells = archive["cells"]
+        offsets = archive["offsets"]
+        start_times = archive["start_times"]
+        user_ids = archive["user_ids"]
+        n_timestamps = int(archive["n_timestamps"][0])
+        k = int(archive["grid_k"][0])
+        bx = archive["bbox"]
+        name = str(archive["name"][0])
+    grid = Grid(BoundingBox(float(bx[0]), float(bx[1]), float(bx[2]), float(bx[3])), k)
+    trajectories = [
+        CellTrajectory(
+            int(start_times[i]),
+            cells[offsets[i] : offsets[i + 1]].tolist(),
+            user_id=int(user_ids[i]),
+        )
+        for i in range(len(start_times))
+    ]
+    return StreamDataset(grid, trajectories, n_timestamps=n_timestamps, name=name)

@@ -1,0 +1,176 @@
+"""Raw-trace preprocessing (paper Section V-A).
+
+The paper turns raw GPS logs into its stream format with three steps:
+
+1. **clock alignment** — "we assume the curator periodically collects the
+   locations from users, and align the time in three datasets with
+   corresponding discrete collection timestamps" (10-minute granularity for
+   T-Drive, ≈15 s for the Brinkhoff datasets);
+2. **spatial restriction** — "we select the denser area within the 5th
+   ring" (fixes outside the study region are dropped);
+3. **gap splitting** — "for trajectories including non-adjacent timestamps,
+   we add quitting events and split them into multiple streams".
+
+This module implements that pipeline for arbitrary raw fixes, so real GPS
+logs (CSV of ``user, unix_time, x, y``) can be fed to the library exactly
+the way the authors fed T-Drive to theirs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.geo.grid import Grid
+from repro.geo.point import BoundingBox, Point
+from repro.geo.trajectory import CellTrajectory
+from repro.stream.stream import StreamDataset, split_on_gaps
+
+
+@dataclass(frozen=True, slots=True)
+class RawFix:
+    """One raw GPS sample: who, when (seconds), where."""
+
+    user: int
+    time: float
+    x: float
+    y: float
+
+
+def align_to_clock(
+    fixes: Iterable[RawFix],
+    granularity: float,
+    t0: Optional[float] = None,
+) -> dict[int, list[tuple[int, Point]]]:
+    """Snap raw fixes onto the curator's discrete collection clock.
+
+    Each user's fixes are bucketed into slots of ``granularity`` seconds
+    starting at ``t0`` (default: the earliest fix).  When several fixes land
+    in one slot, the **last** one wins — the value the curator would see at
+    collection time.  Returns per-user sorted ``(timestamp, point)`` lists.
+    """
+    if granularity <= 0:
+        raise ConfigurationError(f"granularity must be positive, got {granularity}")
+    fixes = list(fixes)
+    if not fixes:
+        return {}
+    origin = min(f.time for f in fixes) if t0 is None else float(t0)
+    slots: dict[int, dict[int, RawFix]] = defaultdict(dict)
+    for f in fixes:
+        if f.time < origin:
+            continue
+        slot = int((f.time - origin) // granularity)
+        prev = slots[f.user].get(slot)
+        if prev is None or f.time >= prev.time:
+            slots[f.user][slot] = f
+    return {
+        user: [(slot, Point(f.x, f.y)) for slot, f in sorted(user_slots.items())]
+        for user, user_slots in slots.items()
+    }
+
+
+def restrict_to_region(
+    aligned: dict[int, list[tuple[int, Point]]],
+    bbox: BoundingBox,
+) -> dict[int, list[tuple[int, Point]]]:
+    """Drop fixes outside the study region (e.g. the 5th ring).
+
+    Dropping a fix creates a time gap, which :func:`build_stream_dataset`
+    later turns into a quit + re-enter — matching the paper's handling of
+    users who leave the region.
+    """
+    out: dict[int, list[tuple[int, Point]]] = {}
+    for user, seq in aligned.items():
+        kept = [(t, p) for t, p in seq if bbox.contains(p)]
+        if kept:
+            out[user] = kept
+    return out
+
+
+def build_stream_dataset(
+    aligned: dict[int, list[tuple[int, Point]]],
+    grid: Grid,
+    n_timestamps: Optional[int] = None,
+    name: str = "preprocessed",
+) -> StreamDataset:
+    """Discretise aligned traces and split them on time gaps.
+
+    Consecutive-slot fixes become one stream; any missing slot inserts a
+    quitting event and restarts as a fresh stream (Section V-A).  Cells are
+    snapped so every transition satisfies the reachability constraint.
+    """
+    trajectories: list[CellTrajectory] = []
+    uid = 0
+    for _user, seq in sorted(aligned.items()):
+        cells_with_times: list[tuple[int, int]] = []
+        prev_t: Optional[int] = None
+        prev_cell: Optional[int] = None
+        for t, p in seq:
+            cell = grid.locate(p)
+            if prev_t is not None and t == prev_t + 1:
+                cell = grid.snap_to_adjacent(prev_cell, cell)
+            cells_with_times.append((t, cell))
+            prev_t, prev_cell = t, cell
+        streams = split_on_gaps(0, cells_with_times, user_id_start=uid)
+        uid += len(streams)
+        trajectories.extend(streams)
+    if not trajectories and n_timestamps is None:
+        raise DatasetError("no trajectories survived preprocessing")
+    return StreamDataset(grid, trajectories, n_timestamps=n_timestamps, name=name)
+
+
+def preprocess_raw_traces(
+    fixes: Iterable[RawFix],
+    bbox: BoundingBox,
+    k: int = 6,
+    granularity: float = 600.0,
+    n_timestamps: Optional[int] = None,
+    name: str = "preprocessed",
+) -> StreamDataset:
+    """The full Section V-A pipeline: align → restrict → discretise/split.
+
+    Parameters
+    ----------
+    fixes:
+        Raw GPS samples.
+    bbox:
+        Study region (the paper uses Beijing's 5th ring for T-Drive).
+    k:
+        Grid granularity K.
+    granularity:
+        Collection period in seconds (600 = the paper's 10 minutes).
+    """
+    aligned = align_to_clock(fixes, granularity)
+    aligned = restrict_to_region(aligned, bbox)
+    grid = Grid(bbox, k)
+    return build_stream_dataset(aligned, grid, n_timestamps=n_timestamps, name=name)
+
+
+def load_fixes_csv(path, delimiter: str = ",") -> list[RawFix]:
+    """Read ``user,time,x,y`` rows (header optional) into :class:`RawFix`.
+
+    Malformed rows raise :class:`DatasetError` with the line number, except
+    a single leading header row which is skipped.
+    """
+    fixes: list[RawFix] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(delimiter)
+            if len(parts) != 4:
+                raise DatasetError(
+                    f"{path}:{lineno}: expected 4 fields, got {len(parts)}"
+                )
+            try:
+                fixes.append(
+                    RawFix(int(parts[0]), float(parts[1]), float(parts[2]), float(parts[3]))
+                )
+            except ValueError as exc:
+                if lineno == 1:
+                    continue  # header row
+                raise DatasetError(f"{path}:{lineno}: {exc}") from exc
+    return fixes

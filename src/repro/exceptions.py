@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class PrivacyBudgetError(ReproError):
+    """A privacy-budget invariant was violated.
+
+    Raised by the :class:`repro.ldp.accountant.PrivacyAccountant` when a
+    report would cause some user's spend inside a sliding window of ``w``
+    timestamps to exceed the total budget ``epsilon``.
+    """
+
+
+class DomainError(ReproError):
+    """A value fell outside the declared domain (e.g. unknown grid cell)."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or incompatible with the requested operation."""
+
+
+class SynthesisError(ReproError):
+    """The synthesizer reached an unrecoverable state."""

@@ -1,0 +1,27 @@
+"""Experiment harness: one module per paper table / figure.
+
+Every experiment exposes a ``run_*`` function returning structured results
+and a ``format_*`` function that renders them in the shape of the paper's
+table or figure series.  The ``benchmarks/`` tree wraps these same functions
+with pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` regenerates
+every artefact at laptop scale.
+"""
+
+from repro.experiments.runner import (
+    ExperimentSetting,
+    MethodResult,
+    make_method,
+    run_method,
+    standard_datasets,
+)
+from repro.experiments.report import format_table, format_series
+
+__all__ = [
+    "ExperimentSetting",
+    "MethodResult",
+    "make_method",
+    "run_method",
+    "standard_datasets",
+    "format_table",
+    "format_series",
+]

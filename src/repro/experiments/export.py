@@ -1,0 +1,94 @@
+"""CSV export of experiment results.
+
+The experiment runners return nested dictionaries shaped like the paper's
+tables; this module flattens them into tidy CSV rows (one observation per
+line) so the figures can be regenerated with any external plotting tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ConfigurationError
+
+
+def table3_to_rows(results: dict) -> list[dict]:
+    """Flatten ``results[dataset][metric][method][epsilon] -> score``."""
+    rows = []
+    for dataset, per_metric in results.items():
+        for metric, per_method in per_metric.items():
+            for method, cells in per_method.items():
+                for epsilon, score in cells.items():
+                    rows.append(
+                        {
+                            "dataset": dataset,
+                            "metric": metric,
+                            "method": method,
+                            "epsilon": epsilon,
+                            "score": score,
+                        }
+                    )
+    return rows
+
+
+def sweep_to_rows(results: dict, sweep_name: str) -> list[dict]:
+    """Flatten ``results[dataset][metric][method][x] -> score`` sweeps
+    (figures 4 and 5; ``sweep_name`` labels the swept column)."""
+    rows = []
+    for dataset, per_metric in results.items():
+        for metric, per_method in per_metric.items():
+            for method, cells in per_method.items():
+                for x, score in cells.items():
+                    rows.append(
+                        {
+                            "dataset": dataset,
+                            "metric": metric,
+                            "method": method,
+                            sweep_name: x,
+                            "score": score,
+                        }
+                    )
+    return rows
+
+
+def matrix_to_rows(results: dict, value_name: str = "score") -> list[dict]:
+    """Flatten ``results[dataset][method][metric] -> score`` matrices
+    (Table IV, Figure 3)."""
+    rows = []
+    for dataset, per_method in results.items():
+        for method, scores in per_method.items():
+            for metric, score in scores.items():
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "method": method,
+                        "metric": metric,
+                        value_name: score,
+                    }
+                )
+    return rows
+
+
+def write_csv(rows: list[dict], path: Union[str, Path]) -> None:
+    """Write tidy rows to ``path``; columns come from the first row."""
+    if not rows:
+        raise ConfigurationError("cannot write an empty result set")
+    path = Path(path)
+    fieldnames = list(rows[0].keys())
+    for i, row in enumerate(rows):
+        if list(row.keys()) != fieldnames:
+            raise ConfigurationError(
+                f"row {i} has columns {list(row)} != {fieldnames}"
+            )
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def read_csv(path: Union[str, Path]) -> list[dict]:
+    """Read back rows written by :func:`write_csv` (values as strings)."""
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))

@@ -1,0 +1,65 @@
+"""Figure 3: impact of the allocation strategy.
+
+Compares Adaptive_b/p, Uniform_b/p and Sample (population) on Transition
+Error, Query Error and Kendall-tau for T-Drive and Oldenburg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentSetting, run_method, standard_datasets
+
+FIG3_METRICS = ("transition_error", "query_error", "kendall_tau")
+#: (display name, method, allocator).  "Random" is the user-driven
+#: alternative the paper discusses at the end of Section III-E.
+FIG3_STRATEGIES = (
+    ("Adaptive_b", "RetraSyn_b", "adaptive"),
+    ("Adaptive_p", "RetraSyn_p", "adaptive"),
+    ("Uniform_b", "RetraSyn_b", "uniform"),
+    ("Uniform_p", "RetraSyn_p", "uniform"),
+    ("Sample", "RetraSyn_p", "sample"),
+    ("Random", "RetraSyn_p", "random"),
+)
+
+
+def run_fig3(
+    setting: ExperimentSetting = ExperimentSetting(),
+    datasets: Optional[Sequence[str]] = ("tdrive", "oldenburg"),
+    metrics: Sequence[str] = FIG3_METRICS,
+) -> dict:
+    """``results[dataset][strategy][metric] -> score``."""
+    data = standard_datasets(setting, datasets)
+    results: dict = {}
+    for name, dataset in data.items():
+        results[name] = {}
+        for label, method, allocator in FIG3_STRATEGIES:
+            cell = replace(setting, allocator=allocator)
+            res = run_method(dataset, method, cell, metrics=metrics)
+            results[name][label] = res.scores
+    return results
+
+
+def format_fig3(results: dict) -> str:
+    blocks = []
+    for dataset, per_strategy in results.items():
+        metrics = list(next(iter(per_strategy.values())).keys())
+        blocks.append(
+            format_table(
+                f"Figure 3 — allocation strategies — {dataset}",
+                per_strategy,
+                metrics,
+                col_header="strategy",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_fig3(run_fig3()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

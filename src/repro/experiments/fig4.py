@@ -1,0 +1,70 @@
+"""Figure 4: impact of the window size w.
+
+Sweeps w over {10, 20, 30, 40, 50} on Transition Error, Query Error and
+Trip Error for T-Drive and Oldenburg, comparing the four baselines against
+both RetraSyn divisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    ALL_METHODS,
+    ExperimentSetting,
+    run_method,
+    standard_datasets,
+)
+
+FIG4_METRICS = ("transition_error", "query_error", "trip_error")
+DEFAULT_WINDOWS = (10, 20, 30, 40, 50)
+
+
+def run_fig4(
+    setting: ExperimentSetting = ExperimentSetting(),
+    windows: Sequence[int] = DEFAULT_WINDOWS,
+    datasets: Optional[Sequence[str]] = ("tdrive", "oldenburg"),
+    methods: Sequence[str] = ALL_METHODS,
+    metrics: Sequence[str] = FIG4_METRICS,
+) -> dict:
+    """``results[dataset][metric][method][w] -> score``."""
+    data = standard_datasets(setting, datasets)
+    results: dict = {
+        name: {metric: {m: {} for m in methods} for metric in metrics}
+        for name in data
+    }
+    for name, dataset in data.items():
+        for w in windows:
+            cell = replace(setting, w=w)
+            for method in methods:
+                res = run_method(dataset, method, cell, metrics=metrics)
+                for metric, score in res.scores.items():
+                    results[name][metric][method][w] = score
+    return results
+
+
+def format_fig4(results: dict) -> str:
+    blocks = []
+    for dataset, per_metric in results.items():
+        for metric, per_method in per_metric.items():
+            windows = sorted({w for cells in per_method.values() for w in cells})
+            blocks.append(
+                format_table(
+                    f"Figure 4 — {dataset} — {metric} vs w",
+                    per_method,
+                    windows,
+                    col_header="w",
+                    best_of=metric,
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_fig4(run_fig4()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Figure 5: impact of the evaluation time-range size φ.
+
+Sweeps φ over {5, 10, 20, 50, 100} on Query Error, Pattern F1 and Hotspot
+NDCG for T-Drive and Oldenburg.  Only the *evaluation* changes with φ, so
+each method is run once per dataset and re-scored per φ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    ALL_METHODS,
+    ExperimentSetting,
+    make_method,
+    standard_datasets,
+)
+from repro.metrics.registry import evaluate_all
+
+FIG5_METRICS = ("query_error", "pattern_f1", "hotspot_ndcg")
+DEFAULT_PHIS = (5, 10, 20, 50, 100)
+
+
+def run_fig5(
+    setting: ExperimentSetting = ExperimentSetting(),
+    phis: Sequence[int] = DEFAULT_PHIS,
+    datasets: Optional[Sequence[str]] = ("tdrive", "oldenburg"),
+    methods: Sequence[str] = ALL_METHODS,
+    metrics: Sequence[str] = FIG5_METRICS,
+) -> dict:
+    """``results[dataset][metric][method][phi] -> score``."""
+    data = standard_datasets(setting, datasets)
+    results: dict = {
+        name: {metric: {m: {} for m in methods} for metric in metrics}
+        for name in data
+    }
+    for name, dataset in data.items():
+        for method in methods:
+            algo = make_method(
+                method,
+                epsilon=setting.epsilon,
+                w=setting.w,
+                seed=setting.seed,
+                allocator=setting.allocator,
+            )
+            run = algo.run(dataset)
+            for phi in phis:
+                scores = evaluate_all(
+                    dataset, run.synthetic, phi=phi, metrics=metrics, rng=setting.seed
+                )
+                for metric, score in scores.items():
+                    results[name][metric][method][phi] = score
+    return results
+
+
+def format_fig5(results: dict) -> str:
+    blocks = []
+    for dataset, per_metric in results.items():
+        for metric, per_method in per_metric.items():
+            phis = sorted({p for cells in per_method.values() for p in cells})
+            blocks.append(
+                format_table(
+                    f"Figure 5 — {dataset} — {metric} vs phi",
+                    per_method,
+                    phis,
+                    col_header="phi",
+                    best_of=metric,
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_fig5(run_fig5()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

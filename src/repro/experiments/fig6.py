@@ -1,0 +1,69 @@
+"""Figure 6: impact of the discretisation granularity K.
+
+For K in {2, 6, 10, 14, 18}, regenerates each dataset on a K×K grid and
+reports both the Query Error (utility) and the average per-timestamp
+runtime of RetraSyn_b and RetraSyn_p — the paper's bar-plus-line figure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.runner import ExperimentSetting, make_method
+from repro.metrics.query import query_error
+
+DEFAULT_KS = (2, 6, 10, 14, 18)
+FIG6_METHODS = ("RetraSyn_b", "RetraSyn_p")
+
+
+def run_fig6(
+    setting: ExperimentSetting = ExperimentSetting(),
+    ks: Sequence[int] = DEFAULT_KS,
+    datasets: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = FIG6_METHODS,
+) -> dict:
+    """``results[method][dataset][K] -> {"query_error", "runtime_per_ts"}``."""
+    names = datasets or ("tdrive", "oldenburg", "sanjoaquin")
+    results: dict = {m: {n: {} for n in names} for m in methods}
+    for name in names:
+        for k in ks:
+            dataset = load_dataset(name, scale=setting.scale, k=k, seed=setting.seed)
+            for method in methods:
+                algo = make_method(
+                    method,
+                    epsilon=setting.epsilon,
+                    w=setting.w,
+                    seed=setting.seed,
+                    allocator=setting.allocator,
+                )
+                run = algo.run(dataset)
+                qe = query_error(
+                    dataset, run.synthetic, phi=setting.phi, rng=setting.seed
+                )
+                results[method][name][k] = {
+                    "query_error": qe,
+                    "runtime_per_ts": run.total_runtime / max(1, dataset.n_timestamps),
+                }
+    return results
+
+
+def format_fig6(results: dict) -> str:
+    lines = ["Figure 6 — granularity K: query error / runtime-per-ts (s)", "=" * 62]
+    for method, per_dataset in results.items():
+        lines.append(f"\n[{method}]")
+        for name, per_k in per_dataset.items():
+            ks = sorted(per_k)
+            qe = "  ".join(f"K={k}: {per_k[k]['query_error']:.4f}" for k in ks)
+            rt = "  ".join(f"K={k}: {per_k[k]['runtime_per_ts']:.4f}" for k in ks)
+            lines.append(f"  {name:12s} query error  {qe}")
+            lines.append(f"  {name:12s} runtime      {rt}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_fig6(run_fig6()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,77 @@
+"""Figure 7: scalability — runtime versus dataset size.
+
+Subsamples each dataset to {20%, 40%, 60%, 80%, 100%} of its streams and
+reports the average per-timestamp runtime of RetraSyn_b and RetraSyn_p.
+The paper's observation to reproduce: runtime grows linearly with size and
+population division is slightly cheaper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentSetting, make_method, standard_datasets
+from repro.rng import ensure_rng
+
+DEFAULT_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+FIG7_METHODS = ("RetraSyn_b", "RetraSyn_p")
+
+
+def run_fig7(
+    setting: ExperimentSetting = ExperimentSetting(),
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    datasets: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = FIG7_METHODS,
+) -> dict:
+    """``results[method][dataset][fraction] -> seconds per timestamp``."""
+    data = standard_datasets(setting, datasets)
+    rng = ensure_rng(setting.seed)
+    results: dict = {m: {n: {} for n in data} for m in methods}
+    for name, dataset in data.items():
+        for frac in fractions:
+            sub = dataset if frac >= 1.0 else dataset.subsample(frac, rng)
+            for method in methods:
+                algo = make_method(
+                    method,
+                    epsilon=setting.epsilon,
+                    w=setting.w,
+                    seed=setting.seed,
+                    allocator=setting.allocator,
+                )
+                run = algo.run(sub)
+                results[method][name][frac] = run.total_runtime / max(
+                    1, sub.n_timestamps
+                )
+    return results
+
+
+def linearity_score(per_fraction: dict[float, float]) -> float:
+    """Pearson correlation of runtime with size (≈1 ⇒ linear growth)."""
+    fracs = sorted(per_fraction)
+    times = [per_fraction[f] for f in fracs]
+    if len(fracs) < 3 or np.std(times) == 0:
+        return 1.0
+    return float(np.corrcoef(fracs, times)[0, 1])
+
+
+def format_fig7(results: dict) -> str:
+    lines = ["Figure 7 — scalability: seconds per timestamp", "=" * 48]
+    for method, per_dataset in results.items():
+        lines.append(f"\n[{method}]")
+        for name, per_frac in per_dataset.items():
+            fracs = sorted(per_frac)
+            row = "  ".join(f"{f:.0%}: {per_frac[f]:.4f}" for f in fracs)
+            lines.append(
+                f"  {name:12s} {row}  (linearity r={linearity_score(per_frac):.3f})"
+            )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_fig7(run_fig7()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

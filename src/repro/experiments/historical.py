@@ -1,0 +1,82 @@
+"""Extension experiment: streaming (RetraSyn) vs one-shot historical
+(LDPTrace-style) release.
+
+Not a paper table — it quantifies the claim of the paper's introduction:
+historical frameworks cannot stream, and a streaming framework should stay
+competitive on *historical* (trajectory-level) metrics while additionally
+supporting real-time release.  We score both methods on the historical
+metrics plus overall spatial fidelity.
+
+Caveats that make this a fair framing rather than a horse race: the
+LDPTrace-style release is user-level LDP over a single report, RetraSyn is
+w-event LDP over the stream; LDPTrace sees trajectory lengths up front,
+RetraSyn never does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.ldptrace import LDPTraceConfig, LDPTraceSynthesizer
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentSetting, make_method, standard_datasets
+from repro.metrics.kendall import kendall_tau
+from repro.metrics.length import length_error
+from repro.metrics.trip import trip_error
+
+HISTORICAL_METRICS = ("kendall_tau", "trip_error", "length_error")
+
+
+def _score(real, syn) -> dict[str, float]:
+    return {
+        "kendall_tau": kendall_tau(real, syn),
+        "trip_error": trip_error(real, syn),
+        "length_error": length_error(real, syn),
+    }
+
+
+def run_historical(
+    setting: ExperimentSetting = ExperimentSetting(),
+    datasets: Optional[Sequence[str]] = ("tdrive",),
+) -> dict:
+    """``results[dataset][method][metric] -> score``."""
+    data = standard_datasets(setting, datasets)
+    results: dict = {}
+    for name, dataset in data.items():
+        results[name] = {}
+        run = make_method(
+            "RetraSyn_p",
+            epsilon=setting.epsilon,
+            w=setting.w,
+            seed=setting.seed,
+            allocator=setting.allocator,
+        ).run(dataset)
+        results[name]["RetraSyn_p (streaming)"] = _score(dataset, run.synthetic)
+
+        release = LDPTraceSynthesizer(
+            LDPTraceConfig(epsilon=setting.epsilon, seed=setting.seed)
+        ).run(dataset)
+        results[name]["LDPTrace (one-shot)"] = _score(dataset, release.synthetic)
+    return results
+
+
+def format_historical(results: dict) -> str:
+    blocks = []
+    for dataset, per_method in results.items():
+        blocks.append(
+            format_table(
+                f"Streaming vs historical release — {dataset}",
+                per_method,
+                HISTORICAL_METRICS,
+                col_header="method",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_historical(run_historical()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

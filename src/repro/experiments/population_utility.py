@@ -1,0 +1,92 @@
+"""Extension experiment: utility versus population size.
+
+Figure 7 varies the dataset size but only reports *runtime*.  Equation 3
+(``Var ∝ 1/n``) implies a utility story too: with more reporting users the
+per-round estimates sharpen and every error metric should improve.  This
+experiment subsamples each dataset and traces utility across population
+sizes — the empirical counterpart of the planning module's noise
+prediction (``repro.planning``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    ExperimentSetting,
+    make_method,
+    standard_datasets,
+)
+from repro.metrics.registry import evaluate_all
+from repro.rng import ensure_rng
+
+DEFAULT_FRACTIONS = (0.25, 0.5, 1.0)
+DEFAULT_METRICS = ("density_error", "transition_error")
+
+
+def run_population_utility(
+    setting: ExperimentSetting = ExperimentSetting(),
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    datasets: Optional[Sequence[str]] = ("tdrive",),
+    method: str = "RetraSyn_p",
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    n_repeats: int = 3,
+) -> dict:
+    """``results[dataset][metric][fraction] -> mean score over repeats``.
+
+    Each fraction is evaluated ``n_repeats`` times with different
+    subsampling/pipeline seeds and averaged, since small populations are
+    noisy by construction.
+    """
+    data = standard_datasets(setting, datasets)
+    results: dict = {
+        name: {metric: {} for metric in metrics} for name in data
+    }
+    for name, dataset in data.items():
+        for frac in fractions:
+            totals = {metric: 0.0 for metric in metrics}
+            for rep in range(n_repeats):
+                rng = ensure_rng(setting.seed + 1000 * rep)
+                sub = dataset if frac >= 1.0 else dataset.subsample(frac, rng)
+                run = make_method(
+                    method,
+                    epsilon=setting.epsilon,
+                    w=setting.w,
+                    seed=setting.seed + rep,
+                    allocator=setting.allocator,
+                ).run(sub)
+                scores = evaluate_all(
+                    sub, run.synthetic, phi=setting.phi,
+                    metrics=metrics, rng=setting.seed + rep,
+                )
+                for metric, v in scores.items():
+                    totals[metric] += v
+            for metric in metrics:
+                results[name][metric][frac] = totals[metric] / n_repeats
+    return results
+
+
+def format_population_utility(results: dict) -> str:
+    blocks = []
+    for dataset, per_metric in results.items():
+        fractions = sorted(
+            {f for cells in per_metric.values() for f in cells}
+        )
+        blocks.append(
+            format_table(
+                f"Utility vs population size — {dataset}",
+                per_metric,
+                fractions,
+                col_header="metric \\ frac",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_population_utility(run_population_utility()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

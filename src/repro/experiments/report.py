@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results.
+
+Tables are printed in the paper's orientation: one block per metric, methods
+as rows, sweep values (ε, w, φ, ...) as columns — directly comparable with
+Table III / IV and the figure series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.metrics.registry import HIGHER_IS_BETTER
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, Mapping],
+    columns: Sequence,
+    col_header: str = "",
+    best_of: str | None = None,
+) -> str:
+    """Render ``rows[method][column] -> value`` as an aligned text table.
+
+    ``best_of`` names the metric so the best value per column is starred
+    (direction chosen via :data:`HIGHER_IS_BETTER`).
+    """
+    col_w = max([12] + [len(str(c)) + 2 for c in columns])
+    name_w = max([len(str(r)) for r in rows] + [len(col_header), 12])
+    lines = [title, "=" * len(title)]
+    header = " " * name_w + "".join(f"{str(c):>{col_w}}" for c in columns)
+    if col_header:
+        header = f"{col_header:<{name_w}}" + header[name_w:]
+    lines.append(header)
+
+    best_per_col: dict = {}
+    if best_of is not None:
+        larger = best_of in HIGHER_IS_BETTER
+        for c in columns:
+            vals = [
+                rows[m][c]
+                for m in rows
+                if c in rows[m] and rows[m][c] is not None
+            ]
+            if vals:
+                best_per_col[c] = max(vals) if larger else min(vals)
+
+    for method, cells in rows.items():
+        row = f"{str(method):<{name_w}}"
+        for c in columns:
+            v = cells.get(c)
+            if v is None:
+                row += f"{'-':>{col_w}}"
+                continue
+            star = "*" if best_per_col.get(c) == v else " "
+            row += f"{v:>{col_w - 1}.4f}{star}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence,
+    x_label: str = "x",
+) -> str:
+    """Render figure-style line series: one row per method."""
+    return format_table(
+        title,
+        {m: dict(zip(x_values, ys)) for m, ys in series.items()},
+        x_values,
+        col_header=x_label,
+    )

@@ -1,0 +1,125 @@
+"""Generic experiment machinery: method factories and evaluation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.baselines.ldp_ids import make_baseline
+from repro.core.retrasyn import RetraSyn, RetraSynConfig, SynthesisRun
+from repro.core.variants import make_all_update, make_no_eq, make_retrasyn
+from repro.datasets.registry import load_dataset
+from repro.exceptions import ConfigurationError
+from repro.metrics.registry import evaluate_all
+from repro.rng import RngLike
+from repro.stream.stream import StreamDataset
+
+#: Method names in the paper's notation; the canonical comparison set.
+BASELINE_METHODS = ("LBD", "LBA", "LPD", "LPA")
+RETRASYN_METHODS = ("RetraSyn_b", "RetraSyn_p")
+ABLATION_METHODS = ("AllUpdate_b", "AllUpdate_p", "NoEQ_b", "NoEQ_p")
+ALL_METHODS = BASELINE_METHODS + RETRASYN_METHODS
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """Shared knobs of one experimental cell (defaults = Table II bold)."""
+
+    epsilon: float = 1.0
+    w: int = 20
+    phi: int = 10
+    k: int = 6
+    scale: float = 0.05
+    seed: int = 0
+    allocator: str = "adaptive"
+
+
+@dataclass
+class MethodResult:
+    """One method's synthetic output plus its metric scores."""
+
+    method: str
+    setting: ExperimentSetting
+    scores: dict[str, float] = field(default_factory=dict)
+    run: Optional[SynthesisRun] = None
+
+    @property
+    def privacy_ok(self) -> bool:
+        if self.run is None or self.run.accountant is None:
+            return True
+        return self.run.accountant.verify()
+
+
+def make_method(
+    name: str,
+    epsilon: float,
+    w: int,
+    seed: RngLike = None,
+    allocator: str = "adaptive",
+    **overrides,
+):
+    """Instantiate a method by its paper name.
+
+    Accepted names: LBD, LBA, LPD, LPA, RetraSyn_b, RetraSyn_p,
+    AllUpdate_b, AllUpdate_p, NoEQ_b, NoEQ_p (case-insensitive).
+    """
+    key = name.lower()
+    if key in ("lbd", "lba", "lpd", "lpa"):
+        return make_baseline(key, epsilon=epsilon, w=w, seed=seed, **overrides)
+    division = {"b": "budget", "p": "population"}.get(key[-1])
+    if division is None:
+        raise ConfigurationError(f"unknown method {name!r}")
+    base = key[: -2]  # strip "_b" / "_p"
+    if base == "retrasyn":
+        return make_retrasyn(
+            division, epsilon=epsilon, w=w, allocator=allocator, seed=seed, **overrides
+        )
+    if base == "allupdate":
+        return make_all_update(division, epsilon=epsilon, w=w, seed=seed, **overrides)
+    if base == "noeq":
+        return make_no_eq(division, epsilon=epsilon, w=w, seed=seed, **overrides)
+    raise ConfigurationError(f"unknown method {name!r}")
+
+
+def run_method(
+    dataset: StreamDataset,
+    method: str,
+    setting: ExperimentSetting,
+    metrics: Optional[Sequence[str]] = None,
+    keep_run: bool = False,
+    **overrides,
+) -> MethodResult:
+    """Run one method on one dataset and score it."""
+    algo = make_method(
+        method,
+        epsilon=setting.epsilon,
+        w=setting.w,
+        seed=setting.seed,
+        allocator=setting.allocator,
+        **overrides,
+    )
+    run = algo.run(dataset)
+    scores = evaluate_all(
+        dataset,
+        run.synthetic,
+        phi=setting.phi,
+        metrics=metrics,
+        rng=setting.seed,
+    )
+    return MethodResult(
+        method=method,
+        setting=setting,
+        scores=scores,
+        run=run if keep_run else None,
+    )
+
+
+def standard_datasets(
+    setting: ExperimentSetting, names: Optional[Sequence[str]] = None
+) -> dict[str, StreamDataset]:
+    """The paper's three datasets at the setting's scale and granularity."""
+    names = names or ("tdrive", "oldenburg", "sanjoaquin")
+    return {
+        name: load_dataset(name, scale=setting.scale, k=setting.k, seed=setting.seed)
+        for name in names
+    }

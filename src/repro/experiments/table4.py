@@ -1,0 +1,60 @@
+"""Table IV: ablation of the DMU mechanism and entering/quitting events.
+
+Compares AllUpdate_b/p (no significant-transition selection) and NoEQ_b/p
+(no enter/quit modelling) with full RetraSyn at ε = 1.0 on all metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    ABLATION_METHODS,
+    RETRASYN_METHODS,
+    ExperimentSetting,
+    run_method,
+    standard_datasets,
+)
+from repro.metrics.registry import ALL_METRICS
+
+TABLE4_METHODS = ABLATION_METHODS + RETRASYN_METHODS
+
+
+def run_table4(
+    setting: ExperimentSetting = ExperimentSetting(epsilon=1.0),
+    datasets: Optional[Sequence[str]] = None,
+    metrics: Sequence[str] = ALL_METRICS,
+) -> dict:
+    """``results[dataset][method][metric] -> score``."""
+    data = standard_datasets(setting, datasets)
+    results: dict = {}
+    for name, dataset in data.items():
+        results[name] = {}
+        for method in TABLE4_METHODS:
+            res = run_method(dataset, method, setting, metrics=metrics)
+            results[name][method] = res.scores
+    return results
+
+
+def format_table4(results: dict) -> str:
+    blocks = []
+    for dataset, per_method in results.items():
+        metrics = list(next(iter(per_method.values())).keys())
+        blocks.append(
+            format_table(
+                f"Table IV — {dataset} (epsilon=1.0)",
+                per_method,
+                metrics,
+                col_header="model",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table4(run_table4()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

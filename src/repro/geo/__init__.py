@@ -1,0 +1,23 @@
+"""Geospatial substrate: points, bounding boxes, grids, and trajectories.
+
+The paper discretises the continuous two-dimensional location domain into a
+uniform ``K x K`` grid (Section III-B, "Geospatial Discretization").  This
+package provides that discretisation plus the trajectory containers every
+other layer builds on.
+"""
+
+from repro.geo.point import BoundingBox, Point
+from repro.geo.grid import Grid
+from repro.geo.trajectory import CellTrajectory, Trajectory
+from repro.geo.distance import euclidean, haversine_km, path_length
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "Grid",
+    "Trajectory",
+    "CellTrajectory",
+    "euclidean",
+    "haversine_km",
+    "path_length",
+]

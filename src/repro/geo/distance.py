@@ -1,0 +1,43 @@
+"""Distance helpers used by dataset generators and the length-error metric."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.geo.grid import Grid
+from repro.geo.point import Point
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Straight-line distance in the native coordinate units."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def haversine_km(a: Point, b: Point) -> float:
+    """Great-circle distance in kilometres for (lon, lat) degree points."""
+    lon1, lat1, lon2, lat2 = map(math.radians, (a.x, a.y, b.x, b.y))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def path_length(points: Sequence[Point]) -> float:
+    """Total Euclidean length of a polyline."""
+    return sum(euclidean(points[i], points[i + 1]) for i in range(len(points) - 1))
+
+
+def cell_path_length(grid: Grid, cells: Sequence[int]) -> float:
+    """Travel distance of a cell trajectory via consecutive cell centers.
+
+    This is the distance notion behind the paper's *Length Error* metric: the
+    distribution of per-trajectory travel distances is compared between the
+    real and synthetic databases.
+    """
+    if len(cells) < 2:
+        return 0.0
+    centers = [grid.cell_center(c) for c in cells]
+    return path_length(centers)

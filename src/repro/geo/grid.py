@@ -1,0 +1,223 @@
+"""Uniform ``K x K`` grid discretisation of a bounding box.
+
+Cells are identified by a dense integer id ``cell = row * K + col`` with
+``row`` indexing the y-axis and ``col`` the x-axis.  Neighbourhoods follow the
+paper's reachability constraint (Section III-B): between two consecutive
+timestamps a user can only move to one of the up-to-eight adjacent cells or
+stay, so each cell has at most nine reachable successors including itself.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DomainError
+from repro.geo.point import BoundingBox, Point
+
+
+class Grid:
+    """Uniform ``K x K`` partition of a :class:`BoundingBox`.
+
+    Parameters
+    ----------
+    bbox:
+        Spatial extent being discretised.
+    k:
+        Number of rows and columns (the paper's discretisation granularity
+        ``K``; default 6 per Table II).
+    """
+
+    def __init__(self, bbox: BoundingBox, k: int = 6) -> None:
+        if k < 1:
+            raise ConfigurationError(f"grid granularity K must be >= 1, got {k}")
+        self.bbox = bbox
+        self.k = int(k)
+        self._cell_w = bbox.width / self.k
+        self._cell_h = bbox.height / self.k
+
+    # ------------------------------------------------------------------ #
+    # basic geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells ``|C| = K * K``."""
+        return self.k * self.k
+
+    @property
+    def cell_width(self) -> float:
+        return self._cell_w
+
+    @property
+    def cell_height(self) -> float:
+        return self._cell_h
+
+    def rowcol_to_cell(self, row: int, col: int) -> int:
+        if not (0 <= row < self.k and 0 <= col < self.k):
+            raise DomainError(f"(row={row}, col={col}) outside {self.k}x{self.k} grid")
+        return row * self.k + col
+
+    def cell_to_rowcol(self, cell: int) -> tuple[int, int]:
+        if not (0 <= cell < self.n_cells):
+            raise DomainError(f"cell id {cell} outside [0, {self.n_cells})")
+        return divmod(cell, self.k)
+
+    def locate(self, point: Point) -> int:
+        """Map a continuous point to its cell id, clamping to the extent.
+
+        Points outside the bounding box are clamped to the nearest border
+        cell, mirroring how the paper restricts T-Drive to the 5th ring and
+        keeps every report representable.
+        """
+        p = self.bbox.clamp(point)
+        col = min(int((p.x - self.bbox.min_x) / self._cell_w), self.k - 1)
+        row = min(int((p.y - self.bbox.min_y) / self._cell_h), self.k - 1)
+        return self.rowcol_to_cell(row, col)
+
+    def locate_xy(self, x: float, y: float) -> int:
+        """Vector-friendly variant of :meth:`locate` for raw coordinates."""
+        return self.locate(Point(x, y))
+
+    def locate_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised point-to-cell mapping for coordinate arrays."""
+        xs = np.clip(np.asarray(xs, dtype=float), self.bbox.min_x, self.bbox.max_x)
+        ys = np.clip(np.asarray(ys, dtype=float), self.bbox.min_y, self.bbox.max_y)
+        cols = np.minimum(
+            ((xs - self.bbox.min_x) / self._cell_w).astype(np.int64), self.k - 1
+        )
+        rows = np.minimum(
+            ((ys - self.bbox.min_y) / self._cell_h).astype(np.int64), self.k - 1
+        )
+        return rows * self.k + cols
+
+    def cell_center(self, cell: int) -> Point:
+        row, col = self.cell_to_rowcol(cell)
+        return Point(
+            self.bbox.min_x + (col + 0.5) * self._cell_w,
+            self.bbox.min_y + (row + 0.5) * self._cell_h,
+        )
+
+    def cell_bbox(self, cell: int) -> BoundingBox:
+        row, col = self.cell_to_rowcol(cell)
+        return BoundingBox(
+            self.bbox.min_x + col * self._cell_w,
+            self.bbox.min_y + row * self._cell_h,
+            self.bbox.min_x + (col + 1) * self._cell_w,
+            self.bbox.min_y + (row + 1) * self._cell_h,
+        )
+
+    # ------------------------------------------------------------------ #
+    # neighbourhoods (reachability constraints)
+    # ------------------------------------------------------------------ #
+    def neighbors(self, cell: int, include_self: bool = True) -> list[int]:
+        """Cells reachable from ``cell`` in one step (8-neighbourhood).
+
+        ``include_self=True`` matches the paper's ``N_ci`` which contains the
+        cell itself (staying put is a legal transition).
+        """
+        row, col = self.cell_to_rowcol(cell)
+        out: list[int] = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0 and not include_self:
+                    continue
+                r, c = row + dr, col + dc
+                if 0 <= r < self.k and 0 <= c < self.k:
+                    out.append(r * self.k + c)
+        return out
+
+    @cached_property
+    def neighbor_lists(self) -> list[list[int]]:
+        """``neighbor_lists[c]`` = sorted reachable successors of cell ``c``."""
+        return [sorted(self.neighbors(c)) for c in range(self.n_cells)]
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """Whether the move ``a -> b`` satisfies the reachability constraint."""
+        ra, ca = self.cell_to_rowcol(a)
+        rb, cb = self.cell_to_rowcol(b)
+        return abs(ra - rb) <= 1 and abs(ca - cb) <= 1
+
+    def snap_to_adjacent(self, prev: int, cur: int) -> int:
+        """Project ``cur`` onto the neighbourhood of ``prev``.
+
+        Raw data may occasionally jump further than one cell inside a single
+        collection interval (GPS noise, sparse sampling).  Following the
+        reachability constraint, such a jump is replaced by the adjacent cell
+        of ``prev`` closest to ``cur`` so the transition stays in-domain.
+        """
+        if self.are_adjacent(prev, cur):
+            return cur
+        rp, cp = self.cell_to_rowcol(prev)
+        rc, cc = self.cell_to_rowcol(cur)
+        row = rp + max(-1, min(1, rc - rp))
+        col = cp + max(-1, min(1, cc - cp))
+        return self.rowcol_to_cell(row, col)
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def discretize(self, points: Iterable[Point]) -> list[int]:
+        """Map a sequence of continuous points to cell ids."""
+        return [self.locate(p) for p in points]
+
+    def cells_in_region(self, region: BoundingBox) -> list[int]:
+        """All cells whose center lies inside ``region`` (for range queries)."""
+        return [
+            c for c in range(self.n_cells) if region.contains(self.cell_center(c))
+        ]
+
+    def random_region(
+        self, rng: np.random.Generator, frac: float = 0.25
+    ) -> BoundingBox:
+        """Sample a random query rectangle covering ``frac`` of each axis."""
+        if not 0.0 < frac <= 1.0:
+            raise ConfigurationError(f"region fraction must be in (0, 1], got {frac}")
+        w = self.bbox.width * frac
+        h = self.bbox.height * frac
+        x0 = self.bbox.min_x + rng.uniform(0.0, self.bbox.width - w) if frac < 1 else self.bbox.min_x
+        y0 = self.bbox.min_y + rng.uniform(0.0, self.bbox.height - h) if frac < 1 else self.bbox.min_y
+        return BoundingBox(x0, y0, x0 + w, y0 + h)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Grid(k={self.k}, bbox={self.bbox})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Grid)
+            and self.k == other.k
+            and self.bbox == other.bbox
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.bbox))
+
+
+def unit_grid(k: int = 6) -> Grid:
+    """Convenience constructor: a ``K x K`` grid over the unit square."""
+    return Grid(BoundingBox(0.0, 0.0, 1.0, 1.0), k)
+
+
+def manhattan_cell_distance(grid: Grid, a: int, b: int) -> int:
+    """Chebyshev-free Manhattan distance between two cells in grid steps."""
+    ra, ca = grid.cell_to_rowcol(a)
+    rb, cb = grid.cell_to_rowcol(b)
+    return abs(ra - rb) + abs(ca - cb)
+
+
+def chebyshev_cell_distance(grid: Grid, a: int, b: int) -> int:
+    """Chebyshev distance: minimum one-step moves between two cells."""
+    ra, ca = grid.cell_to_rowcol(a)
+    rb, cb = grid.cell_to_rowcol(b)
+    return max(abs(ra - rb), abs(ca - cb))
+
+
+def cells_to_centers(grid: Grid, cells: Sequence[int]) -> np.ndarray:
+    """Return an ``(n, 2)`` array of cell-center coordinates."""
+    out = np.empty((len(cells), 2), dtype=float)
+    for i, c in enumerate(cells):
+        p = grid.cell_center(c)
+        out[i, 0] = p.x
+        out[i, 1] = p.y
+    return out

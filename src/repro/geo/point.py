@@ -1,0 +1,76 @@
+"""Continuous 2-D points and axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A location in the continuous two-dimensional domain.
+
+    The paper writes locations as ``l_t = (x_t, y_t)``; coordinates may be
+    projected metres or (longitude, latitude) degrees — the grid treats them
+    uniformly.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ConfigurationError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the box (inclusive of all edges)."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the nearest location inside the box."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+
+#: Extent of the area inside Beijing's 5th ring road (approximate degrees),
+#: the region the paper selects from the T-Drive dataset (Section V-A).
+BEIJING_5TH_RING = BoundingBox(116.20, 39.75, 116.55, 40.03)

@@ -1,0 +1,158 @@
+"""Trajectory containers.
+
+Two representations are used throughout the library:
+
+* :class:`Trajectory` — a continuous-domain trace: an entering timestamp plus
+  a list of :class:`~repro.geo.point.Point` observed at consecutive
+  timestamps (the paper's ``T_i^o = {l_t | t = a_i, a_i+1, ...}``).
+* :class:`CellTrajectory` — the discretised counterpart: an entering
+  timestamp plus a list of grid-cell ids.
+
+Both are immutable-by-convention sequences; mutation happens only through the
+documented ``append``/``terminate`` methods used by the synthesizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.exceptions import DatasetError
+from repro.geo.grid import Grid
+from repro.geo.point import Point
+
+
+@dataclass
+class Trajectory:
+    """A continuous-domain trajectory reported by one user.
+
+    Attributes
+    ----------
+    start_time:
+        Entering timestamp ``a_i``: the index of the first report.
+    points:
+        One point per consecutive timestamp starting at ``start_time``.
+    user_id:
+        Optional stable identifier of the reporting user.
+    """
+
+    start_time: int
+    points: list[Point] = field(default_factory=list)
+    user_id: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    @property
+    def end_time(self) -> int:
+        """Timestamp of the final report (inclusive). Empty => start-1."""
+        return self.start_time + len(self.points) - 1
+
+    def active_at(self, t: int) -> bool:
+        """Whether the trajectory has a report at timestamp ``t``."""
+        return self.start_time <= t <= self.end_time
+
+    def point_at(self, t: int) -> Point:
+        if not self.active_at(t):
+            raise DatasetError(
+                f"trajectory spans [{self.start_time}, {self.end_time}], "
+                f"no point at t={t}"
+            )
+        return self.points[t - self.start_time]
+
+    def discretize(self, grid: Grid, snap: bool = True) -> "CellTrajectory":
+        """Convert to a :class:`CellTrajectory` on ``grid``.
+
+        With ``snap=True`` non-adjacent consecutive cells are projected onto
+        the previous cell's neighbourhood so every transition satisfies the
+        reachability constraint (paper Section III-B).
+        """
+        cells: list[int] = []
+        for p in self.points:
+            c = grid.locate(p)
+            if snap and cells:
+                c = grid.snap_to_adjacent(cells[-1], c)
+            cells.append(c)
+        return CellTrajectory(self.start_time, cells, user_id=self.user_id)
+
+
+@dataclass
+class CellTrajectory:
+    """A grid-cell trajectory; the unit of synthesis and evaluation.
+
+    The synthesizer also uses this class for *live* synthetic streams, where
+    ``terminated`` flips to ``True`` once a quit event is sampled.
+    """
+
+    start_time: int
+    cells: list[int] = field(default_factory=list)
+    user_id: Optional[int] = None
+    terminated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.cells)
+
+    @property
+    def end_time(self) -> int:
+        return self.start_time + len(self.cells) - 1
+
+    def active_at(self, t: int) -> bool:
+        return self.start_time <= t <= self.end_time
+
+    def cell_at(self, t: int) -> int:
+        if not self.active_at(t):
+            raise DatasetError(
+                f"trajectory spans [{self.start_time}, {self.end_time}], "
+                f"no cell at t={t}"
+            )
+        return self.cells[t - self.start_time]
+
+    @property
+    def last_cell(self) -> int:
+        if not self.cells:
+            raise DatasetError("empty trajectory has no last cell")
+        return self.cells[-1]
+
+    def append(self, cell: int) -> None:
+        """Extend the live trajectory by one timestamp."""
+        if self.terminated:
+            raise DatasetError("cannot append to a terminated trajectory")
+        self.cells.append(cell)
+
+    def terminate(self) -> None:
+        """Mark the trajectory as quit; no further appends are allowed."""
+        self.terminated = True
+
+    def transitions(self) -> list[tuple[int, int]]:
+        """All consecutive ``(from_cell, to_cell)`` movement pairs."""
+        return list(zip(self.cells[:-1], self.cells[1:]))
+
+    def subsequence(self, t_from: int, t_to: int) -> list[int]:
+        """Cells observed in the closed timestamp interval ``[t_from, t_to]``.
+
+        Timestamps outside the trajectory's span contribute nothing, so the
+        result may be shorter than the interval (possibly empty).
+        """
+        lo = max(t_from, self.start_time)
+        hi = min(t_to, self.end_time)
+        if hi < lo:
+            return []
+        return self.cells[lo - self.start_time : hi - self.start_time + 1]
+
+
+def total_points(trajectories: Sequence[CellTrajectory]) -> int:
+    """Sum of reported points over a trajectory collection."""
+    return sum(len(t) for t in trajectories)
+
+
+def average_length(trajectories: Sequence[CellTrajectory]) -> float:
+    """Mean trajectory length; 0.0 for an empty collection."""
+    if not trajectories:
+        return 0.0
+    return total_points(trajectories) / len(trajectories)

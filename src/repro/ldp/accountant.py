@@ -1,0 +1,175 @@
+"""Privacy accounting for w-event LDP.
+
+The paper's Theorem 3 states that RetraSyn satisfies w-event ε-LDP for every
+user.  This module makes the guarantee *checkable*: pipelines register every
+user's per-timestamp budget spend with a :class:`PrivacyAccountant`, which
+raises :class:`~repro.exceptions.PrivacyBudgetError` the moment any sliding
+window of ``w`` consecutive timestamps would exceed ``epsilon`` for any user
+(Definition 3), and exposes audit summaries for tests and reports.
+
+The accountant works for both division styles:
+
+* budget division — every active user reports each timestamp with a small
+  ``ε_t``; the accountant checks ``Σ ε_t over any window ≤ ε``;
+* population division — a sampled subset reports with the full ``ε`` and is
+  marked *inactive* until recycled at ``t + w``; each user therefore spends
+  at most ``ε`` per window, which the accountant verifies directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.exceptions import ConfigurationError, PrivacyBudgetError
+
+#: Tolerance for floating-point budget accumulation.
+_EPS_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class SpendRecord:
+    """One user's budget spend at one timestamp."""
+
+    timestamp: int
+    epsilon: float
+
+
+class PrivacyAccountant:
+    """Tracks per-user spends and enforces the w-event ε-LDP bound.
+
+    Parameters
+    ----------
+    epsilon:
+        Total budget ε available inside any window of ``w`` timestamps.
+    w:
+        Sliding-window length (``w >= 1``).
+    strict:
+        When ``True`` (default) a violating spend raises
+        :class:`PrivacyBudgetError` *before* being recorded; when ``False``
+        violations are recorded and merely reported by :meth:`verify`.
+    """
+
+    def __init__(self, epsilon: float, w: int, strict: bool = True) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        if w < 1:
+            raise ConfigurationError(f"window size w must be >= 1, got {w}")
+        self.epsilon = float(epsilon)
+        self.w = int(w)
+        self.strict = bool(strict)
+        self._spends: Dict[int, list[SpendRecord]] = defaultdict(list)
+        self._violations: list[tuple[int, int, float]] = []
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def spend(self, user_id: int, timestamp: int, epsilon: float) -> None:
+        """Record that ``user_id`` consumed ``epsilon`` at ``timestamp``."""
+        if epsilon < 0:
+            raise ConfigurationError(f"cannot spend negative budget: {epsilon}")
+        if epsilon == 0:
+            return
+        window_total = self.window_spend(user_id, timestamp) + epsilon
+        if window_total > self.epsilon + _EPS_TOL:
+            self._violations.append((user_id, timestamp, window_total))
+            if self.strict:
+                raise PrivacyBudgetError(
+                    f"user {user_id} would spend {window_total:.6f} > "
+                    f"epsilon={self.epsilon} in window ending at t={timestamp}"
+                )
+        self._spends[user_id].append(SpendRecord(timestamp, float(epsilon)))
+
+    def spend_many(self, user_ids: Iterable[int], timestamp: int, epsilon: float) -> None:
+        """Record an identical spend for a batch of users."""
+        for uid in user_ids:
+            self.spend(uid, timestamp, epsilon)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def window_spend(self, user_id: int, timestamp: int) -> float:
+        """Budget spent by ``user_id`` within ``[timestamp-w+1, timestamp]``."""
+        lo = timestamp - self.w + 1
+        return sum(
+            r.epsilon
+            for r in self._spends.get(user_id, ())
+            if lo <= r.timestamp <= timestamp
+        )
+
+    def total_spend(self, user_id: int) -> float:
+        """Lifetime budget spent by one user (for audit output only)."""
+        return sum(r.epsilon for r in self._spends.get(user_id, ()))
+
+    def max_window_spend(self) -> float:
+        """The largest any-user any-window spend observed so far."""
+        best = 0.0
+        for uid, records in self._spends.items():
+            timestamps = sorted({r.timestamp for r in records})
+            for t in timestamps:
+                best = max(best, self.window_spend(uid, t + self.w - 1))
+        return best
+
+    def verify(self) -> bool:
+        """Whether every user satisfied the w-event bound at all times."""
+        return not self._violations and self.max_window_spend() <= self.epsilon + _EPS_TOL
+
+    @property
+    def violations(self) -> list[tuple[int, int, float]]:
+        """Recorded ``(user_id, timestamp, window_total)`` violations."""
+        return list(self._violations)
+
+    @property
+    def n_users(self) -> int:
+        return len(self._spends)
+
+    def summary(self) -> dict:
+        """Audit summary suitable for experiment reports."""
+        return {
+            "epsilon": self.epsilon,
+            "w": self.w,
+            "n_users": self.n_users,
+            "max_window_spend": self.max_window_spend(),
+            "n_violations": len(self._violations),
+            "satisfied": self.verify(),
+        }
+
+
+class SlidingBudgetTracker:
+    """Curator-side view of budget already committed in the current window.
+
+    Used by budget-division allocators to compute the remaining budget
+    ``ε_rm = ε − Σ_{i=t-w+1}^{t-1} ε_i`` (Section III-E).  This is separate
+    from :class:`PrivacyAccountant` because the allocator needs only the
+    curator's own schedule, not per-user histories.
+    """
+
+    def __init__(self, epsilon: float, w: int) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        if w < 1:
+            raise ConfigurationError(f"window size w must be >= 1, got {w}")
+        self.epsilon = float(epsilon)
+        self.w = int(w)
+        self._window: deque[float] = deque([0.0] * self.w, maxlen=self.w)
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available for the next timestamp's report."""
+        return max(0.0, self.epsilon - sum(list(self._window)[1:]))
+
+    def commit(self, epsilon_t: float) -> None:
+        """Record the budget used at the current timestamp and advance."""
+        if epsilon_t < 0:
+            raise ConfigurationError(f"cannot commit negative budget: {epsilon_t}")
+        if epsilon_t > self.remaining + _EPS_TOL:
+            raise PrivacyBudgetError(
+                f"committing {epsilon_t:.6f} exceeds remaining window budget "
+                f"{self.remaining:.6f}"
+            )
+        self._window.append(float(epsilon_t))
+
+    def window_history(self) -> list[float]:
+        """Budgets of the last ``w`` timestamps, oldest first."""
+        return list(self._window)

@@ -1,0 +1,93 @@
+"""Abstract frequency-oracle interface.
+
+A frequency oracle (FO) is the basic LDP primitive (paper Section II-A): each
+user holds one value from a finite domain ``{0, ..., d-1}``; the curator wants
+an unbiased estimate of every value's frequency.  Concrete protocols differ in
+how each user's value is encoded and perturbed, but all expose the same
+``collect`` contract so the rest of the library is protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DomainError
+from repro.rng import RngLike, ensure_rng
+
+
+class FrequencyOracle(abc.ABC):
+    """Base class for ε-LDP frequency-estimation protocols.
+
+    Parameters
+    ----------
+    domain_size:
+        Cardinality ``d`` of the value domain.
+    epsilon:
+        Per-report privacy budget (must be positive).
+    rng:
+        Seed / generator used for all perturbation randomness.
+    """
+
+    def __init__(self, domain_size: int, epsilon: float, rng: RngLike = None) -> None:
+        if domain_size < 1:
+            raise ConfigurationError(f"domain_size must be >= 1, got {domain_size}")
+        if not (epsilon > 0.0) or not np.isfinite(epsilon):
+            raise ConfigurationError(f"epsilon must be a positive finite float, got {epsilon}")
+        self.domain_size = int(domain_size)
+        self.epsilon = float(epsilon)
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    # protocol surface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def collect(self, values: Sequence[int]) -> np.ndarray:
+        """Run the full user->curator round trip.
+
+        Each entry of ``values`` is one user's true value.  Returns the
+        curator's **unbiased estimated counts** per domain element, an array
+        of shape ``(domain_size,)`` (estimates may be negative or
+        non-integral; callers post-process as needed).
+        """
+
+    @abc.abstractmethod
+    def variance(self, n: int) -> float:
+        """Per-element estimation variance of the *frequency* (count / n)."""
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    def _check_values(self, values: Sequence[int]) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise DomainError(f"values must be one-dimensional, got shape {arr.shape}")
+        if arr.size and (arr.min() < 0 or arr.max() >= self.domain_size):
+            raise DomainError(
+                f"values must lie in [0, {self.domain_size}), got range "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return arr
+
+    def estimate_frequencies(self, values: Sequence[int]) -> np.ndarray:
+        """Convenience wrapper: estimated frequencies instead of counts."""
+        n = len(values)
+        if n == 0:
+            return np.zeros(self.domain_size)
+        return self.collect(values) / n
+
+
+def clip_and_normalize(estimates: np.ndarray) -> np.ndarray:
+    """Standard post-processing: clip negatives to 0 and renormalise.
+
+    Post-processing never costs privacy (paper Theorem 2).  When all mass is
+    clipped away the uniform distribution is returned, which is the usual
+    convention for empty noisy histograms.
+    """
+    clipped = np.clip(np.asarray(estimates, dtype=float), 0.0, None)
+    total = clipped.sum()
+    if total <= 0.0:
+        return np.full(clipped.shape, 1.0 / clipped.size)
+    return clipped / total

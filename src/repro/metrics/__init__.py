@@ -1,0 +1,59 @@
+"""Utility metrics (paper Section V-B).
+
+Streaming metrics — global level:
+
+* :func:`~repro.metrics.density.density_error` — per-timestamp JSD of the
+  spatial density distribution;
+* :func:`~repro.metrics.query.query_error` — mean relative error of random
+  spatio-temporal range queries over windows of size φ (with sanity bound);
+* :func:`~repro.metrics.hotspot.hotspot_ndcg` — NDCG@n_h of the most
+  popular cells within random time ranges.
+
+Streaming metrics — semantic level:
+
+* :func:`~repro.metrics.transition.transition_error` — per-timestamp JSD of
+  the single-step transition distribution;
+* :func:`~repro.metrics.pattern.pattern_f1` — F1 overlap of the top-N
+  frequent high-order movement patterns in random time ranges.
+
+Historical (trajectory-level) metrics:
+
+* :func:`~repro.metrics.kendall.kendall_tau` — rank correlation of overall
+  cell popularity;
+* :func:`~repro.metrics.trip.trip_error` — JSD of the joint (start, end)
+  cell distribution;
+* :func:`~repro.metrics.length.length_error` — JSD of the binned
+  travel-distance distribution.
+
+``metrics.registry`` evaluates any subset of these uniformly.
+"""
+
+from repro.metrics.divergence import jensen_shannon_divergence
+from repro.metrics.density import density_error
+from repro.metrics.query import query_error
+from repro.metrics.hotspot import hotspot_ndcg
+from repro.metrics.transition import transition_error
+from repro.metrics.pattern import pattern_f1
+from repro.metrics.kendall import kendall_tau
+from repro.metrics.trip import trip_error
+from repro.metrics.length import length_error
+from repro.metrics.registry import (
+    ALL_METRICS,
+    HIGHER_IS_BETTER,
+    evaluate_all,
+)
+
+__all__ = [
+    "jensen_shannon_divergence",
+    "density_error",
+    "query_error",
+    "hotspot_ndcg",
+    "transition_error",
+    "pattern_f1",
+    "kendall_tau",
+    "trip_error",
+    "length_error",
+    "ALL_METRICS",
+    "HIGHER_IS_BETTER",
+    "evaluate_all",
+]

@@ -1,0 +1,66 @@
+"""Uniform evaluation over all eight paper metrics."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.metrics.density import density_error
+from repro.metrics.hotspot import hotspot_ndcg
+from repro.metrics.kendall import kendall_tau
+from repro.metrics.length import length_error
+from repro.metrics.pattern import pattern_f1
+from repro.metrics.query import query_error
+from repro.metrics.transition import transition_error
+from repro.metrics.trip import trip_error
+from repro.rng import RngLike, ensure_rng
+from repro.stream.stream import StreamDataset
+
+#: Metric names in the order of the paper's Table III rows.
+ALL_METRICS: tuple[str, ...] = (
+    "density_error",
+    "query_error",
+    "hotspot_ndcg",
+    "transition_error",
+    "pattern_f1",
+    "kendall_tau",
+    "trip_error",
+    "length_error",
+)
+
+#: Metrics where larger values are better (Table III caption).
+HIGHER_IS_BETTER: frozenset[str] = frozenset(
+    {"hotspot_ndcg", "pattern_f1", "kendall_tau"}
+)
+
+
+def evaluate_all(
+    real: StreamDataset,
+    syn: StreamDataset,
+    phi: int = 10,
+    metrics: Optional[Sequence[str]] = None,
+    n_queries: int = 100,
+    n_pattern_ranges: int = 20,
+    rng: RngLike = None,
+) -> dict[str, float]:
+    """Compute the requested metrics (default: all eight of Table III)."""
+    rng = ensure_rng(rng)
+    wanted = tuple(metrics) if metrics is not None else ALL_METRICS
+    unknown = set(wanted) - set(ALL_METRICS)
+    if unknown:
+        raise ValueError(f"unknown metrics: {sorted(unknown)}")
+
+    evaluators: dict[str, Callable[[], float]] = {
+        "density_error": lambda: density_error(real, syn),
+        "query_error": lambda: query_error(
+            real, syn, phi=phi, n_queries=n_queries, rng=rng
+        ),
+        "hotspot_ndcg": lambda: hotspot_ndcg(real, syn, phi=phi, rng=rng),
+        "transition_error": lambda: transition_error(real, syn),
+        "pattern_f1": lambda: pattern_f1(
+            real, syn, phi=phi, n_ranges=n_pattern_ranges, rng=rng
+        ),
+        "kendall_tau": lambda: kendall_tau(real, syn),
+        "trip_error": lambda: trip_error(real, syn),
+        "length_error": lambda: length_error(real, syn),
+    }
+    return {name: evaluators[name]() for name in wanted}

@@ -1,0 +1,40 @@
+"""Transition Error: single-timestamp movement-distribution divergence."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.density import evaluation_timestamps
+from repro.metrics.divergence import jsd_from_counts
+from repro.stream.stream import StreamDataset
+
+
+def transition_error(
+    real: StreamDataset,
+    syn: StreamDataset,
+    timestamps: Optional[Sequence[int]] = None,
+    max_eval: int = 100,
+) -> float:
+    """Mean JSD between real and synthetic per-timestamp transition
+    distributions (paper Section V-B, "Transition Error").
+
+    The transition distribution at ``t`` is the normalised histogram over
+    movement pairs ``(c_{t-1}, c_t)`` of streams that moved into ``t``.
+    """
+    if timestamps is None:
+        timestamps = evaluation_timestamps(real, max_eval)
+    divs = []
+    for t in np.asarray(timestamps, dtype=np.int64):
+        if t == 0:
+            continue
+        real_tr = Counter(real.transitions_at(int(t)))
+        syn_tr = Counter(syn.transitions_at(int(t)))
+        if not real_tr and not syn_tr:
+            continue
+        divs.append(jsd_from_counts(real_tr, syn_tr))
+    if not divs:
+        return 0.0
+    return float(np.mean(divs))

@@ -1,0 +1,28 @@
+"""Trip Error: divergence of the joint (start, end) cell distribution.
+
+A *trip* is one trajectory's first and last reported cell.  Following
+AdaTrace (and the paper), the metric is the JSD between the real and
+synthetic joint distributions over ``|C|^2`` (start, end) pairs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.metrics.divergence import jsd_from_counts
+from repro.stream.stream import StreamDataset
+
+
+def trip_distribution(dataset: StreamDataset) -> Counter:
+    """Counts over (start_cell, end_cell) pairs; empty streams skipped."""
+    counts: Counter = Counter()
+    for traj in dataset.trajectories:
+        if len(traj) == 0:
+            continue
+        counts[(traj.cells[0], traj.cells[-1])] += 1
+    return counts
+
+
+def trip_error(real: StreamDataset, syn: StreamDataset) -> float:
+    """JSD between the two trip distributions."""
+    return jsd_from_counts(trip_distribution(real), trip_distribution(syn))

@@ -1,0 +1,169 @@
+"""Deployment planning: predicted error as a function of (ε, w, n, K).
+
+Section IV and the Fig. 6 discussion give the analytical relationships an
+operator needs before deploying:
+
+* per-state estimation noise is the OUE variance ``4 e^ε / (n (e^ε − 1)²)``
+  (Eq. 3) with ``n`` the per-round reporter count;
+* the transition domain grows as ``O(9 K²)`` (+ 2K² enter/quit states), so
+  the *aggregate* noise across the model grows with K while each cell's
+  share of the signal shrinks as ``1/K²``;
+* under population division with portion ``p``, the per-round reporter
+  count is ``p · n_active``; under budget division every reporter spends
+  ``ε_t ≈ p · ε`` instead.
+
+This module packages those formulas into: a per-configuration noise report,
+a signal-to-noise ratio, and a granularity recommendation (the K that
+maximises predicted SNR — the analytic counterpart of Fig. 6's sweet spot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ldp.oue import oue_variance
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Inputs of a planned deployment."""
+
+    epsilon: float = 1.0
+    w: int = 20
+    n_active: int = 10_000
+    k: int = 6
+    division: str = "population"  # "population" | "budget"
+    portion: float = 0.05  # expected per-timestamp allocation portion p
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if self.w < 1:
+            raise ConfigurationError(f"w must be >= 1, got {self.w}")
+        if self.n_active < 1:
+            raise ConfigurationError(f"n_active must be >= 1, got {self.n_active}")
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.division not in ("population", "budget"):
+            raise ConfigurationError(f"unknown division {self.division!r}")
+        if not 0 < self.portion <= 1:
+            raise ConfigurationError(f"portion must be in (0, 1], got {self.portion}")
+
+
+def state_domain_size(k: int, include_entering_quitting: bool = True) -> int:
+    """Exact size of the reachability-constrained transition domain.
+
+    Interior cells have 9 successors, edges 6, corners 4; plus 2K² states
+    for entering/quitting when modelled.
+    """
+    if k == 1:
+        moves = 1
+    else:
+        corners = 4 * 4
+        edges = 4 * (k - 2) * 6
+        interior = (k - 2) ** 2 * 9
+        moves = corners + edges + interior
+    return moves + (2 * k * k if include_entering_quitting else 0)
+
+
+def per_round_noise_std(plan: DeploymentPlan) -> float:
+    """Predicted per-state std of one collection round's estimates."""
+    if plan.division == "population":
+        n = max(1, int(plan.portion * plan.n_active))
+        eps = plan.epsilon
+    else:
+        n = plan.n_active
+        eps = plan.portion * plan.epsilon
+    return float(np.sqrt(oue_variance(eps, n)))
+
+
+def signal_scale(plan: DeploymentPlan) -> float:
+    """Typical per-state signal magnitude.
+
+    With reports spread over the movement domain, a typical frequency is
+    ``1 / |S_move|`` — the quantity the noise must not drown.
+    """
+    moves = state_domain_size(plan.k, include_entering_quitting=False)
+    return 1.0 / moves
+
+
+def snr(plan: DeploymentPlan) -> float:
+    """Predicted signal-to-noise ratio of one collection round."""
+    noise = per_round_noise_std(plan)
+    if noise == 0:
+        return float("inf")
+    return signal_scale(plan) / noise
+
+
+def recommend_k(
+    plan: DeploymentPlan,
+    candidates: Sequence[int] = (2, 4, 6, 8, 10, 14, 18),
+    min_snr: float = 1.0,
+) -> int:
+    """Largest candidate K whose predicted SNR still clears ``min_snr``.
+
+    Finer grids carry more spatial information, so among configurations
+    where the signal survives the noise the finest is preferred; when none
+    clears the bar, the coarsest candidate is returned (the best that can
+    be done with the population at hand) — the analytic version of the
+    Fig. 6 guidance that both extremes hurt.
+    """
+    viable = []
+    for k in sorted(candidates):
+        candidate = DeploymentPlan(
+            epsilon=plan.epsilon,
+            w=plan.w,
+            n_active=plan.n_active,
+            k=k,
+            division=plan.division,
+            portion=plan.portion,
+        )
+        if snr(candidate) >= min_snr:
+            viable.append(k)
+    if viable:
+        return viable[-1]
+    return min(candidates)
+
+
+def plan_report(plan: DeploymentPlan) -> dict:
+    """All planning quantities for one configuration."""
+    return {
+        "epsilon": plan.epsilon,
+        "w": plan.w,
+        "n_active": plan.n_active,
+        "k": plan.k,
+        "division": plan.division,
+        "portion": plan.portion,
+        "state_domain": state_domain_size(plan.k),
+        "per_round_reporters": (
+            max(1, int(plan.portion * plan.n_active))
+            if plan.division == "population"
+            else plan.n_active
+        ),
+        "per_round_epsilon": (
+            plan.epsilon if plan.division == "population" else plan.portion * plan.epsilon
+        ),
+        "noise_std": per_round_noise_std(plan),
+        "signal_scale": signal_scale(plan),
+        "snr": snr(plan),
+        "recommended_k": recommend_k(plan),
+    }
+
+
+def format_plan_report(report: dict) -> str:
+    """Human-readable rendering of :func:`plan_report`."""
+    lines = ["Deployment plan", "==============="]
+    for key in (
+        "epsilon", "w", "n_active", "k", "division", "portion",
+        "state_domain", "per_round_reporters", "per_round_epsilon",
+    ):
+        lines.append(f"  {key:20s} {report[key]}")
+    lines.append(f"  {'noise_std':20s} {report['noise_std']:.5f}")
+    lines.append(f"  {'signal_scale':20s} {report['signal_scale']:.5f}")
+    lines.append(f"  {'snr':20s} {report['snr']:.3f}")
+    lines.append(f"  {'recommended_k':20s} {report['recommended_k']}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Trajectory-stream substrate.
+
+Models the paper's streaming setting (Sections II-B and III-B):
+
+* :class:`~repro.stream.events.TransitionState` — a user's per-timestamp
+  mobility status: a movement ``m_ij`` between adjacent cells, an entering
+  event ``e_i``, or a quitting event ``q_j``.
+* :class:`~repro.stream.state_space.TransitionStateSpace` — dense indexing of
+  the full state domain ``S`` under reachability constraints (``O(9|C|)``).
+* :class:`~repro.stream.stream.StreamDataset` — a collection of cell
+  trajectories viewed timestamp-by-timestamp, deriving each user's
+  transition state at each timestamp.
+* :class:`~repro.stream.user_tracker.UserTracker` — the dynamic active-user
+  set with the recycling rule of Algorithm 1 (line 9).
+"""
+
+from repro.stream.events import StateKind, TransitionState
+from repro.stream.state_space import TransitionStateSpace
+from repro.stream.stream import StreamDataset
+from repro.stream.user_tracker import UserStatus, UserTracker
+from repro.stream.encoder import UserSideEncoder
+
+__all__ = [
+    "StateKind",
+    "TransitionState",
+    "TransitionStateSpace",
+    "StreamDataset",
+    "UserStatus",
+    "UserTracker",
+    "UserSideEncoder",
+]

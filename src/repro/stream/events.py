@@ -1,0 +1,62 @@
+"""Transition states: the atoms of the global mobility model.
+
+Paper Definition 5 and surrounding text: the general transition domain is
+``S = {m_ij} ∪ {e_i} ∪ {q_j}`` where
+
+* ``m_ij`` — the user moved from cell ``c_i`` to adjacent cell ``c_j``
+  between the previous and the current timestamp (``i == j`` means staying);
+* ``e_i`` — a new stream began at cell ``c_i`` at the current timestamp;
+* ``q_j`` — the user stopped reporting; their final location was ``c_j``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class StateKind(enum.Enum):
+    """Which of the three transition families a state belongs to."""
+
+    MOVE = "move"
+    ENTER = "enter"
+    QUIT = "quit"
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionState:
+    """One user's mobility status at one timestamp.
+
+    Attributes
+    ----------
+    kind:
+        Family of the transition.
+    origin:
+        Source cell ``c_i`` for MOVE; ``None`` for ENTER; final cell for QUIT.
+    destination:
+        Target cell ``c_j`` for MOVE; entered cell for ENTER; ``None`` for QUIT.
+    """
+
+    kind: StateKind
+    origin: Optional[int]
+    destination: Optional[int]
+
+    @staticmethod
+    def move(origin: int, destination: int) -> "TransitionState":
+        return TransitionState(StateKind.MOVE, origin, destination)
+
+    @staticmethod
+    def enter(cell: int) -> "TransitionState":
+        return TransitionState(StateKind.ENTER, None, cell)
+
+    @staticmethod
+    def quit(cell: int) -> "TransitionState":
+        return TransitionState(StateKind.QUIT, cell, None)
+
+    def __str__(self) -> str:
+        if self.kind is StateKind.MOVE:
+            return f"m({self.origin}->{self.destination})"
+        if self.kind is StateKind.ENTER:
+            return f"e({self.destination})"
+        return f"q({self.origin})"

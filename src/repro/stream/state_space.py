@@ -1,0 +1,157 @@
+"""Dense indexing of the transition-state domain under reachability.
+
+The naive movement domain has ``|C|^2`` states; the paper restricts it to
+transitions between adjacent cells (including self-loops), shrinking the
+space to ``O(9|C|)`` and making the OUE encoding practical.  This module
+assigns every legal state a dense integer index::
+
+    [movement states, ordered by (origin, destination)] ++
+    [enter states, ordered by cell] ++
+    [quit states, ordered by cell]
+
+and precomputes the index groups needed to normalise the mobility model
+row-by-row (paper Eq. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.geo.grid import Grid
+from repro.stream.events import StateKind, TransitionState
+
+
+class TransitionStateSpace:
+    """Bijective mapping between legal transition states and dense indices.
+
+    Parameters
+    ----------
+    grid:
+        The discretisation grid; defines cells and adjacency.
+    include_entering_quitting:
+        When ``False`` the space contains only movement states — used by the
+        NoEQ ablation variant and by the LDP-IDS baselines, which do not
+        model enter/quit events.
+    """
+
+    def __init__(self, grid: Grid, include_entering_quitting: bool = True) -> None:
+        self.grid = grid
+        self.include_eq = bool(include_entering_quitting)
+
+        self._move_pairs: list[tuple[int, int]] = []
+        self._move_index: dict[tuple[int, int], int] = {}
+        for origin in range(grid.n_cells):
+            for dest in grid.neighbor_lists[origin]:
+                self._move_index[(origin, dest)] = len(self._move_pairs)
+                self._move_pairs.append((origin, dest))
+
+        self.n_move = len(self._move_pairs)
+        self.n_cells = grid.n_cells
+        self._enter_offset = self.n_move
+        self._quit_offset = self.n_move + (self.n_cells if self.include_eq else 0)
+        self.size = self.n_move + (2 * self.n_cells if self.include_eq else 0)
+
+        # Row groups for Eq. 6: indices of movement states leaving each cell.
+        self._out_move_indices: list[np.ndarray] = []
+        for origin in range(grid.n_cells):
+            idx = [self._move_index[(origin, d)] for d in grid.neighbor_lists[origin]]
+            self._out_move_indices.append(np.asarray(idx, dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # state -> index
+    # ------------------------------------------------------------------ #
+    def index_of_move(self, origin: int, destination: int) -> int:
+        key = (origin, destination)
+        if key not in self._move_index:
+            raise DomainError(
+                f"movement {origin}->{destination} violates the reachability "
+                f"constraint (cells are not adjacent)"
+            )
+        return self._move_index[key]
+
+    def index_of_enter(self, cell: int) -> int:
+        self._require_eq("enter")
+        self._check_cell(cell)
+        return self._enter_offset + cell
+
+    def index_of_quit(self, cell: int) -> int:
+        self._require_eq("quit")
+        self._check_cell(cell)
+        return self._quit_offset + cell
+
+    def index_of(self, state: TransitionState) -> int:
+        if state.kind is StateKind.MOVE:
+            return self.index_of_move(state.origin, state.destination)
+        if state.kind is StateKind.ENTER:
+            return self.index_of_enter(state.destination)
+        return self.index_of_quit(state.origin)
+
+    # ------------------------------------------------------------------ #
+    # index -> state
+    # ------------------------------------------------------------------ #
+    def state_of(self, index: int) -> TransitionState:
+        if not 0 <= index < self.size:
+            raise DomainError(f"state index {index} outside [0, {self.size})")
+        if index < self.n_move:
+            origin, dest = self._move_pairs[index]
+            return TransitionState.move(origin, dest)
+        if index < self._quit_offset:
+            return TransitionState.enter(index - self._enter_offset)
+        return TransitionState.quit(index - self._quit_offset)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[TransitionState]:
+        return (self.state_of(i) for i in range(self.size))
+
+    # ------------------------------------------------------------------ #
+    # structured views
+    # ------------------------------------------------------------------ #
+    @property
+    def move_pairs(self) -> list[tuple[int, int]]:
+        """All legal ``(origin, destination)`` pairs in index order."""
+        return list(self._move_pairs)
+
+    def out_move_indices(self, origin: int) -> np.ndarray:
+        """Indices of movement states leaving ``origin`` (incl. self-loop)."""
+        self._check_cell(origin)
+        return self._out_move_indices[origin]
+
+    def out_destinations(self, origin: int) -> list[int]:
+        """Destination cells reachable from ``origin``, index-aligned with
+        :meth:`out_move_indices`."""
+        return self.grid.neighbor_lists[origin]
+
+    @property
+    def enter_indices(self) -> np.ndarray:
+        """Indices of all enter states, ordered by cell."""
+        self._require_eq("enter")
+        return np.arange(self._enter_offset, self._enter_offset + self.n_cells)
+
+    @property
+    def quit_indices(self) -> np.ndarray:
+        """Indices of all quit states, ordered by cell."""
+        self._require_eq("quit")
+        return np.arange(self._quit_offset, self._quit_offset + self.n_cells)
+
+    @property
+    def move_indices(self) -> np.ndarray:
+        """Indices of all movement states."""
+        return np.arange(self.n_move)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _check_cell(self, cell: int) -> None:
+        if not 0 <= cell < self.n_cells:
+            raise DomainError(f"cell id {cell} outside [0, {self.n_cells})")
+
+    def _require_eq(self, what: str) -> None:
+        if not self.include_eq:
+            raise DomainError(
+                f"this state space excludes entering/quitting states ({what})"
+            )

@@ -1,0 +1,253 @@
+"""Stream view over a collection of cell trajectories.
+
+A :class:`StreamDataset` holds the *original database* ``T_orig`` (paper
+Definition 4): one cell trajectory per user stream, each with an entering
+timestamp.  It exposes the per-timestamp views the curator pipeline consumes:
+which users are reporting, what transition state each reporting user is in,
+and how many streams are active.
+
+Transition-state convention (matching the authors' release):
+
+* at ``t == start_time``            the user reports ``e_{c_t}``;
+* at ``start_time < t <= end_time`` the user reports ``m_{c_{t-1} c_t}``;
+* at ``t == end_time + 1``          the user reports ``q_{c_end}``;
+* otherwise the user has no state at ``t`` (not participating).
+
+Trajectories with gaps must be split into multiple streams beforehand (the
+paper inserts quitting events and splits; see
+:func:`split_on_gaps`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geo.grid import Grid
+from repro.geo.trajectory import CellTrajectory, average_length, total_points
+from repro.stream.events import TransitionState
+
+
+@dataclass
+class StreamDataset:
+    """The original trajectory-stream database ``T_orig``.
+
+    Attributes
+    ----------
+    grid:
+        Discretisation grid all trajectories live on.
+    trajectories:
+        One finished :class:`CellTrajectory` per user stream.
+    n_timestamps:
+        Horizon of the stream; derived from the data when omitted.
+    """
+
+    grid: Grid
+    trajectories: list[CellTrajectory] = field(default_factory=list)
+    n_timestamps: Optional[int] = None
+    name: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        for i, traj in enumerate(self.trajectories):
+            if traj.user_id is None:
+                traj.user_id = i
+        if self.n_timestamps is None:
+            # Include the quit-report timestamp (end_time + 1).
+            self.n_timestamps = (
+                max((t.end_time + 2 for t in self.trajectories), default=0)
+            )
+        self._by_user = {t.user_id: t for t in self.trajectories}
+        if len(self._by_user) != len(self.trajectories):
+            raise DatasetError("duplicate user_id among trajectories")
+        self._cell_counts: Optional[np.ndarray] = None
+        self._transitions_by_t: Optional[list] = None
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[CellTrajectory]:
+        return iter(self.trajectories)
+
+    def trajectory(self, user_id: int) -> CellTrajectory:
+        if user_id not in self._by_user:
+            raise DatasetError(f"unknown user_id {user_id}")
+        return self._by_user[user_id]
+
+    @property
+    def user_ids(self) -> list[int]:
+        return [t.user_id for t in self.trajectories]
+
+    # ------------------------------------------------------------------ #
+    # per-timestamp views
+    # ------------------------------------------------------------------ #
+    def active_at(self, t: int) -> list[CellTrajectory]:
+        """Streams with a location report at timestamp ``t``."""
+        return [traj for traj in self.trajectories if traj.active_at(t)]
+
+    def n_active_at(self, t: int) -> int:
+        return sum(1 for traj in self.trajectories if traj.active_at(t))
+
+    def cells_at(self, t: int) -> np.ndarray:
+        """Array of cells occupied at timestamp ``t`` (one per active user)."""
+        return np.asarray(
+            [traj.cell_at(t) for traj in self.trajectories if traj.active_at(t)],
+            dtype=np.int64,
+        )
+
+    def transition_state(self, traj: CellTrajectory, t: int) -> Optional[TransitionState]:
+        """The transition state of one stream at timestamp ``t`` (or None)."""
+        if t == traj.start_time:
+            return TransitionState.enter(traj.cells[0])
+        if traj.start_time < t <= traj.end_time:
+            i = t - traj.start_time
+            return TransitionState.move(traj.cells[i - 1], traj.cells[i])
+        if t == traj.end_time + 1:
+            return TransitionState.quit(traj.last_cell)
+        return None
+
+    def participants_at(self, t: int) -> list[tuple[int, TransitionState]]:
+        """All ``(user_id, state)`` pairs with a defined state at ``t``.
+
+        These are the users *able* to report at ``t``; the allocation
+        strategy decides which of them actually do.
+        """
+        out: list[tuple[int, TransitionState]] = []
+        for traj in self.trajectories:
+            state = self.transition_state(traj, t)
+            if state is not None:
+                out.append((traj.user_id, state))
+        return out
+
+    def newly_entered_at(self, t: int) -> list[int]:
+        """User ids whose stream starts exactly at ``t``."""
+        return [traj.user_id for traj in self.trajectories if traj.start_time == t]
+
+    def quitted_at(self, t: int) -> list[int]:
+        """User ids whose quit event falls at ``t`` (last report at t-1)."""
+        return [traj.user_id for traj in self.trajectories if traj.end_time + 1 == t]
+
+    # ------------------------------------------------------------------ #
+    # cached aggregate views (read-only; built lazily for metric speed)
+    # ------------------------------------------------------------------ #
+    def cell_counts_matrix(self) -> np.ndarray:
+        """``(n_timestamps, n_cells)`` matrix of point counts per cell.
+
+        Built once and cached; datasets are treated as immutable after
+        construction, which holds for both generated inputs and finished
+        synthesis outputs.
+        """
+        if self._cell_counts is None:
+            counts = np.zeros((self.n_timestamps, self.grid.n_cells), dtype=np.int64)
+            for traj in self.trajectories:
+                for i, c in enumerate(traj.cells):
+                    t = traj.start_time + i
+                    if 0 <= t < self.n_timestamps:
+                        counts[t, c] += 1
+            self._cell_counts = counts
+        return self._cell_counts
+
+    def transitions_at(self, t: int) -> list[tuple[int, int]]:
+        """All real movement pairs ``(c_{t-1}, c_t)`` landing at ``t``."""
+        if self._transitions_by_t is None:
+            by_t: list[list[tuple[int, int]]] = [
+                [] for _ in range(self.n_timestamps)
+            ]
+            for traj in self.trajectories:
+                for i in range(1, len(traj.cells)):
+                    ts = traj.start_time + i
+                    if 0 <= ts < self.n_timestamps:
+                        by_t[ts].append((traj.cells[i - 1], traj.cells[i]))
+            self._transitions_by_t = by_t
+        return self._transitions_by_t[t]
+
+    def active_counts(self) -> np.ndarray:
+        """Number of active streams at every timestamp."""
+        return self.cell_counts_matrix().sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # whole-stream statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Dataset statistics in the shape of the paper's Table I."""
+        return {
+            "name": self.name,
+            "size": len(self.trajectories),
+            "n_points": total_points(self.trajectories),
+            "average_length": average_length(self.trajectories),
+            "timestamps": self.n_timestamps,
+            "grid_k": self.grid.k,
+        }
+
+    def subsample(self, fraction: float, rng: np.random.Generator) -> "StreamDataset":
+        """Random subset of streams (used by the Fig. 7 scalability sweep)."""
+        if not 0.0 < fraction <= 1.0:
+            raise DatasetError(f"fraction must be in (0, 1], got {fraction}")
+        n = max(1, int(round(len(self.trajectories) * fraction)))
+        idx = rng.choice(len(self.trajectories), size=n, replace=False)
+        chosen = [self.trajectories[i] for i in sorted(idx)]
+        copies = [
+            CellTrajectory(t.start_time, list(t.cells), user_id=i)
+            for i, t in enumerate(chosen)
+        ]
+        return StreamDataset(
+            self.grid,
+            copies,
+            n_timestamps=self.n_timestamps,
+            name=f"{self.name}[{fraction:.0%}]",
+        )
+
+
+def split_on_gaps(
+    start_time: int,
+    cells_with_times: Sequence[tuple[int, int]],
+    user_id_start: int = 0,
+) -> list[CellTrajectory]:
+    """Split a sparsely reported trace into gap-free streams.
+
+    ``cells_with_times`` is a list of ``(timestamp, cell)`` pairs sorted by
+    timestamp, possibly with missing timestamps.  Following Section V-A, a
+    quitting event is implied wherever consecutive reports are non-adjacent
+    in time and the trace restarts as a fresh stream.
+
+    The ``start_time`` argument shifts every timestamp (useful when aligning
+    raw data to the collection clock).
+    """
+    streams: list[CellTrajectory] = []
+    cur_cells: list[int] = []
+    cur_start = 0
+    prev_t: Optional[int] = None
+    uid = user_id_start
+    for t, cell in cells_with_times:
+        if prev_t is None or t == prev_t + 1:
+            if prev_t is None:
+                cur_start = t + start_time
+            cur_cells.append(cell)
+        else:
+            streams.append(CellTrajectory(cur_start, cur_cells, user_id=uid))
+            uid += 1
+            cur_start = t + start_time
+            cur_cells = [cell]
+        prev_t = t
+    if cur_cells:
+        streams.append(CellTrajectory(cur_start, cur_cells, user_id=uid))
+    return streams
+
+
+def from_continuous(
+    grid: Grid,
+    raw_trajectories: Iterable,
+    n_timestamps: Optional[int] = None,
+    name: str = "unnamed",
+) -> StreamDataset:
+    """Discretise continuous :class:`~repro.geo.trajectory.Trajectory` objects
+    into a :class:`StreamDataset` with reachability snapping."""
+    cell_trajs = [t.discretize(grid) for t in raw_trajectories]
+    for i, t in enumerate(cell_trajs):
+        t.user_id = i
+    return StreamDataset(grid, cell_trajs, n_timestamps=n_timestamps, name=name)

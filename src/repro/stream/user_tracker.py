@@ -1,0 +1,101 @@
+"""Dynamic active-user set with w-window recycling.
+
+Population-division allocation (Algorithm 1) samples reporters from a
+*dynamic* active-user set:
+
+* a user becomes **active** when their stream starts (line 1/7);
+* after reporting, the user is marked **inactive** (line 14) so they are not
+  asked again inside the current privacy window;
+* at timestamp ``t`` users who reported at ``t - w`` and have not quit are
+  **recycled** back to active (line 9);
+* users whose stream ended are **quitted** and never recycled (line 8).
+
+This bookkeeping is exactly what guarantees w-event ε-LDP under population
+division: each user reports at most once with full ε inside any window of
+``w`` timestamps.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+
+
+class UserStatus(enum.Enum):
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+    QUITTED = "quitted"
+
+
+class UserTracker:
+    """Tracks user statuses and performs the t−w recycling rule."""
+
+    def __init__(self, w: int) -> None:
+        if w < 1:
+            raise ConfigurationError(f"window size w must be >= 1, got {w}")
+        self.w = int(w)
+        self._status: dict[int, UserStatus] = {}
+        self._reported_at: dict[int, list[int]] = defaultdict(list)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle transitions
+    # ------------------------------------------------------------------ #
+    def register(self, user_ids: Iterable[int]) -> None:
+        """Mark newly arrived users as active (Algorithm 1, lines 1 and 7)."""
+        for uid in user_ids:
+            if self._status.get(uid) is not UserStatus.QUITTED:
+                self._status[uid] = UserStatus.ACTIVE
+
+    def mark_quitted(self, user_ids: Iterable[int]) -> None:
+        """Mark users who ceased sharing as quitted (line 8)."""
+        for uid in user_ids:
+            self._status[uid] = UserStatus.QUITTED
+
+    def mark_reported(self, user_ids: Iterable[int], timestamp: int) -> None:
+        """Mark sampled reporters inactive and remember when (line 14)."""
+        for uid in user_ids:
+            if self._status.get(uid) is UserStatus.QUITTED:
+                continue
+            self._status[uid] = UserStatus.INACTIVE
+            self._reported_at[uid].append(timestamp)
+
+    def recycle(self, t: int) -> list[int]:
+        """Reactivate users whose last report was at ``t - w`` (line 9).
+
+        Returns the recycled user ids (useful for tests and audits).
+        """
+        target = t - self.w
+        recycled: list[int] = []
+        if target < 0:
+            return recycled
+        for uid, times in self._reported_at.items():
+            if not times or times[-1] != target:
+                continue
+            if self._status.get(uid) is UserStatus.INACTIVE:
+                self._status[uid] = UserStatus.ACTIVE
+                recycled.append(uid)
+        return recycled
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def status(self, user_id: int) -> UserStatus:
+        if user_id not in self._status:
+            raise ConfigurationError(f"unknown user {user_id}")
+        return self._status[user_id]
+
+    def active_users(self) -> list[int]:
+        """The current active set ``U_A`` (Algorithm 1, line 11)."""
+        return [u for u, s in self._status.items() if s is UserStatus.ACTIVE]
+
+    def n_active(self) -> int:
+        return sum(1 for s in self._status.values() if s is UserStatus.ACTIVE)
+
+    def n_known(self) -> int:
+        return len(self._status)
+
+    def report_history(self, user_id: int) -> list[int]:
+        return list(self._reported_at.get(user_id, ()))

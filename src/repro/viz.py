@@ -1,0 +1,123 @@
+"""Terminal visualisation helpers (no plotting dependencies).
+
+matplotlib is deliberately not a dependency; these helpers render the
+objects analysts look at — density grids, time series, transition matrices —
+as compact ASCII art for terminals, logs and docstrings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.geo.grid import Grid
+
+#: Characters from empty to full intensity.
+_RAMP = " .:-=+*#%@"
+
+
+def _intensity(value: float, hi: float) -> str:
+    if hi <= 0:
+        return _RAMP[0]
+    level = int(min(value / hi, 1.0) * (len(_RAMP) - 1))
+    return _RAMP[level]
+
+
+def density_heatmap(
+    grid: Grid,
+    counts: np.ndarray,
+    title: Optional[str] = None,
+) -> str:
+    """Render per-cell counts as a K×K character grid.
+
+    Row 0 of the grid (smallest y) is printed at the *bottom*, matching map
+    orientation.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.shape != (grid.n_cells,):
+        raise ConfigurationError(
+            f"expected {grid.n_cells} cell counts, got shape {counts.shape}"
+        )
+    hi = counts.max()
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(grid.k - 1, -1, -1):
+        cells = [counts[grid.rowcol_to_cell(row, col)] for col in range(grid.k)]
+        lines.append("|" + "".join(_intensity(v, hi) * 2 for v in cells) + "|")
+    lines.append("+" + "-" * (2 * grid.k) + "+")
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two ASCII blocks horizontally (for real-vs-synthetic views)."""
+    l_lines = left.splitlines()
+    r_lines = right.splitlines()
+    height = max(len(l_lines), len(r_lines))
+    width = max((len(l) for l in l_lines), default=0)
+    l_lines += [""] * (height - len(l_lines))
+    r_lines += [""] * (height - len(r_lines))
+    return "\n".join(
+        f"{l:<{width}}{' ' * gap}{r}" for l, r in zip(l_lines, r_lines)
+    )
+
+
+def timeseries(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 8,
+    label: str = "",
+) -> str:
+    """Render a numeric series as a fixed-size ASCII line chart."""
+    if width < 2 or height < 2:
+        raise ConfigurationError("width and height must both be >= 2")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return f"{label} (empty series)"
+    # Average-pool to the requested width.
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.asarray(
+            [arr[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = [[" "] * arr.size for _ in range(height)]
+    for x, v in enumerate(arr):
+        y = int((v - lo) / span * (height - 1))
+        rows[height - 1 - y][x] = "*"
+    out = []
+    if label:
+        out.append(f"{label}  [min={lo:.4g}, max={hi:.4g}]")
+    out.extend("".join(r) for r in rows)
+    return "\n".join(out)
+
+
+def transition_matrix_view(
+    grid: Grid,
+    matrix: np.ndarray,
+    max_cells: int = 12,
+) -> str:
+    """Compact view of a |C|×|C| transition matrix (top rows by mass)."""
+    matrix = np.asarray(matrix, dtype=float)
+    n = grid.n_cells
+    if matrix.shape != (n, n):
+        raise ConfigurationError(
+            f"expected a {n}x{n} matrix, got shape {matrix.shape}"
+        )
+    mass = matrix.sum(axis=1)
+    order = np.argsort(mass)[::-1][:max_cells]
+    hi = matrix.max()
+    lines = ["origin -> strongest destinations"]
+    for origin in order:
+        if mass[origin] <= 0:
+            continue
+        dests = np.argsort(matrix[origin])[::-1][:3]
+        parts = ", ".join(
+            f"{int(d)}:{matrix[origin, d]:.3f}" for d in dests if matrix[origin, d] > 0
+        )
+        bar = _intensity(mass[origin], hi if hi > 0 else 1.0) * 3
+        lines.append(f"  {int(origin):>4} {bar} {parts}")
+    return "\n".join(lines)

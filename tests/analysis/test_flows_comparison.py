@@ -1,0 +1,105 @@
+"""Tests for flow analysis and fidelity reports."""
+
+import pytest
+
+from repro.analysis.comparison import fidelity_report, format_fidelity_report
+from repro.analysis.flows import FlowAnalyzer
+from repro.datasets.synthetic import make_lane_stream
+from repro.geo.point import BoundingBox
+from repro.geo.trajectory import CellTrajectory
+from repro.stream.stream import StreamDataset
+
+
+@pytest.fixture
+def lane_flow():
+    data = make_lane_stream(k=5, n_streams=50, n_timestamps=20, seed=0)
+    return data, FlowAnalyzer(data)
+
+
+class TestTransitionCounts:
+    def test_total_count(self, lane_flow):
+        data, fa = lane_flow
+        total = sum(fa.transition_counts().values())
+        expected = sum(len(t) - 1 for t in data.trajectories)
+        assert total == expected
+
+    def test_window_restriction(self, lane_flow):
+        _data, fa = lane_flow
+        early = sum(fa.transition_counts(0, 5).values())
+        everything = sum(fa.transition_counts().values())
+        assert 0 < early < everything
+
+
+class TestFlows:
+    def test_flow_between_left_and_right(self, lane_flow):
+        data, fa = lane_flow
+        left = BoundingBox(0.0, 0.0, 0.5, 1.0)
+        right = BoundingBox(0.5, 0.0, 1.0, 1.0)
+        ltr = fa.flow_between(left, right)
+        rtl = fa.flow_between(right, left)
+        assert ltr > 0
+        assert rtl == 0  # lanes only flow eastward
+
+    def test_dominant_direction_east(self, lane_flow):
+        _data, fa = lane_flow
+        assert fa.dominant_direction() == "east"
+
+    def test_net_flow_sign(self, lane_flow):
+        data, fa = lane_flow
+        right = BoundingBox(0.6, 0.0, 1.0, 1.0)
+        total_net = sum(
+            fa.net_flow(right, t) for t in range(1, data.n_timestamps)
+        )
+        assert total_net > 0  # users accumulate on the right
+
+    def test_stay_ratio(self, grid4):
+        ds = StreamDataset(
+            grid4,
+            [CellTrajectory(0, [5, 5, 6], user_id=0)],
+            n_timestamps=4,
+        )
+        fa = FlowAnalyzer(ds)
+        assert fa.stay_ratio() == pytest.approx(0.5)
+
+    def test_stay_ratio_empty(self, grid4):
+        ds = StreamDataset(grid4, [], n_timestamps=4)
+        assert FlowAnalyzer(ds).stay_ratio() == 0.0
+
+    def test_flow_matrix_matches_counts(self, lane_flow):
+        _data, fa = lane_flow
+        mat = fa.flow_matrix()
+        counts = fa.transition_counts()
+        for (a, b), c in counts.items():
+            assert mat[a, b] == c
+        assert mat.sum() == sum(counts.values())
+
+    def test_stationary_direction(self, grid4):
+        ds = StreamDataset(
+            grid4, [CellTrajectory(0, [5, 5], user_id=0)], n_timestamps=3
+        )
+        assert FlowAnalyzer(ds).dominant_direction() == "stationary"
+
+
+class TestFidelityReport:
+    def test_identity_report(self, walk_data):
+        report = fidelity_report(walk_data, walk_data, phi=5)
+        assert report["size_ratio"] == 1.0
+        assert report["points_ratio"] == 1.0
+        assert report["metrics"]["density_error"] == pytest.approx(0.0)
+        assert report["metrics"]["kendall_tau"] == pytest.approx(1.0)
+
+    def test_format_contains_metrics(self, walk_data):
+        report = fidelity_report(walk_data, walk_data, phi=5)
+        text = format_fidelity_report(report)
+        assert "Fidelity report" in text
+        assert "density_error" in text
+        assert "kendall_tau" in text
+
+    def test_subset_metrics(self, walk_data):
+        report = fidelity_report(
+            walk_data, walk_data, metrics=("trip_error",), rng=0
+        )
+        assert list(report["metrics"]) == ["trip_error"]
+        text = format_fidelity_report(report)
+        assert "trip_error" in text
+        assert "density_error" not in text

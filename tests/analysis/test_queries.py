@@ -1,0 +1,97 @@
+"""Tests for the downstream query layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queries import TrajectoryAnalyzer
+from repro.exceptions import ConfigurationError
+from repro.geo.point import BoundingBox
+from repro.geo.trajectory import CellTrajectory
+from repro.stream.stream import StreamDataset
+
+
+@pytest.fixture
+def analyzer(grid4):
+    """Three streams with known geometry on a 4x4 unit grid."""
+    ds = StreamDataset(
+        grid4,
+        [
+            CellTrajectory(0, [0, 1, 2], user_id=0),   # bottom row eastward
+            CellTrajectory(1, [5, 5], user_id=1),      # stays in cell 5
+            CellTrajectory(0, [15, 15, 15, 15], user_id=2),  # top corner
+        ],
+        n_timestamps=5,
+    )
+    return TrajectoryAnalyzer(ds)
+
+
+class TestCounting:
+    def test_range_count_full_domain(self, analyzer):
+        full = analyzer.grid.bbox
+        assert analyzer.range_count(full) == 9  # total points
+
+    def test_range_count_window(self, analyzer):
+        full = analyzer.grid.bbox
+        assert analyzer.range_count(full, t_from=0, t_to=0) == 2
+
+    def test_range_count_subregion(self, analyzer):
+        # Lower-left quadrant: cells 0, 1, 4, 5.
+        region = BoundingBox(0.0, 0.0, 0.5, 0.5)
+        # points: cell0@t0, cell1@t1, cell5@t1, cell5@t2 => 4
+        assert analyzer.range_count(region) == 4
+
+    def test_active_users(self, analyzer):
+        assert analyzer.active_users(0) == 2
+        assert analyzer.active_users(1) == 3
+        assert analyzer.active_users(4) == 0
+
+    def test_occupancy_series(self, analyzer):
+        region = BoundingBox(0.51, 0.51, 1.0, 1.0)  # top-right quadrant
+        series = analyzer.occupancy_series(region)
+        assert series.tolist() == [1, 1, 1, 1, 0]
+
+    def test_empty_region(self, analyzer):
+        # Degenerate-but-valid region that contains no cell centers.
+        region = BoundingBox(0.0, 0.0, 0.01, 0.01)
+        assert analyzer.range_count(region) == 0
+
+
+class TestHotspots:
+    def test_top_k(self, analyzer):
+        top = analyzer.top_k_cells(k=2)
+        assert top[0] == (15, 4)  # corner cell has 4 visits
+        assert top[1][1] >= top[0][1] - 4
+
+    def test_top_k_validation(self, analyzer):
+        with pytest.raises(ConfigurationError):
+            analyzer.top_k_cells(k=0)
+
+    def test_visit_share(self, analyzer):
+        assert analyzer.visit_share(15) == pytest.approx(4 / 9)
+        assert analyzer.visit_share(3) == 0.0
+
+    def test_density_normalised(self, analyzer):
+        d = analyzer.density(1)
+        assert d.sum() == pytest.approx(1.0)
+        assert d[5] == pytest.approx(1 / 3)
+
+    def test_density_empty_timestamp_uniform(self, analyzer):
+        d = analyzer.density(4)
+        assert d == pytest.approx(np.full(16, 1 / 16))
+
+
+class TestTrips:
+    def test_trip_lengths(self, analyzer):
+        assert sorted(analyzer.trip_lengths().tolist()) == [2, 3, 4]
+
+    def test_od_matrix(self, analyzer):
+        od = analyzer.od_matrix()
+        assert od[0, 2] == 1
+        assert od[5, 5] == 1
+        assert od[15, 15] == 1
+        assert od.sum() == 3
+
+    def test_busiest_trips(self, analyzer):
+        trips = analyzer.busiest_trips(k=3)
+        pairs = {p for p, _c in trips}
+        assert {(0, 2), (5, 5), (15, 15)} == pairs

@@ -1,0 +1,71 @@
+"""Unit tests for the Budget/Population Absorption schedule."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ldp_ids import AbsorptionSchedule
+
+
+class TestAbsorptionSchedule:
+    def test_first_tick_allows(self):
+        s = AbsorptionSchedule()
+        assert s.tick() is True
+        assert s.units == 1
+
+    def test_units_accumulate_on_skips(self):
+        s = AbsorptionSchedule()
+        for _ in range(4):
+            s.tick()
+        assert s.units == 4
+
+    def test_publish_consumes_all_units(self):
+        s = AbsorptionSchedule()
+        for _ in range(3):
+            s.tick()
+        assert s.publish() == 3
+        assert s.units == 0
+
+    def test_nullification_after_absorbing(self):
+        """Absorbing k units blocks the next k-1 timestamps."""
+        s = AbsorptionSchedule()
+        for _ in range(3):
+            s.tick()
+        s.publish()  # absorbed 3 -> 2 nullified
+        assert s.tick() is False
+        assert s.tick() is False
+        assert s.tick() is True
+
+    def test_single_unit_publication_no_nullification(self):
+        s = AbsorptionSchedule()
+        s.tick()
+        s.publish()
+        assert s.tick() is True
+
+    def test_units_keep_accruing_while_nullified(self):
+        """Nullified timestamps still deposit their unit for later use."""
+        s = AbsorptionSchedule()
+        for _ in range(3):
+            s.tick()
+        s.publish()
+        s.tick()  # nullified, unit banked
+        s.tick()  # nullified, unit banked
+        assert s.units == 2
+
+    @given(pattern=st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_window_invariant(self, pattern):
+        """Over any horizon, published units never exceed elapsed ticks.
+
+        This is the property that keeps LBA/LPA inside the ε/2 publication
+        cap: each timestamp mints exactly one unit, and every published unit
+        was minted by some earlier (or current) timestamp.
+        """
+        s = AbsorptionSchedule()
+        minted = 0
+        published = 0
+        for wants_publish in pattern:
+            allowed = s.tick()
+            minted += 1
+            if wants_publish and allowed:
+                published += s.publish()
+            assert published <= minted

@@ -1,0 +1,104 @@
+"""Tests for the generic LDP-IDS histogram stream publisher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.histogram import HistogramRun, HistogramStreamPublisher
+from repro.baselines.ldp_ids import LdpIdsConfig
+from repro.exceptions import ConfigurationError
+
+
+def constant_stream(n_users=200, d=5, horizon=20, hot=0):
+    """Every user reports the same value at every timestamp."""
+    return [[(u, hot) for u in range(n_users)] for _ in range(horizon)]
+
+
+def shifting_stream(n_users=200, d=5, horizon=20, shift_at=10):
+    """Value 0 dominates early, value d-1 dominates late."""
+    stream = []
+    for t in range(horizon):
+        hot = 0 if t < shift_at else d - 1
+        stream.append([(u, hot) for u in range(n_users)])
+    return stream
+
+
+@pytest.mark.parametrize("strategy", ["lbd", "lba", "lpd", "lpa"])
+class TestAllStrategies:
+    def test_privacy_holds(self, strategy):
+        pub = HistogramStreamPublisher(
+            5, LdpIdsConfig(epsilon=1.0, w=4, strategy=strategy, seed=0)
+        )
+        run = pub.run(constant_stream())
+        assert run.accountant.verify(), run.accountant.summary()
+
+    def test_release_every_timestamp(self, strategy):
+        pub = HistogramStreamPublisher(
+            5, LdpIdsConfig(epsilon=1.0, w=4, strategy=strategy, seed=0)
+        )
+        run = pub.run(constant_stream(horizon=15))
+        assert len(run.releases) == 15
+        assert run.frequency_matrix().shape == (15, 5)
+
+    def test_recovers_dominant_value(self, strategy):
+        pub = HistogramStreamPublisher(
+            4, LdpIdsConfig(epsilon=2.0, w=4, strategy=strategy, seed=0)
+        )
+        run = pub.run(constant_stream(n_users=400, d=4, hot=2))
+        final = run.releases[-1].frequencies
+        assert int(np.argmax(final)) == 2
+
+    def test_approximation_happens_on_steady_streams(self, strategy):
+        """A constant stream should mostly re-release, not re-publish."""
+        pub = HistogramStreamPublisher(
+            4, LdpIdsConfig(epsilon=1.0, w=5, strategy=strategy, seed=0)
+        )
+        run = pub.run(constant_stream(n_users=300, horizon=30))
+        assert run.n_published < 30
+
+    def test_empty_timestamps_survive(self, strategy):
+        stream = [[] for _ in range(10)]
+        pub = HistogramStreamPublisher(
+            4, LdpIdsConfig(epsilon=1.0, w=3, strategy=strategy, seed=0)
+        )
+        run = pub.run(stream)
+        assert len(run.releases) == 10
+        assert all(r.n_reporters == 0 for r in run.releases)
+
+
+class TestDistributionShift:
+    def test_tracks_shift(self):
+        """After the shift the release must move to the new hot value."""
+        pub = HistogramStreamPublisher(
+            5, LdpIdsConfig(epsilon=2.0, w=4, strategy="lbd", seed=0)
+        )
+        run = pub.run(shifting_stream(n_users=400, horizon=24, shift_at=12))
+        early = run.releases[10].frequencies
+        late = run.releases[-1].frequencies
+        assert int(np.argmax(early)) == 0
+        assert int(np.argmax(late)) == 4
+
+    def test_shift_triggers_publication(self):
+        pub = HistogramStreamPublisher(
+            5, LdpIdsConfig(epsilon=2.0, w=4, strategy="lba", seed=0)
+        )
+        run = pub.run(shifting_stream(n_users=400, horizon=24, shift_at=12))
+        # At least one publication in the few timestamps after the shift.
+        assert any(r.published for r in run.releases[12:16])
+
+
+class TestValidation:
+    def test_invalid_domain(self):
+        with pytest.raises(ConfigurationError):
+            HistogramStreamPublisher(0, LdpIdsConfig())
+
+    def test_empty_stream(self):
+        pub = HistogramStreamPublisher(3, LdpIdsConfig(seed=0))
+        run = pub.run([])
+        assert isinstance(run, HistogramRun)
+        assert run.releases == []
+
+    def test_deterministic_given_seed(self):
+        cfg = LdpIdsConfig(epsilon=1.0, w=4, strategy="lpd", seed=9)
+        a = HistogramStreamPublisher(4, cfg).run(constant_stream(horizon=10))
+        b = HistogramStreamPublisher(4, cfg).run(constant_stream(horizon=10))
+        assert np.array_equal(a.frequency_matrix(), b.frequency_matrix())

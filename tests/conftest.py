@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    make_lane_stream,
+    make_random_walks,
+    make_two_hotspot_stream,
+)
+from repro.geo.grid import Grid, unit_grid
+from repro.geo.point import BoundingBox
+from repro.stream.state_space import TransitionStateSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def grid4() -> Grid:
+    """A 4x4 grid over the unit square."""
+    return unit_grid(4)
+
+
+@pytest.fixture
+def grid6() -> Grid:
+    """A 6x6 grid over the unit square (the paper's default K)."""
+    return unit_grid(6)
+
+
+@pytest.fixture
+def wide_grid() -> Grid:
+    """A non-square-extent grid to catch x/y mix-ups."""
+    return Grid(BoundingBox(-10.0, 0.0, 30.0, 20.0), 5)
+
+
+@pytest.fixture
+def space4(grid4) -> TransitionStateSpace:
+    return TransitionStateSpace(grid4)
+
+
+@pytest.fixture
+def space4_noeq(grid4) -> TransitionStateSpace:
+    return TransitionStateSpace(grid4, include_entering_quitting=False)
+
+
+@pytest.fixture
+def lane_data():
+    """Deterministic left-to-right lane flows (known true model)."""
+    return make_lane_stream(k=5, n_streams=150, n_timestamps=25, seed=7)
+
+
+@pytest.fixture
+def walk_data():
+    """Random walks with churn."""
+    return make_random_walks(k=5, n_streams=120, n_timestamps=30, seed=11)
+
+
+@pytest.fixture
+def hotspot_data():
+    """Two-hotspot flows with a mid-stream regime shift."""
+    return make_two_hotspot_stream(k=5, n_streams=150, n_timestamps=40, seed=3)

@@ -1,0 +1,204 @@
+"""Tests for the allocation strategies (Eqs. 9-10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    AdaptiveBudgetAllocator,
+    AdaptivePopulationAllocator,
+    AllocationContext,
+    SampleBudgetAllocator,
+    SamplePopulationAllocator,
+    UniformBudgetAllocator,
+    UniformPopulationAllocator,
+    adaptive_portion,
+    make_budget_allocator,
+    make_population_allocator,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestAllocationContext:
+    def test_deviation_needs_two_rounds(self):
+        ctx = AllocationContext(kappa=3)
+        assert ctx.deviation() == 0.0
+        ctx.record_collection(np.array([0.5, 0.5]))
+        assert ctx.deviation() == 0.0
+
+    def test_deviation_measures_drift(self):
+        ctx = AllocationContext(kappa=3)
+        ctx.record_collection(np.array([0.5, 0.5]))
+        ctx.record_collection(np.array([0.9, 0.1]))
+        # |0.9-0.5| + |0.1-0.5| = 0.8
+        assert ctx.deviation() == pytest.approx(0.8)
+
+    def test_deviation_zero_for_steady_stream(self):
+        ctx = AllocationContext(kappa=3)
+        for _ in range(5):
+            ctx.record_collection(np.array([0.3, 0.7]))
+        assert ctx.deviation() == pytest.approx(0.0)
+
+    def test_history_bounded_by_kappa(self):
+        ctx = AllocationContext(kappa=2)
+        for i in range(10):
+            ctx.record_collection(np.array([float(i)]))
+        # Only the last kappa vectors before the latest matter.
+        assert ctx.deviation() == pytest.approx(abs(9 - (7 + 8) / 2))
+
+    def test_significant_ratio_mean(self):
+        ctx = AllocationContext(kappa=3)
+        ctx.record_significant_ratio(0.2)
+        ctx.record_significant_ratio(0.4)
+        assert ctx.mean_significant_ratio() == pytest.approx(0.3)
+
+    def test_ratio_clipped(self):
+        ctx = AllocationContext(kappa=3)
+        ctx.record_significant_ratio(5.0)
+        assert ctx.mean_significant_ratio() == 1.0
+
+    def test_invalid_kappa(self):
+        with pytest.raises(ConfigurationError):
+            AllocationContext(kappa=0)
+
+
+class TestAdaptivePortion:
+    def test_floor_applies_when_dev_zero(self):
+        ctx = AllocationContext()
+        p = adaptive_portion(ctx, w=10)
+        assert p == pytest.approx(1.0 / 20.0)  # 1/(2w) bootstrap floor
+
+    def test_caps_at_p_max(self):
+        ctx = AllocationContext()
+        ctx.record_collection(np.zeros(4))
+        ctx.record_collection(np.full(4, 100.0))  # massive deviation
+        p = adaptive_portion(ctx, w=2, alpha=8.0, p_max=0.6)
+        assert p == 0.6
+
+    def test_larger_w_smaller_portion(self):
+        ctx = AllocationContext()
+        ctx.record_collection(np.array([0.0, 0.0]))
+        ctx.record_collection(np.array([0.4, 0.4]))
+        p_small_w = adaptive_portion(ctx, w=5)
+        p_large_w = adaptive_portion(ctx, w=50)
+        assert p_large_w < p_small_w
+
+    def test_more_significant_transitions_smaller_portion(self):
+        """Eq. 10: a higher |S*|/|S| ratio shrinks the allocation."""
+        ctx_low = AllocationContext()
+        ctx_high = AllocationContext()
+        for ctx, ratio in ((ctx_low, 0.1), (ctx_high, 0.9)):
+            ctx.record_collection(np.array([0.0, 0.0]))
+            ctx.record_collection(np.array([0.4, 0.4]))
+            ctx.record_significant_ratio(ratio)
+        assert adaptive_portion(ctx_high, w=10) <= adaptive_portion(ctx_low, w=10)
+
+    def test_log_dampens_large_deviation(self):
+        ctx1 = AllocationContext()
+        ctx1.record_collection(np.array([0.0]))
+        ctx1.record_collection(np.array([1.0]))
+        ctx2 = AllocationContext()
+        ctx2.record_collection(np.array([0.0]))
+        ctx2.record_collection(np.array([10.0]))
+        p1 = adaptive_portion(ctx1, w=20, p_max=1.0)
+        p2 = adaptive_portion(ctx2, w=20, p_max=1.0)
+        # Deviation is 10x but portion grows much slower (logarithmically).
+        assert p2 / p1 < 5.0
+
+
+class TestBudgetAllocators:
+    def test_uniform(self):
+        a = UniformBudgetAllocator(1.0, 10)
+        ctx = AllocationContext()
+        for t in range(30):
+            eps = a.propose(t, ctx)
+            assert eps == pytest.approx(0.1)
+            a.commit(eps)
+
+    def test_sample_spends_all_at_window_start(self):
+        a = SampleBudgetAllocator(1.0, 5)
+        ctx = AllocationContext()
+        pattern = []
+        for t in range(10):
+            eps = a.propose(t, ctx)
+            pattern.append(eps)
+            a.commit(eps)
+        assert pattern[0] == 1.0 and pattern[5] == 1.0
+        assert all(e == 0.0 for i, e in enumerate(pattern) if i % 5 != 0)
+
+    def test_adaptive_initialisation_round(self):
+        a = AdaptiveBudgetAllocator(1.0, 10)
+        ctx = AllocationContext()
+        assert a.propose(0, ctx) == pytest.approx(0.1)  # eps / w
+
+    def test_adaptive_never_exceeds_remaining(self):
+        a = AdaptiveBudgetAllocator(1.0, 5)
+        ctx = AllocationContext()
+        rng = np.random.default_rng(0)
+        for t in range(50):
+            ctx.record_collection(rng.random(8))
+            eps = a.propose(t, ctx)
+            assert eps <= a.tracker.remaining + 1e-9
+            a.commit(eps)
+
+    def test_window_sum_never_exceeds_epsilon(self):
+        """Any w consecutive commits must sum to <= epsilon."""
+        a = AdaptiveBudgetAllocator(1.0, 4)
+        ctx = AllocationContext()
+        rng = np.random.default_rng(1)
+        spends = []
+        for t in range(60):
+            ctx.record_collection(rng.random(4) * 3)
+            eps = a.propose(t, ctx)
+            a.commit(eps)
+            spends.append(eps)
+        for i in range(len(spends) - 4):
+            assert sum(spends[i : i + 4]) <= 1.0 + 1e-9
+
+    def test_factory(self):
+        assert isinstance(make_budget_allocator("adaptive", 1.0, 5), AdaptiveBudgetAllocator)
+        assert isinstance(make_budget_allocator("uniform", 1.0, 5), UniformBudgetAllocator)
+        assert isinstance(make_budget_allocator("sample", 1.0, 5), SampleBudgetAllocator)
+        with pytest.raises(ConfigurationError):
+            make_budget_allocator("bogus", 1.0, 5)
+
+
+class TestPopulationAllocators:
+    def test_uniform(self):
+        a = UniformPopulationAllocator(8)
+        ctx = AllocationContext()
+        assert a.propose(3, ctx) == pytest.approx(1.0 / 8.0)
+
+    def test_sample(self):
+        a = SamplePopulationAllocator(4)
+        ctx = AllocationContext()
+        assert a.propose(0, ctx) == 1.0
+        assert a.propose(1, ctx) == 0.0
+        assert a.propose(4, ctx) == 1.0
+
+    def test_adaptive_bounds(self):
+        a = AdaptivePopulationAllocator(10)
+        ctx = AllocationContext()
+        rng = np.random.default_rng(2)
+        for t in range(40):
+            ctx.record_collection(rng.random(6))
+            p = a.propose(t, ctx)
+            assert 0.0 <= p <= 0.6
+
+    def test_adaptive_initialisation(self):
+        a = AdaptivePopulationAllocator(10)
+        assert a.propose(0, AllocationContext()) == pytest.approx(0.1)
+
+    def test_factory(self):
+        assert isinstance(make_population_allocator("adaptive", 5), AdaptivePopulationAllocator)
+        assert isinstance(make_population_allocator("uniform", 5), UniformPopulationAllocator)
+        assert isinstance(make_population_allocator("sample", 5), SamplePopulationAllocator)
+        with pytest.raises(ConfigurationError):
+            make_population_allocator("bogus", 5)
+
+    def test_invalid_w(self):
+        with pytest.raises(ConfigurationError):
+            UniformPopulationAllocator(0)
+        with pytest.raises(ConfigurationError):
+            UniformBudgetAllocator(1.0, 0)
+        with pytest.raises(ConfigurationError):
+            UniformBudgetAllocator(0.0, 5)

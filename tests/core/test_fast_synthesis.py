@@ -1,0 +1,183 @@
+"""Tests for the vectorized synthesis engine.
+
+The vectorized engine must be a behavioural twin of the reference
+object-based synthesizer: identical invariants, statistically identical
+generative distribution, materially faster on large populations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fast_synthesis import VectorizedSynthesizer
+from repro.core.mobility_model import GlobalMobilityModel
+from repro.core.retrasyn import RetraSyn, RetraSynConfig
+from repro.core.synthesis import Synthesizer
+from repro.exceptions import ConfigurationError
+
+from tests.core.test_synthesis import deterministic_model
+
+
+class TestInterfaceParity:
+    def test_spawn_from_entering(self, space4):
+        model = deterministic_model(space4, {}, enter_cell=7)
+        syn = VectorizedSynthesizer(model, lam=10.0, rng=0)
+        syn.spawn_from_entering(0, 25)
+        assert syn.n_live == 25
+        assert all(tr.cells == [7] for tr in syn.live_streams)
+
+    def test_spawn_uniform(self, space4):
+        syn = VectorizedSynthesizer(GlobalMobilityModel(space4), lam=10.0, rng=0)
+        syn.spawn_uniform(0, 300)
+        cells = {tr.cells[0] for tr in syn.live_streams}
+        assert len(cells) > 10
+
+    def test_spawn_from_distribution_validation(self, space4):
+        syn = VectorizedSynthesizer(GlobalMobilityModel(space4), lam=10.0, rng=0)
+        with pytest.raises(ConfigurationError):
+            syn.spawn_from_distribution(0, 5, np.ones(3))
+
+    def test_invalid_lambda(self, space4):
+        with pytest.raises(ConfigurationError):
+            VectorizedSynthesizer(GlobalMobilityModel(space4), lam=0.0)
+
+    def test_deterministic_chain(self, space4):
+        model = deterministic_model(space4, {0: 1, 1: 2, 2: 3, 3: 3})
+        syn = VectorizedSynthesizer(model, lam=100.0, rng=0)
+        syn.spawn_from_distribution(0, 5, np.eye(16)[0])
+        for t in range(1, 4):
+            syn.step(t)
+        for tr in syn.live_streams:
+            assert tr.cells == [0, 1, 2, 3]
+
+    def test_size_adjustment_series(self, space4):
+        model = deterministic_model(
+            space4, {c: c for c in range(16)}, quit_cells=(0,)
+        )
+        syn = VectorizedSynthesizer(model, lam=1e9, rng=3)
+        targets = [20, 35, 10, 10, 40, 0, 5]
+        syn.spawn_from_entering(0, targets[0])
+        for t, target in enumerate(targets[1:], start=1):
+            syn.step(t, target_size=target)
+            assert syn.n_live == target
+
+    def test_history_retained(self, space4):
+        model = deterministic_model(space4, {0: 0}, quit_cells=(0,))
+        syn = VectorizedSynthesizer(model, lam=1.0, rng=0)
+        syn.spawn_from_distribution(0, 100, np.eye(16)[0])
+        for t in range(1, 15):
+            syn.step(t)
+        total = syn.all_trajectories()
+        assert len(total) == 100
+        assert sum(tr.terminated for tr in total) == 100 - syn.n_live
+
+    def test_capacity_growth(self, space4):
+        """Spawning past the initial capacity must transparently grow."""
+        model = deterministic_model(space4, {0: 0}, enter_cell=0)
+        syn = VectorizedSynthesizer(model, lam=100.0, rng=0, initial_capacity=16)
+        for t in range(0, 30):
+            syn.spawn_from_entering(t, 10)
+            if t > 0:
+                syn.step(t)
+        assert syn._n == 300
+        assert all(len(tr) >= 1 for tr in syn.all_trajectories())
+
+
+class TestDistributionEquivalence:
+    """The two engines must produce statistically identical synthetics."""
+
+    @pytest.fixture
+    def loaded_model(self, space4, rng):
+        model = GlobalMobilityModel(space4)
+        model.set_all(rng.random(space4.size))
+        return model
+
+    def _run(self, engine_cls, model, seed, n=600, steps=12):
+        syn = engine_cls(model, lam=8.0, rng=seed)
+        syn.spawn_from_entering(0, n)
+        for t in range(1, steps):
+            syn.step(t)
+        return syn.all_trajectories()
+
+    def test_transition_distributions_match(self, loaded_model):
+        from collections import Counter
+
+        ref = Counter()
+        fast = Counter()
+        for seed in range(3):
+            for tr in self._run(Synthesizer, loaded_model, seed):
+                ref.update(tr.transitions())
+            for tr in self._run(VectorizedSynthesizer, loaded_model, 100 + seed):
+                fast.update(tr.transitions())
+        total_ref = sum(ref.values())
+        total_fast = sum(fast.values())
+        # Compare the relative frequency of every transition seen by either.
+        for key in set(ref) | set(fast):
+            p_ref = ref[key] / total_ref
+            p_fast = fast[key] / total_fast
+            assert abs(p_ref - p_fast) < 0.02, key
+
+    def test_survival_rates_match(self, loaded_model):
+        ref_alive = np.mean([
+            sum(not t.terminated for t in self._run(Synthesizer, loaded_model, s))
+            for s in range(3)
+        ])
+        fast_alive = np.mean([
+            sum(not t.terminated
+                for t in self._run(VectorizedSynthesizer, loaded_model, 50 + s))
+            for s in range(3)
+        ])
+        assert abs(ref_alive - fast_alive) / max(ref_alive, 1) < 0.15
+
+    def test_length_distributions_match(self, loaded_model):
+        ref_lengths = [
+            len(t) for s in range(3) for t in self._run(Synthesizer, loaded_model, s)
+        ]
+        fast_lengths = [
+            len(t)
+            for s in range(3)
+            for t in self._run(VectorizedSynthesizer, loaded_model, 50 + s)
+        ]
+        assert np.mean(ref_lengths) == pytest.approx(
+            np.mean(fast_lengths), rel=0.1
+        )
+
+
+class TestPipelineIntegration:
+    def test_vectorized_pipeline_runs(self, walk_data):
+        run = RetraSyn(
+            RetraSynConfig(epsilon=1.0, w=5, engine="vectorized", seed=0)
+        ).run(walk_data)
+        assert run.accountant.verify()
+        real = walk_data.active_counts()
+        syn = run.synthetic.active_counts()
+        assert np.array_equal(real, syn)
+
+    def test_vectorized_respects_adjacency(self, walk_data):
+        run = RetraSyn(
+            RetraSynConfig(epsilon=1.0, w=5, engine="vectorized", seed=0)
+        ).run(walk_data)
+        grid = walk_data.grid
+        for traj in run.synthetic.trajectories:
+            for a, b in traj.transitions():
+                assert grid.are_adjacent(a, b)
+
+    def test_invalid_engine(self):
+        with pytest.raises(ConfigurationError):
+            RetraSynConfig(engine="gpu")
+
+    def test_utility_comparable_between_engines(self, walk_data):
+        from repro.metrics.registry import evaluate_all
+
+        scores = {}
+        for engine in ("object", "vectorized"):
+            run = RetraSyn(
+                RetraSynConfig(epsilon=2.0, w=5, engine=engine, seed=0)
+            ).run(walk_data)
+            scores[engine] = evaluate_all(
+                walk_data, run.synthetic, phi=5,
+                metrics=("density_error", "transition_error"), rng=0,
+            )
+        for metric in ("density_error", "transition_error"):
+            assert abs(
+                scores["object"][metric] - scores["vectorized"][metric]
+            ) < 0.12, scores

@@ -1,0 +1,184 @@
+"""Tests for the global mobility model (Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mobility_model import GlobalMobilityModel
+from repro.exceptions import ConfigurationError
+from repro.stream.state_space import TransitionStateSpace
+from repro.geo.grid import unit_grid
+
+
+@pytest.fixture
+def model4(space4):
+    return GlobalMobilityModel(space4)
+
+
+class TestUpdates:
+    def test_starts_empty(self, model4):
+        assert np.all(model4.frequencies == 0)
+
+    def test_set_all(self, model4, space4):
+        f = np.linspace(0, 1, space4.size)
+        model4.set_all(f)
+        assert np.allclose(model4.frequencies, f)
+
+    def test_set_all_copies(self, model4, space4):
+        f = np.zeros(space4.size)
+        model4.set_all(f)
+        f[0] = 99.0
+        assert model4.frequencies[0] == 0.0
+
+    def test_shape_mismatch_rejected(self, model4):
+        with pytest.raises(ConfigurationError):
+            model4.set_all(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            model4.update_selected([0], np.zeros(3))
+
+    def test_update_selected_only_touches_selection(self, model4, space4):
+        base = np.full(space4.size, 0.5)
+        model4.set_all(base)
+        fresh = np.full(space4.size, 0.9)
+        model4.update_selected([0, 2], fresh)
+        f = model4.frequencies
+        assert f[0] == 0.9 and f[2] == 0.9
+        assert f[1] == 0.5 and f[3] == 0.5
+
+    def test_empty_selection_noop(self, model4, space4):
+        model4.set_all(np.full(space4.size, 0.5))
+        v = model4.version
+        model4.update_selected([], np.zeros(space4.size))
+        assert model4.version == v
+
+    def test_version_bumps(self, model4, space4):
+        v0 = model4.version
+        model4.set_all(np.zeros(space4.size))
+        assert model4.version == v0 + 1
+        model4.update_selected([1], np.ones(space4.size))
+        assert model4.version == v0 + 2
+
+
+class TestRowDistribution:
+    def test_eq6_with_quit_mass(self, space4):
+        """Pr(m_ij) = f_ij / (sum_out + f_iQ); Pr(quit|i) = f_iQ / (same)."""
+        model = GlobalMobilityModel(space4)
+        f = np.zeros(space4.size)
+        origin = 5
+        out = space4.out_move_indices(origin)
+        f[out] = 1.0  # each outgoing move has frequency 1
+        f[space4.index_of_quit(origin)] = 3.0
+        model.set_all(f)
+        probs, quit = model.row_distribution(origin)
+        denom = len(out) + 3.0
+        assert probs == pytest.approx(np.full(len(out), 1.0 / denom))
+        assert quit == pytest.approx(3.0 / denom)
+        assert probs.sum() + quit == pytest.approx(1.0)
+
+    def test_negative_estimates_clipped(self, space4):
+        model = GlobalMobilityModel(space4)
+        f = np.zeros(space4.size)
+        origin = 5
+        out = space4.out_move_indices(origin)
+        f[out[0]] = -0.5  # debiased estimates can be negative
+        f[out[1]] = 1.0
+        model.set_all(f)
+        probs, _quit = model.row_distribution(origin)
+        assert probs[0] == 0.0
+        assert probs[1] == 1.0
+
+    def test_massless_row_uniform(self, space4):
+        model = GlobalMobilityModel(space4)
+        probs, quit = model.row_distribution(7)
+        assert probs == pytest.approx(np.full(probs.size, 1.0 / probs.size))
+        assert quit == 0.0
+
+    def test_no_eq_space_has_no_quit(self, space4_noeq):
+        model = GlobalMobilityModel(space4_noeq)
+        f = np.ones(space4_noeq.size)
+        model.set_all(f)
+        probs, quit = model.row_distribution(0)
+        assert quit == 0.0
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_cache_invalidated_on_update(self, space4):
+        model = GlobalMobilityModel(space4)
+        f = np.zeros(space4.size)
+        f[space4.out_move_indices(0)[0]] = 1.0
+        model.set_all(f)
+        p1, _q = model.row_distribution(0)
+        f2 = np.zeros(space4.size)
+        f2[space4.out_move_indices(0)[1]] = 1.0
+        model.set_all(f2)
+        p2, _q = model.row_distribution(0)
+        assert not np.allclose(p1, p2)
+
+
+class TestEnterQuitDistributions:
+    def test_enter_distribution_normalised(self, space4):
+        model = GlobalMobilityModel(space4)
+        f = np.zeros(space4.size)
+        f[space4.index_of_enter(0)] = 3.0
+        f[space4.index_of_enter(1)] = 1.0
+        model.set_all(f)
+        e = model.enter_distribution()
+        assert e[0] == pytest.approx(0.75)
+        assert e[1] == pytest.approx(0.25)
+        assert e.sum() == pytest.approx(1.0)
+
+    def test_empty_enter_uniform_fallback(self, space4):
+        model = GlobalMobilityModel(space4)
+        e = model.enter_distribution()
+        assert e == pytest.approx(np.full(space4.n_cells, 1.0 / space4.n_cells))
+
+    def test_quit_distribution(self, space4):
+        model = GlobalMobilityModel(space4)
+        f = np.zeros(space4.size)
+        f[space4.index_of_quit(3)] = 2.0
+        model.set_all(f)
+        q = model.quit_distribution()
+        assert q[3] == pytest.approx(1.0)
+        assert q.sum() == pytest.approx(1.0)
+
+
+class TestTransitionMatrix:
+    def test_off_domain_zero(self, space4):
+        model = GlobalMobilityModel(space4)
+        f = np.ones(space4.size)
+        model.set_all(f)
+        mat = model.transition_matrix()
+        grid = unit_grid(4)
+        for a in range(16):
+            for b in range(16):
+                if not grid.are_adjacent(a, b):
+                    assert mat[a, b] == 0.0
+
+    def test_rows_sum_to_one_minus_quit(self, space4):
+        model = GlobalMobilityModel(space4)
+        rng = np.random.default_rng(0)
+        model.set_all(rng.random(space4.size))
+        mat = model.transition_matrix()
+        for origin in range(space4.n_cells):
+            _p, quit = model.row_distribution(origin)
+            assert mat[origin].sum() == pytest.approx(1.0 - quit)
+
+
+class TestModelRecovery:
+    def test_learns_lane_transitions_from_clean_counts(self, lane_data):
+        """Feeding true frequencies must recover the deterministic lane."""
+        space = TransitionStateSpace(lane_data.grid)
+        counts = np.zeros(space.size)
+        n = 0
+        for t in range(lane_data.n_timestamps):
+            for _uid, s in lane_data.participants_at(t):
+                counts[space.index_of(s)] += 1
+                n += 1
+        model = GlobalMobilityModel(space)
+        model.set_all(counts / n)
+        # From any lane cell (row 0, col < k-1), the dominant move is +1 col.
+        k = lane_data.grid.k
+        for col in range(k - 2):
+            origin = lane_data.grid.rowcol_to_cell(0, col)
+            probs = model.movement_probs(origin)
+            dests = space.out_destinations(origin)
+            best = dests[int(np.argmax(probs))]
+            assert best == lane_data.grid.rowcol_to_cell(0, col + 1)

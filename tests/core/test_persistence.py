@@ -1,0 +1,114 @@
+"""Tests for model/config persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.mobility_model import GlobalMobilityModel
+from repro.core.persistence import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    load_model,
+    save_config,
+    save_model,
+)
+from repro.core.retrasyn import RetraSynConfig
+from repro.exceptions import ConfigurationError, DatasetError
+
+
+class TestModelRoundTrip:
+    def test_frequencies_preserved(self, space4, rng, tmp_path):
+        model = GlobalMobilityModel(space4)
+        model.set_all(rng.random(space4.size))
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.allclose(loaded.frequencies, model.frequencies)
+
+    def test_space_geometry_preserved(self, space4, tmp_path):
+        model = GlobalMobilityModel(space4)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.space.grid == space4.grid
+        assert loaded.space.include_eq == space4.include_eq
+        assert loaded.space.size == space4.size
+
+    def test_noeq_space_round_trip(self, space4_noeq, tmp_path):
+        model = GlobalMobilityModel(space4_noeq)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.space.include_eq is False
+
+    def test_distributions_survive(self, space4, rng, tmp_path):
+        model = GlobalMobilityModel(space4)
+        model.set_all(rng.random(space4.size))
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        for origin in range(space4.n_cells):
+            p1, q1 = model.row_distribution(origin)
+            p2, q2 = loaded.row_distribution(origin)
+            assert np.allclose(p1, p2)
+            assert q1 == pytest.approx(q2)
+        assert np.allclose(model.enter_distribution(), loaded.enter_distribution())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_model(tmp_path / "absent.npz")
+
+    def test_resume_synthesis_from_saved_model(self, space4, rng, tmp_path):
+        """A restored model must drive a synthesizer identically."""
+        from repro.core.synthesis import Synthesizer
+
+        model = GlobalMobilityModel(space4)
+        model.set_all(rng.random(space4.size))
+        save_model(model, tmp_path / "m.npz")
+        loaded = load_model(tmp_path / "m.npz")
+
+        def simulate(m, seed):
+            syn = Synthesizer(m, lam=10.0, rng=seed)
+            syn.spawn_from_entering(0, 50)
+            for t in range(1, 8):
+                syn.step(t)
+            return [tr.cells for tr in syn.all_trajectories()]
+
+        assert simulate(model, 7) == simulate(loaded, 7)
+
+
+class TestConfigRoundTrip:
+    def test_dict_round_trip(self):
+        cfg = RetraSynConfig(
+            epsilon=1.5, w=12, division="budget", allocator="uniform",
+            engine="vectorized", seed=42,
+        )
+        restored = config_from_dict(config_to_dict(cfg))
+        assert restored == cfg
+
+    def test_file_round_trip(self, tmp_path):
+        cfg = RetraSynConfig(epsilon=0.5, w=30, allocator="sample", seed=1)
+        path = tmp_path / "cfg.json"
+        save_config(cfg, path)
+        assert load_config(path) == cfg
+
+    def test_generator_seed_dropped(self):
+        import numpy as np
+
+        cfg = RetraSynConfig(seed=np.random.default_rng(0))
+        d = config_to_dict(cfg)
+        assert d["seed"] is None
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"epsilon": 1.0, "bogus": True})
+
+    def test_invalid_values_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"epsilon": -1.0}')
+        with pytest.raises(ConfigurationError):
+            load_config(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_config(tmp_path / "absent.json")

@@ -1,0 +1,80 @@
+"""Tests for the AllUpdate and NoEQ ablation variants."""
+
+import numpy as np
+
+from repro.core.variants import make_all_update, make_no_eq, make_retrasyn
+from repro.metrics.length import length_error
+from repro.metrics.divergence import LN2
+
+
+class TestFactories:
+    def test_labels(self):
+        assert make_retrasyn("population").config.label == "RetraSyn_p"
+        assert make_retrasyn("budget").config.label == "RetraSyn_b"
+        assert make_all_update("population").config.label == "AllUpdate_p"
+        assert make_no_eq("budget").config.label == "NoEQ_b"
+
+    def test_all_update_sets_strategy(self):
+        assert make_all_update("budget").config.update_strategy == "all"
+
+    def test_no_eq_disables_eq(self):
+        assert make_no_eq("population").config.model_entering_quitting is False
+
+
+class TestAllUpdate:
+    def test_updates_whole_model_every_round(self, walk_data):
+        run = make_all_update("population", epsilon=1.0, w=5, seed=0).run(walk_data)
+        space_size = None
+        for n_sig, n_rep in zip(
+            run.significant_per_timestamp, run.reporters_per_timestamp
+        ):
+            if n_rep > 0:
+                if space_size is None:
+                    space_size = n_sig
+                assert n_sig == space_size  # always the full space
+
+    def test_dmu_updates_fewer(self, walk_data):
+        """RetraSyn's DMU must select strictly fewer states on average."""
+        all_run = make_all_update("population", epsilon=1.0, w=5, seed=0).run(walk_data)
+        dmu_run = make_retrasyn("population", epsilon=1.0, w=5, seed=0).run(walk_data)
+        avg_all = np.mean([n for n in all_run.significant_per_timestamp if n > 0])
+        dmu_counts = [
+            n for n, r in zip(
+                dmu_run.significant_per_timestamp, dmu_run.reporters_per_timestamp
+            ) if r > 0
+        ]
+        assert np.mean(dmu_counts[1:]) < avg_all  # skip the init round
+
+    def test_privacy_still_holds(self, walk_data):
+        run = make_all_update("budget", epsilon=1.0, w=4, seed=0).run(walk_data)
+        assert run.accountant.verify()
+
+
+class TestNoEQ:
+    def test_streams_never_terminate(self, walk_data):
+        run = make_no_eq("population", epsilon=1.0, w=5, seed=0).run(walk_data)
+        assert all(not t.terminated for t in run.synthetic.trajectories)
+
+    def test_all_streams_start_at_zero(self, walk_data):
+        run = make_no_eq("population", epsilon=1.0, w=5, seed=0).run(walk_data)
+        assert all(t.start_time == 0 for t in run.synthetic.trajectories)
+
+    def test_size_not_adjusted(self, walk_data):
+        run = make_no_eq("population", epsilon=1.0, w=5, seed=0).run(walk_data)
+        counts = run.synthetic.active_counts()
+        assert np.all(counts == counts[0])  # constant population
+
+    def test_length_error_pinned_at_ln2(self, walk_data):
+        """Paper Table IV: NoEQ length error equals ln 2 (disjoint support)."""
+        run = make_no_eq("population", epsilon=1.0, w=5, seed=0).run(walk_data)
+        err = length_error(walk_data, run.synthetic)
+        assert err > 0.6  # near the ln2 = 0.6931 ceiling
+
+    def test_retrasyn_length_error_far_below_ln2(self, walk_data):
+        run = make_retrasyn("population", epsilon=1.0, w=5, seed=0).run(walk_data)
+        err = length_error(walk_data, run.synthetic)
+        assert err < LN2 * 0.8
+
+    def test_privacy_still_holds(self, walk_data):
+        run = make_no_eq("population", epsilon=1.0, w=4, seed=0).run(walk_data)
+        assert run.accountant.verify()

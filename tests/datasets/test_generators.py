@@ -1,0 +1,162 @@
+"""Tests for the dataset generators (T-Drive-like, Brinkhoff, synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.brinkhoff import BrinkhoffConfig, NetworkGenerator
+from repro.datasets.synthetic import (
+    make_lane_stream,
+    make_random_walks,
+    make_two_hotspot_stream,
+)
+from repro.datasets.tdrive import TDriveConfig, make_tdrive
+from repro.exceptions import ConfigurationError
+
+
+class TestTDrive:
+    def test_basic_shape(self):
+        data = make_tdrive(TDriveConfig(n_taxis=50, n_timestamps=60), seed=0)
+        assert len(data) > 50  # multiple trips per taxi
+        assert data.n_timestamps == 60
+        assert data.grid.k == 6
+
+    def test_all_transitions_adjacent(self):
+        data = make_tdrive(TDriveConfig(n_taxis=30, n_timestamps=40), seed=1)
+        for traj in data.trajectories:
+            for a, b in traj.transitions():
+                assert data.grid.are_adjacent(a, b)
+
+    def test_average_length_near_target(self):
+        cfg = TDriveConfig(n_taxis=200, n_timestamps=200, mean_trip_length=13.61)
+        data = make_tdrive(cfg, seed=0)
+        avg = data.stats()["average_length"]
+        assert 8.0 < avg < 20.0  # same order as Table I's 13.61
+
+    def test_has_churn(self):
+        """Streams must enter and quit inside the horizon (dynamic users)."""
+        data = make_tdrive(TDriveConfig(n_taxis=100, n_timestamps=80), seed=0)
+        starts = {t.start_time for t in data.trajectories}
+        ends = {t.end_time for t in data.trajectories}
+        assert len(starts) > 10
+        assert len(ends) > 10
+
+    def test_spatially_skewed(self):
+        """Hotspot structure => cell popularity must be non-uniform."""
+        data = make_tdrive(TDriveConfig(n_taxis=150, n_timestamps=80), seed=0)
+        counts = data.cell_counts_matrix().sum(axis=0)
+        top = np.sort(counts)[::-1]
+        assert top[:5].sum() > 2 * top[-5:].sum()
+
+    def test_deterministic_given_seed(self):
+        cfg = TDriveConfig(n_taxis=20, n_timestamps=30)
+        a = make_tdrive(cfg, seed=5)
+        b = make_tdrive(cfg, seed=5)
+        assert [t.cells for t in a.trajectories] == [t.cells for t in b.trajectories]
+
+    def test_scaled_config(self):
+        cfg = TDriveConfig.scaled(0.01)
+        assert cfg.n_taxis == 103
+        with pytest.raises(ConfigurationError):
+            TDriveConfig.scaled(0.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            TDriveConfig(n_taxis=0)
+        with pytest.raises(ConfigurationError):
+            TDriveConfig(n_timestamps=1)
+        with pytest.raises(ConfigurationError):
+            TDriveConfig(mean_trip_length=0.5)
+
+
+class TestBrinkhoff:
+    @pytest.fixture(scope="class")
+    def small(self):
+        cfg = BrinkhoffConfig(
+            n_initial=60, new_per_ts=4, n_timestamps=40, graph_size=8
+        )
+        return NetworkGenerator(cfg, rng=0).generate("net")
+
+    def test_road_network_connected(self):
+        import networkx as nx
+
+        gen = NetworkGenerator(BrinkhoffConfig(graph_size=10), rng=0)
+        assert nx.is_connected(gen.graph)
+
+    def test_population_dynamics(self, small):
+        counts = small.active_counts()
+        # Initial population present, newcomers keep arriving.
+        assert counts[0] == 60
+        assert counts[1:].max() > 0
+
+    def test_arrivals_every_timestamp(self, small):
+        starts = [t.start_time for t in small.trajectories]
+        # At least one stream starting at most timestamps (arrivals = 4/ts).
+        unique_starts = set(starts)
+        assert len(unique_starts) > small.n_timestamps * 0.8
+
+    def test_adjacency_respected(self, small):
+        for traj in small.trajectories:
+            for a, b in traj.transitions():
+                assert small.grid.are_adjacent(a, b)
+
+    def test_quitting_happens(self, small):
+        ends = [t.end_time for t in small.trajectories]
+        assert min(ends) < small.n_timestamps - 1
+
+    def test_oldenburg_sanjoaquin_configs(self):
+        old = BrinkhoffConfig.oldenburg(scale=0.01)
+        sj = BrinkhoffConfig.sanjoaquin(scale=0.01)
+        assert old.n_initial == 100 and old.new_per_ts == 5
+        assert sj.n_initial == 100 and sj.new_per_ts == 10
+        assert sj.graph_size > old.graph_size
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            BrinkhoffConfig(n_initial=0)
+        with pytest.raises(ConfigurationError):
+            BrinkhoffConfig(graph_size=1)
+        with pytest.raises(ConfigurationError):
+            BrinkhoffConfig(quit_prob=1.0)
+        with pytest.raises(ConfigurationError):
+            BrinkhoffConfig.oldenburg(scale=2.0)
+
+
+class TestSyntheticGenerators:
+    def test_lane_is_deterministic_rightward(self):
+        data = make_lane_stream(k=5, n_streams=20, n_timestamps=20, seed=0)
+        for traj in data.trajectories:
+            rows = {data.grid.cell_to_rowcol(c)[0] for c in traj.cells}
+            assert rows == {0}
+            cols = [data.grid.cell_to_rowcol(c)[1] for c in traj.cells]
+            assert cols == sorted(cols)
+
+    def test_lane_invalid_row(self):
+        with pytest.raises(ConfigurationError):
+            make_lane_stream(k=4, row=4)
+
+    def test_random_walks_adjacency(self):
+        data = make_random_walks(k=5, n_streams=50, n_timestamps=25, seed=0)
+        for traj in data.trajectories:
+            for a, b in traj.transitions():
+                assert data.grid.are_adjacent(a, b)
+
+    def test_random_walks_lengths_within_horizon(self):
+        data = make_random_walks(k=5, n_streams=80, n_timestamps=25, seed=0)
+        for traj in data.trajectories:
+            assert traj.end_time < data.n_timestamps
+
+    def test_hotspot_shift_reverses_flow(self):
+        data = make_two_hotspot_stream(
+            k=5, n_streams=400, n_timestamps=60, shift_at=30, seed=0
+        )
+        # Before the shift, trips start at the lower-left; after, upper-right.
+        ll = data.grid.rowcol_to_cell(0, 0)
+        ur = data.grid.rowcol_to_cell(4, 4)
+        early = [t for t in data.trajectories if t.start_time < 30]
+        late = [t for t in data.trajectories if t.start_time >= 30]
+        assert sum(t.cells[0] == ll for t in early) > len(early) * 0.9
+        assert sum(t.cells[0] == ur for t in late) > len(late) * 0.9
+
+    def test_invalid_mean_length(self):
+        with pytest.raises(ConfigurationError):
+            make_random_walks(mean_length=0.5)

@@ -1,0 +1,64 @@
+"""Tests for dataset persistence and the name registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_stream_dataset, save_stream_dataset
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, walk_data, tmp_path):
+        path = tmp_path / "walks.npz"
+        save_stream_dataset(walk_data, path)
+        loaded = load_stream_dataset(path)
+        assert loaded.name == walk_data.name
+        assert loaded.n_timestamps == walk_data.n_timestamps
+        assert loaded.grid == walk_data.grid
+        assert len(loaded) == len(walk_data)
+        for a, b in zip(walk_data.trajectories, loaded.trajectories):
+            assert a.start_time == b.start_time
+            assert a.cells == b.cells
+            assert a.user_id == b.user_id
+
+    def test_aggregates_preserved(self, hotspot_data, tmp_path):
+        path = tmp_path / "h.npz"
+        save_stream_dataset(hotspot_data, path)
+        loaded = load_stream_dataset(path)
+        assert np.array_equal(
+            hotspot_data.cell_counts_matrix(), loaded.cell_counts_matrix()
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_stream_dataset(tmp_path / "absent.npz")
+
+    def test_empty_dataset(self, grid4, tmp_path):
+        from repro.stream.stream import StreamDataset
+
+        ds = StreamDataset(grid4, [], n_timestamps=10, name="empty")
+        path = tmp_path / "empty.npz"
+        save_stream_dataset(ds, path)
+        loaded = load_stream_dataset(path)
+        assert len(loaded) == 0
+        assert loaded.n_timestamps == 10
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_datasets()) == {"tdrive", "oldenburg", "sanjoaquin"}
+
+    def test_load_each(self):
+        for name in available_datasets():
+            ds = load_dataset(name, scale=0.01, k=4, seed=0)
+            assert len(ds) > 0
+            assert ds.grid.k == 4
+
+    def test_alias(self):
+        ds = load_dataset("T-Drive", scale=0.01, seed=0)
+        assert len(ds) > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("gowalla")

@@ -1,0 +1,159 @@
+"""Tests for the Section V-A raw-trace preprocessing pipeline."""
+
+import pytest
+
+from repro.datasets.preprocess import (
+    RawFix,
+    align_to_clock,
+    build_stream_dataset,
+    load_fixes_csv,
+    preprocess_raw_traces,
+    restrict_to_region,
+)
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.geo.grid import Grid
+from repro.geo.point import BoundingBox, Point
+
+BOX = BoundingBox(0.0, 0.0, 1.0, 1.0)
+
+
+class TestAlignToClock:
+    def test_basic_slotting(self):
+        fixes = [
+            RawFix(1, 0.0, 0.1, 0.1),
+            RawFix(1, 650.0, 0.2, 0.2),  # slot 1 at 600s granularity
+        ]
+        aligned = align_to_clock(fixes, granularity=600.0)
+        assert [t for t, _p in aligned[1]] == [0, 1]
+
+    def test_last_fix_in_slot_wins(self):
+        fixes = [
+            RawFix(1, 10.0, 0.1, 0.1),
+            RawFix(1, 500.0, 0.9, 0.9),  # same slot, later => wins
+        ]
+        aligned = align_to_clock(fixes, granularity=600.0)
+        assert aligned[1][0][1] == Point(0.9, 0.9)
+
+    def test_multiple_users(self):
+        fixes = [RawFix(1, 0.0, 0.1, 0.1), RawFix(2, 0.0, 0.5, 0.5)]
+        aligned = align_to_clock(fixes, granularity=60.0)
+        assert set(aligned) == {1, 2}
+
+    def test_origin_override(self):
+        fixes = [RawFix(1, 1000.0, 0.1, 0.1)]
+        aligned = align_to_clock(fixes, granularity=100.0, t0=0.0)
+        assert aligned[1][0][0] == 10
+
+    def test_fixes_before_origin_dropped(self):
+        fixes = [RawFix(1, 50.0, 0.1, 0.1)]
+        assert align_to_clock(fixes, granularity=100.0, t0=100.0) == {}
+
+    def test_empty(self):
+        assert align_to_clock([], granularity=60.0) == {}
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigurationError):
+            align_to_clock([RawFix(1, 0, 0, 0)], granularity=0.0)
+
+
+class TestRestrictToRegion:
+    def test_outside_fixes_dropped(self):
+        aligned = {1: [(0, Point(0.5, 0.5)), (1, Point(5.0, 5.0))]}
+        out = restrict_to_region(aligned, BOX)
+        assert [t for t, _p in out[1]] == [0]
+
+    def test_fully_outside_user_removed(self):
+        aligned = {1: [(0, Point(9.0, 9.0))]}
+        assert restrict_to_region(aligned, BOX) == {}
+
+
+class TestBuildStreamDataset:
+    def test_gap_creates_two_streams(self):
+        grid = Grid(BOX, 4)
+        aligned = {
+            7: [(0, Point(0.1, 0.1)), (1, Point(0.3, 0.1)), (5, Point(0.9, 0.9))]
+        }
+        ds = build_stream_dataset(aligned, grid)
+        assert len(ds) == 2
+        assert ds.trajectories[0].start_time == 0
+        assert ds.trajectories[1].start_time == 5
+
+    def test_adjacency_enforced(self):
+        grid = Grid(BOX, 4)
+        aligned = {
+            1: [(0, Point(0.05, 0.05)), (1, Point(0.95, 0.95))]  # huge jump
+        }
+        ds = build_stream_dataset(aligned, grid)
+        for a, b in ds.trajectories[0].transitions():
+            assert grid.are_adjacent(a, b)
+
+    def test_empty_raises_without_horizon(self):
+        grid = Grid(BOX, 4)
+        with pytest.raises(DatasetError):
+            build_stream_dataset({}, grid)
+
+    def test_empty_ok_with_horizon(self):
+        grid = Grid(BOX, 4)
+        ds = build_stream_dataset({}, grid, n_timestamps=5)
+        assert len(ds) == 0
+
+
+class TestFullPipeline:
+    def test_end_to_end(self):
+        fixes = []
+        # User 1: a clean 4-slot trace inside the box.
+        for i in range(4):
+            fixes.append(RawFix(1, i * 600.0, 0.1 + 0.05 * i, 0.1))
+        # User 2: leaves the box mid-way (forces a split).
+        fixes.extend([
+            RawFix(2, 0.0, 0.5, 0.5),
+            RawFix(2, 600.0, 5.0, 5.0),  # outside
+            RawFix(2, 1200.0, 0.5, 0.6),
+        ])
+        ds = preprocess_raw_traces(fixes, BOX, k=4, granularity=600.0)
+        assert len(ds) == 3  # user1 once + user2 split in two
+        stats = ds.stats()
+        assert stats["n_points"] == 6
+
+    def test_runs_through_retrasyn(self):
+        """Preprocessed output must be a valid pipeline input."""
+        from repro.core.retrasyn import RetraSyn, RetraSynConfig
+
+        fixes = [
+            RawFix(u, i * 60.0, 0.1 + 0.02 * ((u + i) % 20), 0.1 + 0.03 * (u % 10))
+            for u in range(30)
+            for i in range(12)
+        ]
+        ds = preprocess_raw_traces(fixes, BOX, k=4, granularity=60.0)
+        run = RetraSyn(RetraSynConfig(epsilon=1.0, w=4, seed=0)).run(ds)
+        assert run.accountant.verify()
+
+
+class TestCsvLoader:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "fixes.csv"
+        path.write_text("user,time,x,y\n1,0.0,0.1,0.2\n2,60.0,0.3,0.4\n")
+        fixes = load_fixes_csv(path)
+        assert fixes == [RawFix(1, 0.0, 0.1, 0.2), RawFix(2, 60.0, 0.3, 0.4)]
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "fixes.csv"
+        path.write_text("1,0.0,0.1,0.2\n")
+        assert len(load_fixes_csv(path)) == 1
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,0.0,0.1,0.2\n1,oops,0.1\n")
+        with pytest.raises(DatasetError):
+            load_fixes_csv(path)
+
+    def test_bad_value_midfile(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,0.0,0.1,0.2\n1,xx,0.1,0.2\n")
+        with pytest.raises(DatasetError):
+            load_fixes_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "fixes.csv"
+        path.write_text("\n1,0.0,0.1,0.2\n\n")
+        assert len(load_fixes_csv(path)) == 1

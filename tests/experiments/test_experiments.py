@@ -1,0 +1,159 @@
+"""Tests for the per-table/figure experiment modules (tiny configurations)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSetting
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import TABLE4_METHODS, format_table4, run_table4
+from repro.experiments.table5 import COMPONENTS, format_table5, run_table5
+from repro.experiments.fig3 import FIG3_STRATEGIES, format_fig3, run_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.fig7 import format_fig7, linearity_score, run_fig7
+
+TINY = ExperimentSetting(scale=0.01, w=5, phi=5, k=4, seed=0)
+
+
+class TestTable3:
+    def test_structure(self):
+        res = run_table3(
+            TINY,
+            epsilons=(0.5, 1.0),
+            datasets=("tdrive",),
+            methods=("LBD", "RetraSyn_p"),
+            metrics=("density_error", "kendall_tau"),
+        )
+        assert set(res) == {"tdrive"}
+        assert set(res["tdrive"]) == {"density_error", "kendall_tau"}
+        assert set(res["tdrive"]["density_error"]) == {"LBD", "RetraSyn_p"}
+        assert set(res["tdrive"]["density_error"]["LBD"]) == {0.5, 1.0}
+
+    def test_format(self):
+        res = run_table3(
+            TINY,
+            epsilons=(1.0,),
+            datasets=("tdrive",),
+            methods=("RetraSyn_p",),
+            metrics=("density_error",),
+        )
+        text = format_table3(res)
+        assert "Table III" in text
+        assert "RetraSyn_p" in text
+
+
+class TestTable4:
+    def test_all_six_models(self):
+        res = run_table4(TINY, datasets=("tdrive",), metrics=("length_error",))
+        assert set(res["tdrive"]) == set(TABLE4_METHODS)
+
+    def test_noeq_signature(self):
+        """NoEQ must pin length error near ln 2 while RetraSyn does not."""
+        res = run_table4(TINY, datasets=("tdrive",), metrics=("length_error",))
+        scores = res["tdrive"]
+        assert scores["NoEQ_p"]["length_error"] > 0.6
+        assert scores["RetraSyn_p"]["length_error"] < 0.6
+
+    def test_format(self):
+        res = run_table4(TINY, datasets=("tdrive",), metrics=("length_error",))
+        assert "Table IV" in format_table4(res)
+
+
+class TestTable5:
+    def test_components_present(self):
+        res = run_table5(TINY, datasets=("tdrive",))
+        for comp in COMPONENTS:
+            assert comp in res["tdrive"]
+            assert res["tdrive"][comp] >= 0.0
+
+    def test_synthesis_dominates(self):
+        """Paper Table V: synthesis is the most expensive component."""
+        res = run_table5(
+            ExperimentSetting(scale=0.02, w=5, seed=0), datasets=("tdrive",)
+        )
+        r = res["tdrive"]
+        assert r["synthesis"] >= r["dmu"]
+        assert r["synthesis"] >= r["model_construction"]
+
+    def test_format(self):
+        res = run_table5(TINY, datasets=("tdrive",))
+        text = format_table5(res)
+        assert "Table V" in text and "synthesis" in text
+
+
+class TestFig3:
+    def test_all_strategies(self):
+        res = run_fig3(TINY, datasets=("tdrive",), metrics=("transition_error",))
+        assert set(res["tdrive"]) == {label for label, _m, _a in FIG3_STRATEGIES}
+
+    def test_format(self):
+        res = run_fig3(TINY, datasets=("tdrive",), metrics=("transition_error",))
+        assert "Figure 3" in format_fig3(res)
+
+
+class TestFig4:
+    def test_window_sweep(self):
+        res = run_fig4(
+            TINY, windows=(5, 10), datasets=("tdrive",),
+            methods=("RetraSyn_p",), metrics=("transition_error",),
+        )
+        cells = res["tdrive"]["transition_error"]["RetraSyn_p"]
+        assert set(cells) == {5, 10}
+
+    def test_format(self):
+        res = run_fig4(
+            TINY, windows=(5,), datasets=("tdrive",),
+            methods=("RetraSyn_p",), metrics=("transition_error",),
+        )
+        assert "Figure 4" in format_fig4(res)
+
+
+class TestFig5:
+    def test_phi_sweep_single_run(self):
+        res = run_fig5(
+            TINY, phis=(3, 6), datasets=("tdrive",),
+            methods=("RetraSyn_p",), metrics=("query_error",),
+        )
+        cells = res["tdrive"]["query_error"]["RetraSyn_p"]
+        assert set(cells) == {3, 6}
+
+    def test_format(self):
+        res = run_fig5(
+            TINY, phis=(3,), datasets=("tdrive",),
+            methods=("RetraSyn_p",), metrics=("query_error",),
+        )
+        assert "Figure 5" in format_fig5(res)
+
+
+class TestFig6:
+    def test_k_sweep(self):
+        res = run_fig6(TINY, ks=(2, 4), datasets=("tdrive",), methods=("RetraSyn_p",))
+        cells = res["RetraSyn_p"]["tdrive"]
+        assert set(cells) == {2, 4}
+        for v in cells.values():
+            assert "query_error" in v and "runtime_per_ts" in v
+
+    def test_format(self):
+        res = run_fig6(TINY, ks=(2,), datasets=("tdrive",), methods=("RetraSyn_p",))
+        assert "Figure 6" in format_fig6(res)
+
+
+class TestFig7:
+    def test_fraction_sweep(self):
+        res = run_fig7(
+            TINY, fractions=(0.5, 1.0), datasets=("tdrive",), methods=("RetraSyn_p",)
+        )
+        cells = res["RetraSyn_p"]["tdrive"]
+        assert set(cells) == {0.5, 1.0}
+        for v in cells.values():
+            assert v > 0.0
+
+    def test_linearity_score(self):
+        assert linearity_score({0.2: 1.0, 0.4: 2.0, 0.6: 3.0}) == pytest.approx(1.0)
+        assert linearity_score({0.2: 1.0}) == 1.0
+
+    def test_format(self):
+        res = run_fig7(
+            TINY, fractions=(1.0,), datasets=("tdrive",), methods=("RetraSyn_p",)
+        )
+        assert "Figure 7" in format_fig7(res)

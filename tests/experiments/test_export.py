@@ -1,0 +1,88 @@
+"""Tests for CSV export of experiment results."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.export import (
+    matrix_to_rows,
+    read_csv,
+    sweep_to_rows,
+    table3_to_rows,
+    write_csv,
+)
+
+
+@pytest.fixture
+def table3_results():
+    return {
+        "tdrive": {
+            "density_error": {
+                "LBD": {0.5: 0.3, 1.0: 0.29},
+                "RetraSyn_p": {0.5: 0.17, 1.0: 0.16},
+            }
+        }
+    }
+
+
+class TestFlattening:
+    def test_table3_rows(self, table3_results):
+        rows = table3_to_rows(table3_results)
+        assert len(rows) == 4
+        assert {"dataset", "metric", "method", "epsilon", "score"} == set(rows[0])
+        scores = {(r["method"], r["epsilon"]): r["score"] for r in rows}
+        assert scores[("RetraSyn_p", 1.0)] == 0.16
+
+    def test_sweep_rows(self):
+        results = {"tdrive": {"query_error": {"LBD": {10: 0.8, 20: 0.9}}}}
+        rows = sweep_to_rows(results, "w")
+        assert len(rows) == 2
+        assert rows[0]["w"] == 10
+
+    def test_matrix_rows(self):
+        results = {"tdrive": {"NoEQ_p": {"length_error": 0.69}}}
+        rows = matrix_to_rows(results)
+        assert rows == [
+            {
+                "dataset": "tdrive",
+                "method": "NoEQ_p",
+                "metric": "length_error",
+                "score": 0.69,
+            }
+        ]
+
+
+class TestCsvIO:
+    def test_round_trip(self, table3_results, tmp_path):
+        rows = table3_to_rows(table3_results)
+        path = tmp_path / "t3.csv"
+        write_csv(rows, path)
+        back = read_csv(path)
+        assert len(back) == len(rows)
+        assert back[0]["dataset"] == "tdrive"
+        assert float(back[0]["score"]) == rows[0]["score"]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv([], tmp_path / "x.csv")
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        with pytest.raises(ConfigurationError):
+            write_csv(rows, tmp_path / "x.csv")
+
+    def test_from_real_experiment(self, tmp_path):
+        """End to end: tiny experiment -> CSV on disk."""
+        from repro.experiments.runner import ExperimentSetting
+        from repro.experiments.table3 import run_table3
+
+        results = run_table3(
+            ExperimentSetting(scale=0.01, w=5, k=4, seed=0),
+            epsilons=(1.0,),
+            datasets=("tdrive",),
+            methods=("RetraSyn_p",),
+            metrics=("density_error",),
+        )
+        rows = table3_to_rows(results)
+        path = tmp_path / "real.csv"
+        write_csv(rows, path)
+        assert len(read_csv(path)) == 1

@@ -1,0 +1,34 @@
+"""Tests for the streaming-vs-historical extension experiment."""
+
+from repro.experiments.historical import (
+    HISTORICAL_METRICS,
+    format_historical,
+    run_historical,
+)
+from repro.experiments.runner import ExperimentSetting
+
+TINY = ExperimentSetting(scale=0.01, w=5, phi=5, k=4, seed=0)
+
+
+class TestHistoricalExperiment:
+    def test_structure(self):
+        results = run_historical(TINY, datasets=("tdrive",))
+        assert set(results) == {"tdrive"}
+        methods = set(results["tdrive"])
+        assert methods == {"RetraSyn_p (streaming)", "LDPTrace (one-shot)"}
+        for scores in results["tdrive"].values():
+            assert set(scores) == set(HISTORICAL_METRICS)
+
+    def test_scores_finite(self):
+        import numpy as np
+
+        results = run_historical(TINY, datasets=("tdrive",))
+        for scores in results["tdrive"].values():
+            for v in scores.values():
+                assert np.isfinite(v)
+
+    def test_format(self):
+        results = run_historical(TINY, datasets=("tdrive",))
+        text = format_historical(results)
+        assert "Streaming vs historical" in text
+        assert "LDPTrace (one-shot)" in text

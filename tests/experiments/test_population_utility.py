@@ -1,0 +1,47 @@
+"""Tests for the population-utility extension experiment."""
+
+import numpy as np
+
+from repro.experiments.population_utility import (
+    format_population_utility,
+    run_population_utility,
+)
+from repro.experiments.runner import ExperimentSetting
+
+TINY = ExperimentSetting(scale=0.01, w=5, phi=5, k=4, seed=0)
+
+
+class TestPopulationUtility:
+    def test_structure(self):
+        results = run_population_utility(
+            TINY,
+            fractions=(0.5, 1.0),
+            datasets=("tdrive",),
+            metrics=("density_error",),
+            n_repeats=1,
+        )
+        cells = results["tdrive"]["density_error"]
+        assert set(cells) == {0.5, 1.0}
+        assert all(np.isfinite(v) for v in cells.values())
+
+    def test_repeats_average(self):
+        a = run_population_utility(
+            TINY, fractions=(1.0,), datasets=("tdrive",),
+            metrics=("density_error",), n_repeats=1,
+        )
+        b = run_population_utility(
+            TINY, fractions=(1.0,), datasets=("tdrive",),
+            metrics=("density_error",), n_repeats=2,
+        )
+        # Different repeat counts may differ, but both stay in range.
+        for r in (a, b):
+            v = r["tdrive"]["density_error"][1.0]
+            assert 0.0 <= v <= 0.7
+
+    def test_format(self):
+        results = run_population_utility(
+            TINY, fractions=(1.0,), datasets=("tdrive",),
+            metrics=("density_error",), n_repeats=1,
+        )
+        text = format_population_utility(results)
+        assert "Utility vs population size" in text

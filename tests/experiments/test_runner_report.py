@@ -1,0 +1,100 @@
+"""Tests for the experiment runner and report rendering."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import (
+    ALL_METHODS,
+    ExperimentSetting,
+    make_method,
+    run_method,
+    standard_datasets,
+)
+
+
+class TestMakeMethod:
+    @pytest.mark.parametrize(
+        "name,expected_label",
+        [
+            ("LBD", "LBD"),
+            ("lpa", "LPA"),
+            ("RetraSyn_b", "RetraSyn_b"),
+            ("RetraSyn_p", "RetraSyn_p"),
+            ("AllUpdate_p", "AllUpdate_p"),
+            ("NoEQ_b", "NoEQ_b"),
+        ],
+    )
+    def test_names_resolve(self, name, expected_label):
+        algo = make_method(name, epsilon=1.0, w=5, seed=0)
+        assert algo.config.label == expected_label
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            make_method("FooBar_x", epsilon=1.0, w=5)
+        with pytest.raises(ConfigurationError):
+            make_method("Foo_b", epsilon=1.0, w=5)
+
+
+class TestRunMethod:
+    def test_scores_and_privacy(self, walk_data):
+        setting = ExperimentSetting(epsilon=1.0, w=5, phi=5, seed=0)
+        res = run_method(
+            walk_data, "RetraSyn_p", setting,
+            metrics=("density_error", "kendall_tau"), keep_run=True,
+        )
+        assert set(res.scores) == {"density_error", "kendall_tau"}
+        assert res.privacy_ok
+        assert res.run is not None
+
+    def test_run_dropped_by_default(self, walk_data):
+        setting = ExperimentSetting(epsilon=1.0, w=5, seed=0)
+        res = run_method(walk_data, "LBD", setting, metrics=("density_error",))
+        assert res.run is None
+        assert res.privacy_ok  # vacuously true without a kept run
+
+    def test_every_method_runs(self, walk_data):
+        setting = ExperimentSetting(epsilon=1.0, w=5, seed=0)
+        for method in ALL_METHODS:
+            res = run_method(
+                walk_data, method, setting, metrics=("density_error",)
+            )
+            assert "density_error" in res.scores
+
+
+class TestStandardDatasets:
+    def test_loads_requested(self):
+        setting = ExperimentSetting(scale=0.01, k=4, seed=0)
+        data = standard_datasets(setting, names=("tdrive",))
+        assert list(data) == ["tdrive"]
+        assert data["tdrive"].grid.k == 4
+
+
+class TestReport:
+    def test_format_table_contents(self):
+        rows = {"A": {1: 0.5, 2: 0.25}, "B": {1: 0.75, 2: 0.125}}
+        text = format_table("T", rows, [1, 2], col_header="eps")
+        assert "T" in text
+        assert "0.5000" in text and "0.1250" in text
+        assert "A" in text and "B" in text
+
+    def test_best_marker_lower_better(self):
+        rows = {"A": {1: 0.5}, "B": {1: 0.9}}
+        text = format_table("T", rows, [1], best_of="density_error")
+        a_line = next(l for l in text.splitlines() if l.startswith("A"))
+        assert a_line.rstrip().endswith("*")
+
+    def test_best_marker_higher_better(self):
+        rows = {"A": {1: 0.5}, "B": {1: 0.9}}
+        text = format_table("T", rows, [1], best_of="kendall_tau")
+        b_line = next(l for l in text.splitlines() if l.startswith("B"))
+        assert b_line.rstrip().endswith("*")
+
+    def test_missing_cells_dash(self):
+        rows = {"A": {1: 0.5}}
+        text = format_table("T", rows, [1, 2])
+        assert "-" in text
+
+    def test_format_series(self):
+        text = format_series("S", {"m": [0.1, 0.2]}, [10, 20], x_label="w")
+        assert "0.1000" in text and "0.2000" in text

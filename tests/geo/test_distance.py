@@ -1,0 +1,88 @@
+"""Tests for distance helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import (
+    cell_path_length,
+    euclidean,
+    haversine_km,
+    path_length,
+)
+from repro.geo.grid import unit_grid
+from repro.geo.point import Point
+
+finite = st.floats(-100.0, 100.0, allow_nan=False)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_zero_for_same_point(self):
+        assert euclidean(Point(1.2, 3.4), Point(1.2, 3.4)) == 0.0
+
+    @given(x1=finite, y1=finite, x2=finite, y2=finite)
+    @settings(max_examples=50)
+    def test_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+    @given(x1=finite, y1=finite, x2=finite, y2=finite, x3=finite, y3=finite)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = Point(116.4, 39.9)
+        assert haversine_km(p, p) == pytest.approx(0.0)
+
+    def test_one_degree_longitude_at_equator(self):
+        d = haversine_km(Point(0.0, 0.0), Point(1.0, 0.0))
+        assert d == pytest.approx(111.19, rel=0.01)
+
+    def test_beijing_to_shanghai_plausible(self):
+        d = haversine_km(Point(116.40, 39.90), Point(121.47, 31.23))
+        assert 1000 < d < 1200
+
+
+class TestPathLength:
+    def test_empty_and_singleton(self):
+        assert path_length([]) == 0.0
+        assert path_length([Point(0, 0)]) == 0.0
+
+    def test_polyline(self):
+        pts = [Point(0, 0), Point(3, 4), Point(3, 0)]
+        assert path_length(pts) == pytest.approx(9.0)
+
+    def test_additivity(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)]
+        assert path_length(pts) == pytest.approx(3.0)
+
+
+class TestCellPathLength:
+    def test_short_trajectories(self):
+        grid = unit_grid(4)
+        assert cell_path_length(grid, []) == 0.0
+        assert cell_path_length(grid, [5]) == 0.0
+
+    def test_horizontal_moves(self):
+        grid = unit_grid(4)
+        # Adjacent same-row cells have centers one cell-width apart.
+        assert cell_path_length(grid, [0, 1, 2]) == pytest.approx(0.5)
+
+    def test_stay_contributes_zero(self):
+        grid = unit_grid(4)
+        assert cell_path_length(grid, [3, 3, 3]) == 0.0
+
+    def test_diagonal_longer_than_straight(self):
+        grid = unit_grid(4)
+        straight = cell_path_length(grid, [0, 1])
+        diagonal = cell_path_length(grid, [0, 5])
+        assert diagonal == pytest.approx(straight * math.sqrt(2))

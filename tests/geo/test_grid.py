@@ -1,0 +1,184 @@
+"""Tests for the uniform grid discretisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DomainError
+from repro.geo.grid import (
+    Grid,
+    cells_to_centers,
+    chebyshev_cell_distance,
+    manhattan_cell_distance,
+    unit_grid,
+)
+from repro.geo.point import BoundingBox, Point
+
+
+class TestConstruction:
+    def test_n_cells(self, grid4):
+        assert grid4.n_cells == 16
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            unit_grid(0)
+
+    def test_cell_dimensions(self, wide_grid):
+        assert wide_grid.cell_width == pytest.approx(8.0)
+        assert wide_grid.cell_height == pytest.approx(4.0)
+
+    def test_equality_and_hash(self):
+        assert unit_grid(4) == unit_grid(4)
+        assert unit_grid(4) != unit_grid(5)
+        assert hash(unit_grid(4)) == hash(unit_grid(4))
+
+
+class TestCellIndexing:
+    def test_rowcol_roundtrip(self, grid4):
+        for cell in range(grid4.n_cells):
+            r, c = grid4.cell_to_rowcol(cell)
+            assert grid4.rowcol_to_cell(r, c) == cell
+
+    def test_out_of_range_rowcol(self, grid4):
+        with pytest.raises(DomainError):
+            grid4.rowcol_to_cell(4, 0)
+        with pytest.raises(DomainError):
+            grid4.rowcol_to_cell(0, -1)
+
+    def test_out_of_range_cell(self, grid4):
+        with pytest.raises(DomainError):
+            grid4.cell_to_rowcol(16)
+
+
+class TestLocate:
+    def test_corners(self, grid4):
+        assert grid4.locate(Point(0.0, 0.0)) == 0
+        assert grid4.locate(Point(1.0, 1.0)) == 15
+
+    def test_cell_centers_locate_to_themselves(self, grid6):
+        for cell in range(grid6.n_cells):
+            assert grid6.locate(grid6.cell_center(cell)) == cell
+
+    def test_outside_points_clamp(self, grid4):
+        assert grid4.locate(Point(-5.0, -5.0)) == 0
+        assert grid4.locate(Point(5.0, 5.0)) == 15
+
+    def test_locate_many_matches_scalar(self, grid6, rng):
+        xs = rng.uniform(-0.2, 1.2, 200)
+        ys = rng.uniform(-0.2, 1.2, 200)
+        vec = grid6.locate_many(xs, ys)
+        scalar = [grid6.locate(Point(x, y)) for x, y in zip(xs, ys)]
+        assert vec.tolist() == scalar
+
+    @given(
+        x=st.floats(-2.0, 3.0, allow_nan=False),
+        y=st.floats(-2.0, 3.0, allow_nan=False),
+        k=st.integers(1, 12),
+    )
+    @settings(max_examples=80)
+    def test_locate_always_in_domain(self, x, y, k):
+        grid = unit_grid(k)
+        cell = grid.locate(Point(x, y))
+        assert 0 <= cell < grid.n_cells
+
+
+class TestNeighbors:
+    def test_corner_has_four_neighbors_including_self(self, grid4):
+        assert sorted(grid4.neighbors(0)) == [0, 1, 4, 5]
+
+    def test_center_has_nine(self, grid4):
+        cell = grid4.rowcol_to_cell(1, 1)
+        assert len(grid4.neighbors(cell)) == 9
+
+    def test_exclude_self(self, grid4):
+        cell = grid4.rowcol_to_cell(1, 1)
+        nbrs = grid4.neighbors(cell, include_self=False)
+        assert cell not in nbrs
+        assert len(nbrs) == 8
+
+    def test_neighbor_lists_cache_is_sorted(self, grid4):
+        for c, lst in enumerate(grid4.neighbor_lists):
+            assert lst == sorted(grid4.neighbors(c))
+
+    def test_adjacency_symmetry(self, grid6):
+        for a in range(grid6.n_cells):
+            for b in grid6.neighbors(a):
+                assert grid6.are_adjacent(a, b)
+                assert grid6.are_adjacent(b, a)
+
+    def test_non_adjacent(self, grid4):
+        assert not grid4.are_adjacent(0, 15)
+        assert not grid4.are_adjacent(0, 2)
+
+    def test_edge_k1_grid(self):
+        grid = unit_grid(1)
+        assert grid.neighbors(0) == [0]
+        assert grid.are_adjacent(0, 0)
+
+
+class TestSnapping:
+    def test_adjacent_unchanged(self, grid4):
+        assert grid4.snap_to_adjacent(0, 1) == 1
+        assert grid4.snap_to_adjacent(5, 5) == 5
+
+    def test_far_jump_projected(self, grid4):
+        # 0 is (0,0); 15 is (3,3): snapping should land on (1,1) = 5.
+        assert grid4.snap_to_adjacent(0, 15) == 5
+
+    def test_horizontal_jump(self, grid4):
+        # 0 -> 3 (same row, 3 columns away) snaps to 1.
+        assert grid4.snap_to_adjacent(0, 3) == 1
+
+    @given(prev=st.integers(0, 35), cur=st.integers(0, 35))
+    @settings(max_examples=100)
+    def test_snap_always_adjacent(self, prev, cur):
+        grid = unit_grid(6)
+        snapped = grid.snap_to_adjacent(prev, cur)
+        assert grid.are_adjacent(prev, snapped)
+
+
+class TestRegions:
+    def test_full_region_contains_all_cells(self, grid4):
+        cells = grid4.cells_in_region(grid4.bbox)
+        assert sorted(cells) == list(range(16))
+
+    def test_quadrant_region(self, grid4):
+        region = BoundingBox(0.0, 0.0, 0.5, 0.5)
+        cells = sorted(grid4.cells_in_region(region))
+        assert cells == [0, 1, 4, 5]
+
+    def test_random_region_within_bbox(self, grid6, rng):
+        for _ in range(20):
+            region = grid6.random_region(rng, 0.3)
+            assert region.min_x >= grid6.bbox.min_x - 1e-9
+            assert region.max_x <= grid6.bbox.max_x + 1e-9
+
+    def test_random_region_full_fraction(self, grid6, rng):
+        region = grid6.random_region(rng, 1.0)
+        assert region.area == pytest.approx(grid6.bbox.area)
+
+    def test_random_region_invalid_fraction(self, grid6, rng):
+        with pytest.raises(ConfigurationError):
+            grid6.random_region(rng, 0.0)
+
+
+class TestDistances:
+    def test_manhattan(self, grid4):
+        assert manhattan_cell_distance(grid4, 0, 15) == 6
+        assert manhattan_cell_distance(grid4, 0, 0) == 0
+
+    def test_chebyshev(self, grid4):
+        assert chebyshev_cell_distance(grid4, 0, 15) == 3
+        assert chebyshev_cell_distance(grid4, 0, 5) == 1
+
+    def test_chebyshev_one_iff_adjacent(self, grid6):
+        for a in range(grid6.n_cells):
+            for b in range(grid6.n_cells):
+                adj = grid6.are_adjacent(a, b)
+                assert adj == (chebyshev_cell_distance(grid6, a, b) <= 1)
+
+    def test_cells_to_centers_shape(self, grid4):
+        arr = cells_to_centers(grid4, [0, 5, 15])
+        assert arr.shape == (3, 2)
+        assert np.all(arr >= 0.0) and np.all(arr <= 1.0)

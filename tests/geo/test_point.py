@@ -1,0 +1,67 @@
+"""Tests for points and bounding boxes."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geo.point import BEIJING_5TH_RING, BoundingBox, Point
+
+
+class TestPoint:
+    def test_coordinates(self):
+        p = Point(1.5, -2.0)
+        assert p.x == 1.5
+        assert p.y == -2.0
+
+    def test_iteration_unpacks(self):
+        x, y = Point(3.0, 4.0)
+        assert (x, y) == (3.0, 4.0)
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0.0, 0.0).x = 1.0
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        b = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert b.width == 4.0
+        assert b.height == 2.0
+        assert b.area == 8.0
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ConfigurationError):
+            BoundingBox(0.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            BoundingBox(0.0, 2.0, 1.0, 1.0)
+
+    def test_contains_interior_and_edges(self):
+        b = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert b.contains(Point(0.5, 0.5))
+        assert b.contains(Point(0.0, 0.0))
+        assert b.contains(Point(1.0, 1.0))
+        assert not b.contains(Point(1.0001, 0.5))
+        assert not b.contains(Point(0.5, -0.0001))
+
+    def test_clamp_inside_is_identity(self):
+        b = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        p = Point(0.3, 0.7)
+        assert b.clamp(p) == p
+
+    def test_clamp_outside_projects_to_border(self):
+        b = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert b.clamp(Point(2.0, -1.0)) == Point(1.0, 0.0)
+        assert b.clamp(Point(-5.0, 0.5)) == Point(0.0, 0.5)
+
+    def test_center(self):
+        b = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert b.center() == Point(2.0, 1.0)
+
+    def test_beijing_extent_is_valid(self):
+        assert BEIJING_5TH_RING.width > 0
+        assert BEIJING_5TH_RING.height > 0
+        assert BEIJING_5TH_RING.contains(Point(116.4, 39.9))  # city center

@@ -1,0 +1,109 @@
+"""Tests for trajectory containers."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.geo.point import Point
+from repro.geo.trajectory import (
+    CellTrajectory,
+    Trajectory,
+    average_length,
+    total_points,
+)
+
+
+class TestTrajectory:
+    def test_span(self):
+        t = Trajectory(3, [Point(0.1, 0.1), Point(0.2, 0.2)])
+        assert len(t) == 2
+        assert t.end_time == 4
+        assert t.active_at(3) and t.active_at(4)
+        assert not t.active_at(2) and not t.active_at(5)
+
+    def test_point_at(self):
+        t = Trajectory(1, [Point(0.0, 0.0), Point(0.5, 0.5)])
+        assert t.point_at(2) == Point(0.5, 0.5)
+        with pytest.raises(DatasetError):
+            t.point_at(0)
+
+    def test_empty_trajectory_end_time(self):
+        t = Trajectory(5, [])
+        assert t.end_time == 4
+        assert not t.active_at(5)
+
+    def test_discretize_produces_adjacent_cells(self, grid4):
+        # Points jumping across the grid; snapping must repair adjacency.
+        t = Trajectory(0, [Point(0.05, 0.05), Point(0.95, 0.95), Point(0.05, 0.95)])
+        ct = t.discretize(grid4)
+        for a, b in ct.transitions():
+            assert grid4.are_adjacent(a, b)
+
+    def test_discretize_without_snap_keeps_raw_cells(self, grid4):
+        t = Trajectory(0, [Point(0.05, 0.05), Point(0.95, 0.95)])
+        ct = t.discretize(grid4, snap=False)
+        assert ct.cells == [0, 15]
+
+    def test_discretize_preserves_metadata(self, grid4):
+        t = Trajectory(7, [Point(0.1, 0.1)], user_id=42)
+        ct = t.discretize(grid4)
+        assert ct.start_time == 7
+        assert ct.user_id == 42
+
+
+class TestCellTrajectory:
+    def test_basic_accessors(self):
+        ct = CellTrajectory(2, [1, 2, 3])
+        assert len(ct) == 3
+        assert list(ct) == [1, 2, 3]
+        assert ct.end_time == 4
+        assert ct.cell_at(3) == 2
+        assert ct.last_cell == 3
+
+    def test_cell_at_out_of_span(self):
+        ct = CellTrajectory(2, [1, 2])
+        with pytest.raises(DatasetError):
+            ct.cell_at(4)
+
+    def test_empty_last_cell_raises(self):
+        with pytest.raises(DatasetError):
+            CellTrajectory(0, []).last_cell
+
+    def test_append_and_terminate(self):
+        ct = CellTrajectory(0, [1])
+        ct.append(2)
+        assert ct.cells == [1, 2]
+        ct.terminate()
+        assert ct.terminated
+        with pytest.raises(DatasetError):
+            ct.append(3)
+
+    def test_transitions(self):
+        ct = CellTrajectory(0, [1, 2, 2, 5])
+        assert ct.transitions() == [(1, 2), (2, 2), (2, 5)]
+
+    def test_transitions_of_singleton_empty(self):
+        assert CellTrajectory(0, [3]).transitions() == []
+
+    def test_subsequence_clipping(self):
+        ct = CellTrajectory(5, [10, 11, 12, 13])
+        assert ct.subsequence(6, 7) == [11, 12]
+        assert ct.subsequence(0, 100) == [10, 11, 12, 13]
+        assert ct.subsequence(0, 4) == []
+        assert ct.subsequence(9, 20) == []
+
+    def test_subsequence_single(self):
+        ct = CellTrajectory(5, [10, 11])
+        assert ct.subsequence(5, 5) == [10]
+
+
+class TestAggregates:
+    def test_total_points(self):
+        ts = [CellTrajectory(0, [1, 2]), CellTrajectory(1, [3, 4, 5])]
+        assert total_points(ts) == 5
+
+    def test_average_length(self):
+        ts = [CellTrajectory(0, [1, 2]), CellTrajectory(1, [3, 4, 5, 6])]
+        assert average_length(ts) == 3.0
+
+    def test_average_length_empty(self):
+        assert average_length([]) == 0.0

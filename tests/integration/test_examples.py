@@ -1,0 +1,30 @@
+"""Every example script must run to completion as a real subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 3, SCRIPTS
+    assert "quickstart.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,95 @@
+"""Property-based tests over randomly generated stream scenarios.
+
+These exercise whole-pipeline invariants under hypothesis-driven
+configurations: privacy accounting, synthesis structural validity, and
+metric boundedness must hold for *every* sampled configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.retrasyn import RetraSyn, RetraSynConfig
+from repro.datasets.synthetic import make_random_walks
+from repro.metrics.divergence import LN2
+from repro.metrics.registry import evaluate_all
+
+slow_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def pipeline_configs(draw):
+    return RetraSynConfig(
+        epsilon=draw(st.sampled_from((0.5, 1.0, 2.0))),
+        w=draw(st.sampled_from((2, 4, 7))),
+        division=draw(st.sampled_from(("budget", "population"))),
+        allocator=draw(st.sampled_from(("adaptive", "uniform", "sample"))),
+        update_strategy=draw(st.sampled_from(("dmu", "all"))),
+        engine=draw(st.sampled_from(("object", "vectorized"))),
+        seed=draw(st.integers(0, 1000)),
+    )
+
+
+@st.composite
+def small_streams(draw):
+    return make_random_walks(
+        k=draw(st.sampled_from((3, 5))),
+        n_streams=draw(st.integers(20, 80)),
+        n_timestamps=draw(st.integers(10, 25)),
+        mean_length=draw(st.sampled_from((4.0, 8.0))),
+        seed=draw(st.integers(0, 1000)),
+    )
+
+
+class TestPipelineInvariants:
+    @given(cfg=pipeline_configs(), data=small_streams())
+    @slow_settings
+    def test_privacy_always_holds(self, cfg, data):
+        """No sampled configuration may ever break w-event ε-LDP."""
+        run = RetraSyn(cfg).run(data)
+        assert run.accountant.verify(), (cfg, run.accountant.summary())
+
+    @given(cfg=pipeline_configs(), data=small_streams())
+    @slow_settings
+    def test_synthetic_structurally_valid(self, cfg, data):
+        run = RetraSyn(cfg).run(data)
+        syn = run.synthetic
+        grid = data.grid
+        assert syn.n_timestamps == data.n_timestamps
+        for traj in syn.trajectories:
+            assert len(traj) >= 1
+            assert 0 <= traj.start_time < syn.n_timestamps
+            assert traj.end_time < syn.n_timestamps
+            for c in traj.cells:
+                assert 0 <= c < grid.n_cells
+            for a, b in traj.transitions():
+                assert grid.are_adjacent(a, b)
+
+    @given(cfg=pipeline_configs(), data=small_streams())
+    @slow_settings
+    def test_size_tracking_with_eq(self, cfg, data):
+        if not cfg.model_entering_quitting:
+            return
+        run = RetraSyn(cfg).run(data)
+        assert np.array_equal(
+            data.active_counts(), run.synthetic.active_counts()
+        )
+
+    @given(data=small_streams(), seed=st.integers(0, 100))
+    @slow_settings
+    def test_metrics_bounded(self, data, seed):
+        run = RetraSyn(RetraSynConfig(epsilon=1.0, w=4, seed=seed)).run(data)
+        scores = evaluate_all(data, run.synthetic, phi=5, rng=seed)
+        assert 0.0 <= scores["density_error"] <= LN2 + 1e-9
+        assert 0.0 <= scores["transition_error"] <= LN2 + 1e-9
+        assert 0.0 <= scores["trip_error"] <= LN2 + 1e-9
+        assert 0.0 <= scores["length_error"] <= LN2 + 1e-9
+        assert 0.0 <= scores["hotspot_ndcg"] <= 1.0 + 1e-9
+        assert 0.0 <= scores["pattern_f1"] <= 1.0 + 1e-9
+        assert -1.0 <= scores["kendall_tau"] <= 1.0
+        assert scores["query_error"] >= 0.0

@@ -1,0 +1,133 @@
+"""Tests for w-event privacy accounting."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, PrivacyBudgetError
+from repro.ldp.accountant import PrivacyAccountant, SlidingBudgetTracker
+
+
+class TestPrivacyAccountant:
+    def test_single_spend_ok(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=3)
+        acc.spend(1, 0, 1.0)
+        assert acc.verify()
+
+    def test_overspend_same_timestamp_raises(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=3)
+        acc.spend(1, 0, 0.6)
+        with pytest.raises(PrivacyBudgetError):
+            acc.spend(1, 0, 0.6)
+
+    def test_overspend_within_window_raises(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=3)
+        acc.spend(1, 0, 0.6)
+        with pytest.raises(PrivacyBudgetError):
+            acc.spend(1, 2, 0.6)
+
+    def test_spend_outside_window_ok(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=3)
+        acc.spend(1, 0, 1.0)
+        acc.spend(1, 3, 1.0)  # window [1..3] contains only the second spend
+        assert acc.verify()
+        assert acc.max_window_spend() == pytest.approx(1.0)
+
+    def test_different_users_independent(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=5)
+        acc.spend(1, 0, 1.0)
+        acc.spend(2, 0, 1.0)
+        assert acc.verify()
+
+    def test_uniform_budget_division_fills_window_exactly(self):
+        w, eps = 4, 1.0
+        acc = PrivacyAccountant(eps, w)
+        for t in range(20):
+            acc.spend(7, t, eps / w)
+        assert acc.verify()
+        assert acc.max_window_spend() == pytest.approx(eps)
+
+    def test_non_strict_records_violations(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=3, strict=False)
+        acc.spend(1, 0, 0.8)
+        acc.spend(1, 1, 0.8)  # violation, recorded not raised
+        assert not acc.verify()
+        assert len(acc.violations) == 1
+        uid, t, total = acc.violations[0]
+        assert uid == 1 and t == 1 and total == pytest.approx(1.6)
+
+    def test_zero_spend_is_free(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=3)
+        for t in range(100):
+            acc.spend(1, t, 0.0)
+        assert acc.total_spend(1) == 0.0
+        assert acc.n_users == 0  # zero spends are not recorded
+
+    def test_negative_spend_rejected(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=3)
+        with pytest.raises(ConfigurationError):
+            acc.spend(1, 0, -0.1)
+
+    def test_spend_many(self):
+        acc = PrivacyAccountant(epsilon=1.0, w=2)
+        acc.spend_many([1, 2, 3], 0, 0.5)
+        assert acc.n_users == 3
+        assert acc.window_spend(2, 0) == pytest.approx(0.5)
+
+    def test_summary_fields(self):
+        acc = PrivacyAccountant(epsilon=2.0, w=4)
+        acc.spend(1, 0, 1.0)
+        s = acc.summary()
+        assert s["epsilon"] == 2.0
+        assert s["w"] == 4
+        assert s["n_users"] == 1
+        assert s["satisfied"] is True
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyAccountant(0.0, 3)
+        with pytest.raises(ConfigurationError):
+            PrivacyAccountant(1.0, 0)
+
+
+class TestSlidingBudgetTracker:
+    def test_initial_remaining_is_full(self):
+        tr = SlidingBudgetTracker(1.0, 4)
+        assert tr.remaining == pytest.approx(1.0)
+
+    def test_remaining_shrinks_with_commits(self):
+        tr = SlidingBudgetTracker(1.0, 4)
+        tr.commit(0.3)
+        assert tr.remaining == pytest.approx(0.7)
+        tr.commit(0.3)
+        assert tr.remaining == pytest.approx(0.4)
+
+    def test_window_slides(self):
+        tr = SlidingBudgetTracker(1.0, 2)
+        tr.commit(1.0)
+        assert tr.remaining == pytest.approx(0.0)
+        tr.commit(0.0)
+        # Oldest (the 1.0) is now outside the next window.
+        assert tr.remaining == pytest.approx(1.0)
+
+    def test_over_commit_raises(self):
+        tr = SlidingBudgetTracker(1.0, 3)
+        tr.commit(0.8)
+        with pytest.raises(PrivacyBudgetError):
+            tr.commit(0.3)
+
+    def test_negative_commit_rejected(self):
+        tr = SlidingBudgetTracker(1.0, 3)
+        with pytest.raises(ConfigurationError):
+            tr.commit(-0.1)
+
+    def test_uniform_commits_sustainable_forever(self):
+        w = 5
+        tr = SlidingBudgetTracker(1.0, w)
+        for _ in range(50):
+            tr.commit(1.0 / w)
+        assert tr.remaining == pytest.approx(1.0 / w)
+
+    def test_window_history_order(self):
+        tr = SlidingBudgetTracker(1.0, 3)
+        tr.commit(0.1)
+        tr.commit(0.2)
+        assert tr.window_history() == [0.0, 0.1, 0.2]

@@ -1,0 +1,90 @@
+"""Tests for the GRR and OLH frequency oracles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.ldp.olh import OptimizedLocalHashing
+
+
+class TestGRR:
+    def test_probabilities_sum(self):
+        grr = GeneralizedRandomizedResponse(10, 1.0, rng=0)
+        # p + (d-1) q == 1
+        assert grr.p + 9 * grr.q == pytest.approx(1.0)
+
+    def test_ldp_ratio(self):
+        grr = GeneralizedRandomizedResponse(10, 1.0, rng=0)
+        assert grr.p / grr.q == pytest.approx(np.e)
+
+    def test_reports_in_domain(self):
+        grr = GeneralizedRandomizedResponse(7, 1.0, rng=0)
+        reports = grr.perturb_many([3] * 500)
+        assert reports.min() >= 0 and reports.max() < 7
+
+    def test_unbiasedness(self):
+        values = [0] * 700 + [1] * 300
+        runs = np.stack([
+            GeneralizedRandomizedResponse(4, 2.0, rng=i).collect(values)
+            for i in range(80)
+        ])
+        mean_est = runs.mean(axis=0)
+        assert mean_est[0] == pytest.approx(700, abs=40)
+        assert mean_est[1] == pytest.approx(300, abs=40)
+        assert mean_est[3] == pytest.approx(0, abs=40)
+
+    def test_singleton_domain(self):
+        grr = GeneralizedRandomizedResponse(1, 1.0, rng=0)
+        est = grr.collect([0, 0, 0])
+        assert est.shape == (1,)
+
+    def test_domain_check(self):
+        grr = GeneralizedRandomizedResponse(4, 1.0, rng=0)
+        with pytest.raises(DomainError):
+            grr.collect([4])
+
+    def test_variance_positive_and_decreasing(self):
+        grr = GeneralizedRandomizedResponse(10, 1.0, rng=0)
+        assert grr.variance(100) > grr.variance(1000) > 0
+
+    def test_agreement_with_oue_on_large_sample(self):
+        """Independent protocols should agree on the underlying frequencies."""
+        from repro.ldp.oue import OptimizedUnaryEncoding
+
+        values = ([0] * 500 + [1] * 300 + [2] * 200) * 3
+        grr_est = np.mean(
+            [GeneralizedRandomizedResponse(3, 2.0, rng=i).collect(values) for i in range(40)],
+            axis=0,
+        )
+        oue_est = np.mean(
+            [OptimizedUnaryEncoding(3, 2.0, rng=i).collect(values) for i in range(40)],
+            axis=0,
+        )
+        assert grr_est == pytest.approx(oue_est, abs=120)
+
+
+class TestOLH:
+    def test_hash_domain_size(self):
+        olh = OptimizedLocalHashing(20, 1.0, rng=0)
+        assert olh.g == max(2, round(np.e) + 1)
+
+    def test_unbiasedness(self):
+        values = [0] * 600 + [5] * 400
+        runs = np.stack([
+            OptimizedLocalHashing(8, 2.0, rng=i).collect(values)
+            for i in range(60)
+        ])
+        mean_est = runs.mean(axis=0)
+        assert mean_est[0] == pytest.approx(600, abs=80)
+        assert mean_est[5] == pytest.approx(400, abs=80)
+        assert mean_est[3] == pytest.approx(0, abs=80)
+
+    def test_empty_input(self):
+        olh = OptimizedLocalHashing(8, 1.0, rng=0)
+        assert np.all(olh.collect([]) == 0)
+
+    def test_variance_matches_oue_form(self):
+        olh = OptimizedLocalHashing(8, 1.0, rng=0)
+        e = np.exp(1.0)
+        assert olh.variance(100) == pytest.approx(4 * e / (100 * (e - 1) ** 2))

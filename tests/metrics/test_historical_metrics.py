@@ -1,0 +1,146 @@
+"""Tests for the historical metrics: kendall-tau, trip error, length error."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_lane_stream, make_random_walks
+from repro.geo.trajectory import CellTrajectory
+from repro.metrics.divergence import LN2
+from repro.metrics.kendall import kendall_tau
+from repro.metrics.length import length_error, travel_distances
+from repro.metrics.trip import trip_distribution, trip_error
+from repro.stream.stream import StreamDataset
+
+
+@pytest.fixture
+def pair():
+    real = make_random_walks(k=5, n_streams=200, n_timestamps=30, seed=1)
+    same = make_random_walks(k=5, n_streams=200, n_timestamps=30, seed=1)
+    other = make_random_walks(k=5, n_streams=200, n_timestamps=30, seed=2)
+    return real, same, other
+
+
+class TestKendallTau:
+    def test_identical_is_one(self, pair):
+        real, same, _ = pair
+        assert kendall_tau(real, same) == pytest.approx(1.0)
+
+    def test_same_process_high(self, pair):
+        real, _, other = pair
+        assert kendall_tau(real, other) > 0.5
+
+    def test_reversed_popularity_negative(self, grid4):
+        """Anti-correlated popularity must give negative tau."""
+        heavy_low = [
+            CellTrajectory(0, [c % 4], user_id=i)
+            for i, c in enumerate(np.repeat(np.arange(16), np.arange(16, 0, -1)))
+        ]
+        heavy_high = [
+            CellTrajectory(0, [c], user_id=i)
+            for i, c in enumerate(np.repeat(np.arange(16), np.arange(1, 17)))
+        ]
+        a = StreamDataset(grid4, heavy_low, n_timestamps=3)
+        b = StreamDataset(grid4, heavy_high, n_timestamps=3)
+        assert kendall_tau(a, b) < 0.0
+
+    def test_constant_counts_zero(self, grid4):
+        empty = StreamDataset(grid4, [], n_timestamps=3)
+        assert kendall_tau(empty, empty) == 0.0
+
+
+class TestTripError:
+    def test_identical_zero(self, pair):
+        real, same, _ = pair
+        assert trip_error(real, same) == pytest.approx(0.0)
+
+    def test_distribution_contents(self, grid4):
+        ds = StreamDataset(
+            grid4,
+            [
+                CellTrajectory(0, [0, 1, 2], user_id=0),
+                CellTrajectory(1, [0, 1, 2], user_id=1),
+                CellTrajectory(0, [5], user_id=2),
+            ],
+            n_timestamps=5,
+        )
+        dist = trip_distribution(ds)
+        assert dist[(0, 2)] == 2
+        assert dist[(5, 5)] == 1
+
+    def test_disjoint_trips_max(self, grid4):
+        a = StreamDataset(grid4, [CellTrajectory(0, [0, 1], user_id=0)], n_timestamps=3)
+        b = StreamDataset(grid4, [CellTrajectory(0, [14, 15], user_id=0)], n_timestamps=3)
+        assert trip_error(a, b) == pytest.approx(LN2)
+
+
+class TestLengthError:
+    def test_identical_zero(self, pair):
+        real, same, _ = pair
+        assert length_error(real, same) == pytest.approx(0.0)
+
+    def test_travel_distances_shape(self, pair):
+        real, _, _ = pair
+        d = travel_distances(real)
+        assert d.shape == (len(real),)
+        assert np.all(d >= 0)
+
+    def test_never_terminating_syn_near_ln2(self):
+        """Synthetic streams spanning the whole horizon have distances far
+        beyond real trips — the paper's 0.6931 signature."""
+        real = make_lane_stream(k=5, n_streams=100, n_timestamps=40, seed=0)
+        forever = StreamDataset(
+            real.grid,
+            [
+                CellTrajectory(0, [(i + t) % 5 for t in range(40)], user_id=i)
+                for i in range(100)
+            ],
+            n_timestamps=40,
+        )
+        assert length_error(real, forever) > 0.5
+
+    def test_both_empty(self, grid4):
+        empty = StreamDataset(grid4, [], n_timestamps=3)
+        assert length_error(empty, empty) == 0.0
+
+    def test_all_stationary(self, grid4):
+        ds = StreamDataset(
+            grid4, [CellTrajectory(0, [3, 3, 3], user_id=0)], n_timestamps=4
+        )
+        assert length_error(ds, ds) == 0.0
+
+
+class TestRegistryEvaluateAll:
+    def test_all_metrics_present(self, pair):
+        from repro.metrics.registry import ALL_METRICS, evaluate_all
+
+        real, _, other = pair
+        scores = evaluate_all(real, other, phi=5, rng=0)
+        assert set(scores) == set(ALL_METRICS)
+        for v in scores.values():
+            assert np.isfinite(v)
+
+    def test_subset_selection(self, pair):
+        from repro.metrics.registry import evaluate_all
+
+        real, same, _ = pair
+        scores = evaluate_all(real, same, metrics=("kendall_tau",), rng=0)
+        assert list(scores) == ["kendall_tau"]
+
+    def test_unknown_metric_rejected(self, pair):
+        from repro.metrics.registry import evaluate_all
+
+        real, same, _ = pair
+        with pytest.raises(ValueError):
+            evaluate_all(real, same, metrics=("bogus",))
+
+    def test_perfect_synthesis_scores(self, pair):
+        """Identity 'synthesis' must achieve the ideal score on every metric."""
+        from repro.metrics.registry import HIGHER_IS_BETTER, evaluate_all
+
+        real, same, _ = pair
+        scores = evaluate_all(real, same, phi=5, rng=0)
+        for name, v in scores.items():
+            if name in HIGHER_IS_BETTER:
+                assert v == pytest.approx(1.0), name
+            else:
+                assert v == pytest.approx(0.0, abs=1e-9), name

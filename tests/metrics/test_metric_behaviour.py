@@ -1,0 +1,82 @@
+"""Behavioural tests: metrics must order synthetic quality sensibly."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_random_walks
+from repro.geo.trajectory import CellTrajectory
+from repro.metrics.registry import evaluate_all
+from repro.stream.stream import StreamDataset
+
+
+def blend(real: StreamDataset, noise_fraction: float, seed: int) -> StreamDataset:
+    """A degraded copy: a fraction of trajectories replaced by uniform noise."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i, traj in enumerate(real.trajectories):
+        if rng.random() < noise_fraction:
+            cells = [int(rng.integers(0, real.grid.n_cells))]
+            for _ in range(len(traj) - 1):
+                nbrs = real.grid.neighbor_lists[cells[-1]]
+                cells.append(int(nbrs[rng.integers(0, len(nbrs))]))
+            out.append(CellTrajectory(traj.start_time, cells, user_id=i))
+        else:
+            out.append(
+                CellTrajectory(traj.start_time, list(traj.cells), user_id=i)
+            )
+    return StreamDataset(real.grid, out, n_timestamps=real.n_timestamps)
+
+
+@pytest.fixture(scope="module")
+def real():
+    return make_random_walks(k=5, n_streams=300, n_timestamps=30, seed=0)
+
+
+class TestQualityOrdering:
+    """More corruption must never look better, for every error metric."""
+
+    @pytest.fixture(scope="class")
+    def graded_scores(self, real):
+        scores = []
+        for frac in (0.0, 0.5, 1.0):
+            syn = blend(real, frac, seed=1)
+            scores.append(
+                evaluate_all(real, syn, phi=5, rng=0)
+            )
+        return scores
+
+    @pytest.mark.parametrize(
+        "metric", ["density_error", "query_error", "transition_error"]
+    )
+    def test_error_metrics_monotone(self, graded_scores, metric):
+        clean, half, full = (s[metric] for s in graded_scores)
+        assert clean <= half + 1e-9
+        assert half <= full + 0.05  # allow metric noise between close grades
+
+    @pytest.mark.parametrize("metric", ["hotspot_ndcg", "pattern_f1", "kendall_tau"])
+    def test_gain_metrics_monotone(self, graded_scores, metric):
+        clean, half, full = (s[metric] for s in graded_scores)
+        assert clean >= half - 1e-9
+        assert half >= full - 0.1
+
+    def test_clean_is_perfect(self, graded_scores):
+        clean = graded_scores[0]
+        assert clean["density_error"] == pytest.approx(0.0)
+        assert clean["kendall_tau"] == pytest.approx(1.0)
+
+
+class TestDeterminism:
+    def test_evaluate_all_deterministic_under_seed(self, real):
+        syn = blend(real, 0.5, seed=2)
+        a = evaluate_all(real, syn, phi=5, rng=42)
+        b = evaluate_all(real, syn, phi=5, rng=42)
+        assert a == b
+
+    def test_different_seed_changes_sampled_metrics_only(self, real):
+        syn = blend(real, 0.5, seed=2)
+        a = evaluate_all(real, syn, phi=5, rng=1)
+        b = evaluate_all(real, syn, phi=5, rng=2)
+        # Deterministic metrics must be identical regardless of rng.
+        for metric in ("density_error", "transition_error", "kendall_tau",
+                       "trip_error", "length_error"):
+            assert a[metric] == b[metric], metric

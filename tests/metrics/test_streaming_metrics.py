@@ -1,0 +1,173 @@
+"""Tests for the streaming metrics: density, query, hotspot, transition, pattern."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_random_walks
+from repro.geo.trajectory import CellTrajectory
+from repro.metrics.density import density_error, evaluation_timestamps
+from repro.metrics.hotspot import _ndcg_at, hotspot_ndcg
+from repro.metrics.pattern import f1_of_sets, mine_patterns, pattern_f1
+from repro.metrics.query import query_error
+from repro.metrics.transition import transition_error
+from repro.stream.stream import StreamDataset
+
+
+@pytest.fixture
+def pair():
+    """Two independent draws of the same random-walk process."""
+    real = make_random_walks(k=5, n_streams=200, n_timestamps=30, seed=1)
+    same = make_random_walks(k=5, n_streams=200, n_timestamps=30, seed=1)
+    other = make_random_walks(k=5, n_streams=200, n_timestamps=30, seed=2)
+    return real, same, other
+
+
+class TestEvaluationTimestamps:
+    def test_only_active_timestamps(self, walk_data):
+        ts = evaluation_timestamps(walk_data)
+        active = walk_data.active_counts()
+        assert all(active[t] > 0 for t in ts)
+
+    def test_subsampling_cap(self, walk_data):
+        ts = evaluation_timestamps(walk_data, max_eval=5)
+        assert len(ts) <= 5
+
+    def test_empty_dataset(self, grid4):
+        ds = StreamDataset(grid4, [], n_timestamps=10)
+        assert evaluation_timestamps(ds).size == 0
+
+
+class TestDensityError:
+    def test_identical_zero(self, pair):
+        real, same, _ = pair
+        assert density_error(real, same) == pytest.approx(0.0)
+
+    def test_different_positive(self, pair):
+        real, _, other = pair
+        assert density_error(real, other) > 0.0
+
+    def test_orders_similarity(self, pair, walk_data):
+        """A same-process draw must score better than unrelated data."""
+        real, _, other = pair
+        concentrated = StreamDataset(
+            real.grid,
+            [CellTrajectory(0, [0] * 30, user_id=i) for i in range(200)],
+            n_timestamps=30,
+        )
+        assert density_error(real, other) < density_error(real, concentrated)
+
+    def test_empty_real(self, grid4):
+        empty = StreamDataset(grid4, [], n_timestamps=5)
+        assert density_error(empty, empty) == 0.0
+
+
+class TestQueryError:
+    def test_identical_zero(self, pair):
+        real, same, _ = pair
+        assert query_error(real, same, phi=5, rng=0) == pytest.approx(0.0)
+
+    def test_empty_synthetic_high_error(self, pair, grid4):
+        real, _, _ = pair
+        empty = StreamDataset(real.grid, [], n_timestamps=real.n_timestamps)
+        err = query_error(real, empty, phi=5, rng=0)
+        assert err > 0.5
+
+    def test_deterministic_given_rng(self, pair):
+        real, _, other = pair
+        e1 = query_error(real, other, phi=5, rng=7)
+        e2 = query_error(real, other, phi=5, rng=7)
+        assert e1 == e2
+
+    def test_phi_clipped_to_horizon(self, pair):
+        real, same, _ = pair
+        err = query_error(real, same, phi=10_000, rng=0)
+        assert err == pytest.approx(0.0)
+
+
+class TestHotspotNDCG:
+    def test_identical_is_one(self, pair):
+        real, same, _ = pair
+        assert hotspot_ndcg(real, same, phi=5, rng=0) == pytest.approx(1.0)
+
+    def test_bounded(self, pair):
+        real, _, other = pair
+        score = hotspot_ndcg(real, other, phi=5, rng=0)
+        assert 0.0 <= score <= 1.0
+
+    def test_ndcg_perfect_ranking(self):
+        real = np.array([10.0, 5.0, 1.0, 0.0])
+        assert _ndcg_at(real, real, nh=3) == pytest.approx(1.0)
+
+    def test_ndcg_wrong_ranking_lower(self):
+        real = np.array([10.0, 5.0, 1.0, 0.0])
+        syn = np.array([0.0, 1.0, 5.0, 10.0])
+        assert _ndcg_at(real, syn, nh=3) < 1.0
+
+    def test_ndcg_no_real_hotspots(self):
+        assert _ndcg_at(np.zeros(4), np.ones(4), nh=3) == 1.0
+
+
+class TestTransitionError:
+    def test_identical_zero(self, pair):
+        real, same, _ = pair
+        assert transition_error(real, same) == pytest.approx(0.0)
+
+    def test_reversed_flows_high(self):
+        """Opposite movement directions must be heavily penalised."""
+        from repro.datasets.synthetic import make_lane_stream
+
+        lane = make_lane_stream(k=5, n_streams=100, n_timestamps=20, seed=0)
+        # Reverse every trajectory: right-to-left flows.
+        reversed_trajs = [
+            CellTrajectory(t.start_time, list(reversed(t.cells)), user_id=t.user_id)
+            for t in lane.trajectories
+        ]
+        rev = StreamDataset(lane.grid, reversed_trajs, n_timestamps=20)
+        assert transition_error(lane, rev) > 0.5
+
+    def test_skips_t0(self, grid4):
+        ds = StreamDataset(
+            grid4, [CellTrajectory(0, [0], user_id=0)], n_timestamps=2
+        )
+        assert transition_error(ds, ds) == 0.0
+
+
+class TestPatternMining:
+    def test_mine_patterns_contents(self, grid4):
+        ds = StreamDataset(
+            grid4,
+            [CellTrajectory(0, [0, 1, 2], user_id=0)],
+            n_timestamps=5,
+        )
+        patterns = mine_patterns(ds, 0, 2, top_n=10, max_len=3)
+        assert (0, 1) in patterns
+        assert (1, 2) in patterns
+        assert (0, 1, 2) in patterns
+
+    def test_window_restricts_patterns(self, grid4):
+        ds = StreamDataset(
+            grid4,
+            [CellTrajectory(0, [0, 1, 2, 6], user_id=0)],
+            n_timestamps=6,
+        )
+        patterns = mine_patterns(ds, 0, 1, top_n=10, max_len=4)
+        assert patterns == {(0, 1)}
+
+    def test_top_n_cap(self, walk_data):
+        patterns = mine_patterns(walk_data, 0, 20, top_n=7, max_len=3)
+        assert len(patterns) <= 7
+
+    def test_f1_edge_cases(self):
+        assert f1_of_sets(set(), set()) == 1.0
+        assert f1_of_sets({1}, set()) == 0.0
+        assert f1_of_sets({1, 2}, {1, 2}) == 1.0
+        assert f1_of_sets({1, 2}, {2, 3}) == pytest.approx(0.5)
+
+    def test_pattern_f1_identical(self, pair):
+        real, same, _ = pair
+        assert pattern_f1(real, same, phi=8, n_ranges=5, rng=0) == pytest.approx(1.0)
+
+    def test_pattern_f1_bounded(self, pair):
+        real, _, other = pair
+        score = pattern_f1(real, other, phi=8, n_ranges=5, rng=0)
+        assert 0.0 <= score <= 1.0

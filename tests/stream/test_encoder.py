@@ -1,0 +1,46 @@
+"""Tests for user-side encoding."""
+
+import numpy as np
+import pytest
+
+from repro.ldp.oue import OptimizedUnaryEncoding
+from repro.stream.encoder import UserSideEncoder
+from repro.stream.events import TransitionState
+
+
+class TestEncoding:
+    def test_encode_indices(self, space4):
+        enc = UserSideEncoder(space4)
+        states = [
+            TransitionState.move(0, 1),
+            TransitionState.enter(2),
+            TransitionState.quit(3),
+        ]
+        idx = enc.encode(states)
+        assert idx.tolist() == [
+            space4.index_of_move(0, 1),
+            space4.index_of_enter(2),
+            space4.index_of_quit(3),
+        ]
+
+    def test_one_hot(self, space4):
+        enc = UserSideEncoder(space4)
+        vec = enc.one_hot(TransitionState.move(5, 6))
+        assert vec.sum() == 1
+        assert vec[space4.index_of_move(5, 6)] == 1
+        assert vec.shape == (len(space4),)
+
+    def test_collect_counts_empty(self, space4):
+        enc = UserSideEncoder(space4)
+        oracle = OptimizedUnaryEncoding(len(space4), 1.0, rng=0)
+        counts = enc.collect_counts(oracle, [])
+        assert counts.shape == (len(space4),)
+        assert np.all(counts == 0)
+
+    def test_collect_counts_recovers_dominant_state(self, space4):
+        enc = UserSideEncoder(space4)
+        oracle = OptimizedUnaryEncoding(len(space4), 4.0, rng=0)
+        states = [TransitionState.move(5, 6)] * 2000
+        counts = enc.collect_counts(oracle, states)
+        assert np.argmax(counts) == space4.index_of_move(5, 6)
+        assert counts.max() == pytest.approx(2000, rel=0.1)

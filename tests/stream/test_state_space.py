@@ -1,0 +1,127 @@
+"""Tests for the transition-state space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DomainError
+from repro.geo.grid import unit_grid
+from repro.stream.events import StateKind, TransitionState
+from repro.stream.state_space import TransitionStateSpace
+
+
+class TestSize:
+    def test_size_formula(self, grid4, space4):
+        n_move = sum(len(grid4.neighbor_lists[c]) for c in range(grid4.n_cells))
+        assert space4.n_move == n_move
+        assert len(space4) == n_move + 2 * grid4.n_cells
+
+    def test_size_without_eq(self, space4_noeq):
+        assert len(space4_noeq) == space4_noeq.n_move
+
+    def test_o9c_bound(self):
+        """Paper: the reduced state space is O(9|C|) (+ enter/quit)."""
+        for k in (2, 4, 8):
+            grid = unit_grid(k)
+            space = TransitionStateSpace(grid)
+            assert space.n_move <= 9 * grid.n_cells
+            assert len(space) <= 11 * grid.n_cells
+
+    def test_k1_grid(self):
+        space = TransitionStateSpace(unit_grid(1))
+        # One self-loop movement + one enter + one quit.
+        assert len(space) == 3
+
+
+class TestIndexing:
+    def test_roundtrip_all_states(self, space4):
+        for i in range(len(space4)):
+            state = space4.state_of(i)
+            assert space4.index_of(state) == i
+
+    def test_move_index(self, space4):
+        s = TransitionState.move(0, 1)
+        idx = space4.index_of(s)
+        back = space4.state_of(idx)
+        assert back.kind is StateKind.MOVE
+        assert (back.origin, back.destination) == (0, 1)
+
+    def test_enter_quit_blocks_are_disjoint(self, space4):
+        enters = set(space4.enter_indices.tolist())
+        quits = set(space4.quit_indices.tolist())
+        moves = set(space4.move_indices.tolist())
+        assert not (enters & quits)
+        assert not (enters & moves)
+        assert not (quits & moves)
+        assert enters | quits | moves == set(range(len(space4)))
+
+    def test_illegal_move_rejected(self, space4):
+        with pytest.raises(DomainError):
+            space4.index_of_move(0, 15)  # opposite corners not adjacent
+
+    def test_self_loop_is_legal(self, space4):
+        idx = space4.index_of_move(5, 5)
+        assert space4.state_of(idx) == TransitionState.move(5, 5)
+
+    def test_bad_cell_rejected(self, space4):
+        with pytest.raises(DomainError):
+            space4.index_of_enter(16)
+        with pytest.raises(DomainError):
+            space4.index_of_quit(-1)
+
+    def test_bad_index_rejected(self, space4):
+        with pytest.raises(DomainError):
+            space4.state_of(len(space4))
+
+    def test_eq_states_rejected_without_eq(self, space4_noeq):
+        with pytest.raises(DomainError):
+            space4_noeq.index_of(TransitionState.enter(0))
+        with pytest.raises(DomainError):
+            space4_noeq.index_of(TransitionState.quit(0))
+        with pytest.raises(DomainError):
+            _ = space4_noeq.enter_indices
+
+
+class TestRowGroups:
+    def test_out_moves_match_neighbors(self, grid4, space4):
+        for origin in range(grid4.n_cells):
+            dests = space4.out_destinations(origin)
+            assert dests == grid4.neighbor_lists[origin]
+            idx = space4.out_move_indices(origin)
+            for i, d in zip(idx, dests):
+                s = space4.state_of(int(i))
+                assert s.kind is StateKind.MOVE
+                assert s.origin == origin and s.destination == d
+
+    def test_every_move_in_exactly_one_row(self, space4):
+        seen = []
+        for origin in range(space4.n_cells):
+            seen.extend(space4.out_move_indices(origin).tolist())
+        assert sorted(seen) == list(range(space4.n_move))
+
+    @given(k=st.integers(1, 8))
+    @settings(max_examples=20)
+    def test_iteration_covers_space(self, k):
+        space = TransitionStateSpace(unit_grid(k))
+        states = list(space)
+        assert len(states) == len(space)
+        assert len({space.index_of(s) for s in states}) == len(space)
+
+
+class TestEventStrings:
+    def test_str_forms(self):
+        assert str(TransitionState.move(1, 2)) == "m(1->2)"
+        assert str(TransitionState.enter(3)) == "e(3)"
+        assert str(TransitionState.quit(4)) == "q(4)"
+
+    def test_constructors(self):
+        m = TransitionState.move(1, 2)
+        assert m.kind is StateKind.MOVE and m.origin == 1 and m.destination == 2
+        e = TransitionState.enter(3)
+        assert e.kind is StateKind.ENTER and e.origin is None and e.destination == 3
+        q = TransitionState.quit(4)
+        assert q.kind is StateKind.QUIT and q.origin == 4 and q.destination is None
+
+    def test_hashable(self):
+        s = {TransitionState.move(0, 1), TransitionState.move(0, 1)}
+        assert len(s) == 1

@@ -1,0 +1,193 @@
+"""Tests for the stream dataset views."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.geo.trajectory import CellTrajectory
+from repro.stream.events import StateKind
+from repro.stream.stream import StreamDataset, from_continuous, split_on_gaps
+
+
+@pytest.fixture
+def tiny(grid4):
+    """Two overlapping streams on a 4x4 grid.
+
+    user 0: cells [0, 1, 2] at t=0..2 (quit event at t=3)
+    user 1: cells [5, 6]    at t=2..3 (enter at 2, quit event at t=4)
+    """
+    return StreamDataset(
+        grid4,
+        [
+            CellTrajectory(0, [0, 1, 2], user_id=0),
+            CellTrajectory(2, [5, 6], user_id=1),
+        ],
+        n_timestamps=5,
+    )
+
+
+class TestBasics:
+    def test_len_iter(self, tiny):
+        assert len(tiny) == 2
+        assert [t.user_id for t in tiny] == [0, 1]
+
+    def test_auto_user_ids(self, grid4):
+        ds = StreamDataset(grid4, [CellTrajectory(0, [0]), CellTrajectory(0, [1])])
+        assert ds.user_ids == [0, 1]
+
+    def test_duplicate_user_ids_rejected(self, grid4):
+        with pytest.raises(DatasetError):
+            StreamDataset(
+                grid4,
+                [CellTrajectory(0, [0], user_id=7), CellTrajectory(0, [1], user_id=7)],
+            )
+
+    def test_horizon_derived_when_missing(self, grid4):
+        ds = StreamDataset(grid4, [CellTrajectory(3, [0, 1])])
+        # end_time = 4, quit report at 5, so horizon must cover t=5.
+        assert ds.n_timestamps == 6
+
+    def test_trajectory_lookup(self, tiny):
+        assert tiny.trajectory(1).cells == [5, 6]
+        with pytest.raises(DatasetError):
+            tiny.trajectory(99)
+
+
+class TestPerTimestampViews:
+    def test_active_counts(self, tiny):
+        assert [tiny.n_active_at(t) for t in range(5)] == [1, 1, 2, 1, 0]
+
+    def test_cells_at(self, tiny):
+        assert tiny.cells_at(2).tolist() == [2, 5]
+        assert tiny.cells_at(4).tolist() == []
+
+    def test_transition_states(self, tiny):
+        tr0 = tiny.trajectory(0)
+        s = tiny.transition_state(tr0, 0)
+        assert s.kind is StateKind.ENTER and s.destination == 0
+        s = tiny.transition_state(tr0, 1)
+        assert s.kind is StateKind.MOVE and (s.origin, s.destination) == (0, 1)
+        s = tiny.transition_state(tr0, 3)
+        assert s.kind is StateKind.QUIT and s.origin == 2
+        assert tiny.transition_state(tr0, 4) is None
+
+    def test_participants_per_timestamp(self, tiny):
+        # t=0: user0 enter; t=2: user0 move + user1 enter; t=3: user0 quit + user1 move
+        assert [uid for uid, _ in tiny.participants_at(0)] == [0]
+        parts2 = dict(tiny.participants_at(2))
+        assert parts2[0].kind is StateKind.MOVE
+        assert parts2[1].kind is StateKind.ENTER
+        parts3 = dict(tiny.participants_at(3))
+        assert parts3[0].kind is StateKind.QUIT
+        assert parts3[1].kind is StateKind.MOVE
+
+    def test_entered_and_quitted(self, tiny):
+        assert tiny.newly_entered_at(0) == [0]
+        assert tiny.newly_entered_at(2) == [1]
+        assert tiny.quitted_at(3) == [0]
+        assert tiny.quitted_at(4) == [1]
+
+    def test_every_stream_reports_every_active_timestamp(self, walk_data):
+        """Between enter and quit a stream has exactly one state per t."""
+        for traj in walk_data.trajectories:
+            for t in range(traj.start_time, min(traj.end_time + 2, walk_data.n_timestamps)):
+                state = walk_data.transition_state(traj, t)
+                assert state is not None
+
+
+class TestCachedViews:
+    def test_cell_counts_matrix_shape(self, tiny):
+        counts = tiny.cell_counts_matrix()
+        assert counts.shape == (5, 16)
+        assert counts.sum() == 5  # total points
+
+    def test_cell_counts_match_cells_at(self, walk_data):
+        counts = walk_data.cell_counts_matrix()
+        for t in range(walk_data.n_timestamps):
+            expected = np.bincount(
+                walk_data.cells_at(t), minlength=walk_data.grid.n_cells
+            )
+            assert np.array_equal(counts[t], expected)
+
+    def test_transitions_at(self, tiny):
+        assert tiny.transitions_at(1) == [(0, 1)]
+        assert sorted(tiny.transitions_at(2)) == [(1, 2)]
+        assert tiny.transitions_at(3) == [(5, 6)]
+        assert tiny.transitions_at(0) == []
+
+    def test_active_counts_vector(self, tiny):
+        assert tiny.active_counts().tolist() == [1, 1, 2, 1, 0]
+
+
+class TestStats:
+    def test_stats_fields(self, tiny):
+        s = tiny.stats()
+        assert s["size"] == 2
+        assert s["n_points"] == 5
+        assert s["average_length"] == 2.5
+        assert s["timestamps"] == 5
+        assert s["grid_k"] == 4
+
+
+class TestSubsample:
+    def test_subsample_size(self, walk_data, rng):
+        sub = walk_data.subsample(0.5, rng)
+        assert len(sub) == round(len(walk_data) * 0.5)
+        assert sub.n_timestamps == walk_data.n_timestamps
+
+    def test_subsample_full(self, walk_data, rng):
+        sub = walk_data.subsample(1.0, rng)
+        assert len(sub) == len(walk_data)
+
+    def test_subsample_does_not_share_cells(self, walk_data, rng):
+        sub = walk_data.subsample(0.5, rng)
+        sub.trajectories[0].cells.append(0)  # mutate copy
+        lengths = {len(t) for t in walk_data.trajectories}
+        assert max(lengths) <= walk_data.n_timestamps  # original unchanged shape
+
+    def test_invalid_fraction(self, walk_data, rng):
+        with pytest.raises(DatasetError):
+            walk_data.subsample(0.0, rng)
+        with pytest.raises(DatasetError):
+            walk_data.subsample(1.5, rng)
+
+
+class TestSplitOnGaps:
+    def test_no_gap_single_stream(self):
+        streams = split_on_gaps(0, [(0, 5), (1, 6), (2, 7)])
+        assert len(streams) == 1
+        assert streams[0].cells == [5, 6, 7]
+        assert streams[0].start_time == 0
+
+    def test_gap_splits(self):
+        streams = split_on_gaps(0, [(0, 5), (1, 6), (5, 8), (6, 9)])
+        assert len(streams) == 2
+        assert streams[0].cells == [5, 6]
+        assert streams[1].start_time == 5
+        assert streams[1].cells == [8, 9]
+
+    def test_offset_applied(self):
+        streams = split_on_gaps(10, [(0, 1), (1, 2)])
+        assert streams[0].start_time == 10
+
+    def test_empty(self):
+        assert split_on_gaps(0, []) == []
+
+    def test_user_ids_increment(self):
+        streams = split_on_gaps(0, [(0, 1), (5, 2), (9, 3)], user_id_start=100)
+        assert [s.user_id for s in streams] == [100, 101, 102]
+
+
+class TestFromContinuous:
+    def test_discretises_and_ids(self, grid4):
+        from repro.geo.point import Point
+        from repro.geo.trajectory import Trajectory
+
+        raw = [
+            Trajectory(0, [Point(0.1, 0.1), Point(0.3, 0.1)]),
+            Trajectory(1, [Point(0.9, 0.9)]),
+        ]
+        ds = from_continuous(grid4, raw, name="x")
+        assert len(ds) == 2
+        assert ds.user_ids == [0, 1]
+        assert ds.name == "x"

@@ -1,0 +1,109 @@
+"""Tests for the dynamic active-user set and recycling."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.stream.user_tracker import UserStatus, UserTracker
+
+
+class TestLifecycle:
+    def test_register_makes_active(self):
+        tr = UserTracker(w=3)
+        tr.register([1, 2])
+        assert tr.status(1) is UserStatus.ACTIVE
+        assert tr.n_active() == 2
+
+    def test_report_makes_inactive(self):
+        tr = UserTracker(w=3)
+        tr.register([1])
+        tr.mark_reported([1], timestamp=0)
+        assert tr.status(1) is UserStatus.INACTIVE
+        assert tr.active_users() == []
+
+    def test_quit_is_terminal(self):
+        tr = UserTracker(w=3)
+        tr.register([1])
+        tr.mark_quitted([1])
+        assert tr.status(1) is UserStatus.QUITTED
+        tr.register([1])  # re-registering a quitted user is a no-op
+        assert tr.status(1) is UserStatus.QUITTED
+
+    def test_reported_then_quit_not_recycled(self):
+        tr = UserTracker(w=3)
+        tr.register([1])
+        tr.mark_reported([1], 0)
+        tr.mark_quitted([1])
+        assert tr.recycle(3) == []
+        assert tr.status(1) is UserStatus.QUITTED
+
+    def test_mark_reported_on_quitted_noop(self):
+        tr = UserTracker(w=3)
+        tr.register([1])
+        tr.mark_quitted([1])
+        tr.mark_reported([1], 5)
+        assert tr.status(1) is UserStatus.QUITTED
+        assert tr.report_history(1) == []
+
+    def test_unknown_user_raises(self):
+        tr = UserTracker(w=3)
+        with pytest.raises(ConfigurationError):
+            tr.status(42)
+
+    def test_invalid_w(self):
+        with pytest.raises(ConfigurationError):
+            UserTracker(0)
+
+
+class TestRecycling:
+    def test_recycled_exactly_w_later(self):
+        tr = UserTracker(w=3)
+        tr.register([1])
+        tr.mark_reported([1], 2)
+        assert tr.recycle(3) == []
+        assert tr.recycle(4) == []
+        assert tr.recycle(5) == [1]  # 5 - 3 == 2, the report timestamp
+        assert tr.status(1) is UserStatus.ACTIVE
+
+    def test_recycle_early_timestamps_noop(self):
+        tr = UserTracker(w=5)
+        tr.register([1])
+        tr.mark_reported([1], 0)
+        assert tr.recycle(2) == []
+
+    def test_only_latest_report_counts(self):
+        tr = UserTracker(w=3)
+        tr.register([1])
+        tr.mark_reported([1], 0)
+        tr.recycle(3)
+        tr.mark_reported([1], 3)
+        # Old report at 0 must not trigger recycling at t=3+... only t=6 does.
+        assert tr.recycle(4) == []
+        assert tr.recycle(6) == [1]
+
+    def test_report_history_tracked(self):
+        tr = UserTracker(w=2)
+        tr.register([9])
+        tr.mark_reported([9], 1)
+        tr.recycle(3)
+        tr.mark_reported([9], 3)
+        assert tr.report_history(9) == [1, 3]
+
+
+class TestWEventInvariant:
+    def test_never_two_reports_within_window(self):
+        """Simulate the Algorithm 1 discipline; gaps must be >= w."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        w = 4
+        tr = UserTracker(w=w)
+        tr.register(range(30))
+        for t in range(60):
+            tr.recycle(t)
+            active = tr.active_users()
+            chosen = [u for u in active if rng.random() < 0.5]
+            tr.mark_reported(chosen, t)
+        for u in range(30):
+            hist = tr.report_history(u)
+            gaps = [b - a for a, b in zip(hist, hist[1:])]
+            assert all(g >= w for g in gaps), (u, hist)

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--out", "x.npz"])
+
+
+class TestDatasetsCommands:
+    def test_list(self, capsys):
+        assert main(["datasets", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "tdrive" in out and "oldenburg" in out and "sanjoaquin" in out
+
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out_file = tmp_path / "td.npz"
+        code = main([
+            "datasets", "generate", "--name", "tdrive",
+            "--scale", "0.01", "--out", str(out_file), "--seed", "0",
+        ])
+        assert code == 0
+        assert out_file.exists()
+        assert main(["datasets", "stats", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "average_length" in out
+
+
+class TestRunEvaluate:
+    @pytest.fixture
+    def dataset_file(self, tmp_path):
+        path = tmp_path / "data.npz"
+        main([
+            "datasets", "generate", "--name", "tdrive",
+            "--scale", "0.01", "--out", str(path), "--seed", "0",
+        ])
+        return path
+
+    def test_run_retrasyn(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "syn.npz"
+        code = main([
+            "run", "--method", "RetraSyn_p", "--input", str(dataset_file),
+            "--epsilon", "1.0", "--w", "5", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "satisfied': True" in capsys.readouterr().out
+
+    def test_run_baseline(self, dataset_file, tmp_path):
+        out = tmp_path / "syn.npz"
+        code = main([
+            "run", "--method", "LBD", "--input", str(dataset_file),
+            "--w", "5", "--out", str(out),
+        ])
+        assert code == 0
+
+    def test_run_no_audit(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "syn.npz"
+        code = main([
+            "run", "--method", "RetraSyn_b", "--input", str(dataset_file),
+            "--w", "5", "--out", str(out), "--no-audit",
+        ])
+        assert code == 0
+        assert "privacy audit" not in capsys.readouterr().out
+
+    def test_evaluate(self, dataset_file, tmp_path, capsys):
+        syn = tmp_path / "syn.npz"
+        main([
+            "run", "--method", "RetraSyn_p", "--input", str(dataset_file),
+            "--w", "5", "--out", str(syn),
+        ])
+        code = main(["evaluate", str(dataset_file), str(syn), "--phi", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fidelity report" in out
+        assert "length_error" in out
+
+
+class TestExperimentCommand:
+    def test_table4_tiny(self, capsys):
+        code = main([
+            "experiment", "table4", "--scale", "0.01", "--w", "5",
+            "--k", "4", "--datasets", "tdrive",
+        ])
+        assert code == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_fig7_tiny(self, capsys):
+        code = main([
+            "experiment", "fig7", "--scale", "0.01", "--w", "5",
+            "--k", "4", "--datasets", "tdrive",
+        ])
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Tests for the plan and historical CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlanCommand:
+    def test_default_plan(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr().out
+        assert "Deployment plan" in out
+        assert "recommended_k" in out
+
+    def test_custom_plan(self, capsys):
+        code = main([
+            "plan", "--epsilon", "2.0", "--n-active", "1000000",
+            "--k", "10", "--division", "budget", "--portion", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget" in out
+
+    def test_invalid_division_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--division", "federated"])
+
+
+class TestRunEngineAndRandom:
+    def test_vectorized_engine_and_random_allocator(self, tmp_path, capsys):
+        data = tmp_path / "d.npz"
+        main([
+            "datasets", "generate", "--name", "tdrive",
+            "--scale", "0.01", "--out", str(data), "--seed", "0",
+        ])
+        out = tmp_path / "syn.npz"
+        code = main([
+            "run", "--method", "RetraSyn_p", "--input", str(data),
+            "--w", "5", "--allocator", "random", "--engine", "vectorized",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "satisfied': True" in capsys.readouterr().out
+
+    def test_baseline_ignores_engine_flag(self, tmp_path):
+        data = tmp_path / "d.npz"
+        main([
+            "datasets", "generate", "--name", "tdrive",
+            "--scale", "0.01", "--out", str(data), "--seed", "0",
+        ])
+        out = tmp_path / "syn.npz"
+        code = main([
+            "run", "--method", "LPA", "--input", str(data),
+            "--w", "5", "--engine", "vectorized", "--out", str(out),
+        ])
+        assert code == 0
+
+
+class TestHistoricalExperiment:
+    def test_runs(self, capsys):
+        code = main([
+            "experiment", "historical", "--scale", "0.01",
+            "--w", "5", "--k", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Streaming vs historical" in out
+        assert "LDPTrace" in out

@@ -1,0 +1,126 @@
+"""Tests for the deployment-planning utilities."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geo.grid import unit_grid
+from repro.planning import (
+    DeploymentPlan,
+    format_plan_report,
+    per_round_noise_std,
+    plan_report,
+    recommend_k,
+    signal_scale,
+    snr,
+    state_domain_size,
+)
+from repro.stream.state_space import TransitionStateSpace
+
+
+class TestStateDomainSize:
+    @pytest.mark.parametrize("k", [1, 2, 3, 6, 10])
+    def test_matches_actual_space(self, k):
+        """The closed form must equal the constructed space size."""
+        space = TransitionStateSpace(unit_grid(k))
+        assert state_domain_size(k) == space.size
+        space_noeq = TransitionStateSpace(
+            unit_grid(k), include_entering_quitting=False
+        )
+        assert state_domain_size(k, False) == space_noeq.size
+
+    def test_o9c_bound(self):
+        for k in (2, 6, 18):
+            assert state_domain_size(k) <= 11 * k * k
+
+
+class TestNoisePrediction:
+    def test_more_users_less_noise(self):
+        small = DeploymentPlan(n_active=1_000)
+        large = DeploymentPlan(n_active=100_000)
+        assert per_round_noise_std(large) < per_round_noise_std(small)
+
+    def test_higher_epsilon_less_noise(self):
+        low = DeploymentPlan(epsilon=0.5)
+        high = DeploymentPlan(epsilon=2.0)
+        assert per_round_noise_std(high) < per_round_noise_std(low)
+
+    def test_budget_division_uses_fractional_epsilon(self):
+        pop = DeploymentPlan(division="population", portion=0.05)
+        bud = DeploymentPlan(division="budget", portion=0.05)
+        # Same inputs, different mechanics: both produce finite noise.
+        assert per_round_noise_std(pop) > 0
+        assert per_round_noise_std(bud) > 0
+
+    def test_prediction_matches_simulation(self):
+        """Predicted per-state std must match an empirical OUE run."""
+        import numpy as np
+
+        from repro.ldp.oue import OptimizedUnaryEncoding
+
+        plan = DeploymentPlan(epsilon=1.0, n_active=4_000, portion=0.25, k=4)
+        n = int(plan.portion * plan.n_active)
+        d = state_domain_size(plan.k)
+        estimates = np.stack([
+            OptimizedUnaryEncoding(d, plan.epsilon, rng=i).collect([0] * n) / n
+            for i in range(120)
+        ])
+        empirical = estimates[:, 1].std()  # a zero-frequency position
+        assert empirical == pytest.approx(per_round_noise_std(plan), rel=0.3)
+
+
+class TestSnrAndRecommendation:
+    def test_snr_decreases_with_k(self):
+        plans = [DeploymentPlan(k=k) for k in (2, 6, 18)]
+        snrs = [snr(p) for p in plans]
+        assert snrs[0] > snrs[1] > snrs[2]
+
+    def test_signal_scale_shrinks_with_k(self):
+        assert signal_scale(DeploymentPlan(k=18)) < signal_scale(DeploymentPlan(k=2))
+
+    def test_large_population_affords_fine_grid(self):
+        small = recommend_k(DeploymentPlan(n_active=500))
+        large = recommend_k(DeploymentPlan(n_active=5_000_000))
+        assert large >= small
+
+    def test_no_viable_k_falls_back_to_coarsest(self):
+        plan = DeploymentPlan(n_active=2, epsilon=0.1)
+        assert recommend_k(plan, candidates=(6, 10)) == 6
+
+    def test_recommendation_is_viable_when_possible(self):
+        plan = DeploymentPlan(n_active=1_000_000, epsilon=2.0)
+        k = recommend_k(plan)
+        chosen = DeploymentPlan(
+            epsilon=plan.epsilon, w=plan.w, n_active=plan.n_active,
+            k=k, division=plan.division, portion=plan.portion,
+        )
+        assert snr(chosen) >= 1.0
+
+
+class TestReport:
+    def test_fields(self):
+        report = plan_report(DeploymentPlan())
+        for key in ("state_domain", "noise_std", "snr", "recommended_k"):
+            assert key in report
+
+    def test_format(self):
+        text = format_plan_report(plan_report(DeploymentPlan()))
+        assert "Deployment plan" in text
+        assert "recommended_k" in text
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"w": 0},
+            {"n_active": 0},
+            {"k": 0},
+            {"division": "federated"},
+            {"portion": 0.0},
+            {"portion": 1.5},
+        ],
+    )
+    def test_invalid_plan(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeploymentPlan(**kwargs)

@@ -1,0 +1,89 @@
+"""Tests for the rng helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import exceptions
+from repro.rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_numpy_integer_seed(self):
+        g = ensure_rng(np.int64(7))
+        assert isinstance(g, np.random.Generator)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+        with pytest.raises(TypeError):
+            ensure_rng(3.14)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(ensure_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        children = spawn(ensure_rng(0), 2)
+        a = children[0].random(100)
+        b = children[1].random(100)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn(ensure_rng(3), 3)]
+        b = [g.random() for g in spawn(ensure_rng(3), 3)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            exceptions.ConfigurationError,
+            exceptions.PrivacyBudgetError,
+            exceptions.DomainError,
+            exceptions.DatasetError,
+            exceptions.SynthesisError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, exceptions.ReproError)
+        with pytest.raises(exceptions.ReproError):
+            raise exc("boom")
+
+    def test_catchable_individually(self):
+        with pytest.raises(exceptions.PrivacyBudgetError):
+            raise exceptions.PrivacyBudgetError("x")
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,89 @@
+"""Tests for the terminal visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geo.grid import unit_grid
+from repro.viz import density_heatmap, side_by_side, timeseries, transition_matrix_view
+
+
+class TestDensityHeatmap:
+    def test_dimensions(self, grid4):
+        art = density_heatmap(grid4, np.zeros(16))
+        lines = art.splitlines()
+        assert len(lines) == 5  # 4 rows + border
+        assert all(len(l) == 2 * 4 + 2 for l in lines)
+
+    def test_hot_cell_rendered_dense(self, grid4):
+        counts = np.zeros(16)
+        counts[0] = 100.0  # row 0, col 0 -> bottom-left
+        art = density_heatmap(grid4, counts)
+        bottom_row = art.splitlines()[-2]
+        assert bottom_row[1] == "@"
+
+    def test_title(self, grid4):
+        art = density_heatmap(grid4, np.zeros(16), title="hello")
+        assert art.splitlines()[0] == "hello"
+
+    def test_wrong_shape(self, grid4):
+        with pytest.raises(ConfigurationError):
+            density_heatmap(grid4, np.zeros(4))
+
+    def test_all_zero_grid(self, grid4):
+        art = density_heatmap(grid4, np.zeros(16))
+        assert "@" not in art
+
+
+class TestSideBySide:
+    def test_joins_lines(self):
+        joined = side_by_side("ab\ncd", "XY\nZW", gap=2)
+        assert joined.splitlines() == ["ab  XY", "cd  ZW"]
+
+    def test_uneven_heights(self):
+        joined = side_by_side("a", "x\ny")
+        assert len(joined.splitlines()) == 2
+
+
+class TestTimeseries:
+    def test_renders_extremes(self):
+        art = timeseries([0, 1, 0, 1], width=10, height=4, label="s")
+        lines = art.splitlines()
+        assert "min=0" in lines[0] and "max=1" in lines[0]
+        assert any("*" in l for l in lines[1:])
+
+    def test_long_series_pooled(self):
+        art = timeseries(list(range(1000)), width=20, height=4)
+        assert max(len(l) for l in art.splitlines()) <= 20
+
+    def test_empty(self):
+        assert "empty" in timeseries([], label="x")
+
+    def test_constant_series(self):
+        art = timeseries([5, 5, 5], width=10, height=3)
+        assert "*" in art
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            timeseries([1, 2], width=1)
+
+
+class TestTransitionMatrixView:
+    def test_lists_heaviest_origins(self):
+        grid = unit_grid(3)
+        mat = np.zeros((9, 9))
+        mat[4, 5] = 0.9
+        mat[4, 3] = 0.1
+        text = transition_matrix_view(grid, mat)
+        assert "4" in text
+        assert "5:0.900" in text
+
+    def test_wrong_shape(self):
+        grid = unit_grid(3)
+        with pytest.raises(ConfigurationError):
+            transition_matrix_view(grid, np.zeros((4, 4)))
+
+    def test_empty_matrix(self):
+        grid = unit_grid(3)
+        text = transition_matrix_view(grid, np.zeros((9, 9)))
+        assert "origin" in text
