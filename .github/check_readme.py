@@ -1,0 +1,46 @@
+"""Docs check: every path README.md links or mentions must exist.
+
+Two rules, applied to README.md (and docs/ARCHITECTURE.md):
+
+* every relative markdown link target must exist in the repo;
+* every `path`-looking inline-code span (contains a `/` or ends in .py/.md
+  and points inside the repo) must exist.
+
+Keeps the module map and quickstart honest as the tree evolves.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = [ROOT / "README.md", ROOT / "docs" / "ARCHITECTURE.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#]+)\)")
+CODE_RE = re.compile(r"`([A-Za-z0-9_./-]+\.(?:py|md))`")
+
+
+def main() -> int:
+    missing: list[str] = []
+    for doc in DOCS:
+        text = doc.read_text()
+        targets = set(LINK_RE.findall(text)) | set(CODE_RE.findall(text))
+        for target in sorted(targets):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = (doc.parent / target).resolve()
+            if not path.exists() and not (ROOT / target).exists():
+                missing.append(f"{doc.relative_to(ROOT)}: {target}")
+    if missing:
+        print("Dangling documentation references:")
+        for entry in missing:
+            print(f"  {entry}")
+        return 1
+    print(f"checked {len(DOCS)} docs: all referenced paths exist")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

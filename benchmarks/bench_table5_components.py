@@ -15,10 +15,38 @@ def test_table5_components(benchmark, bench_setting, save_artifact):
         run_table5,
         bench_setting,
         datasets=("tdrive", "oldenburg", "sanjoaquin"),
-        oracle_mode="exact",  # user-side cost reflects the literal protocol
+        oracle_mode="exact",  # batched literal protocol (engine default)
     )
     save_artifact("table5_components", format_table5(results))
     for dataset, comps in results.items():
         assert comps["synthesis"] >= comps["dmu"], dataset
         assert comps["synthesis"] >= comps["model_construction"], dataset
         assert comps["total"] > 0, dataset
+
+
+def test_table5_collection_engines(benchmark, bench_setting, save_artifact):
+    """Table V user-side column across collection engines, measured not claimed."""
+
+    def run_engines():
+        out = {}
+        out["exact-loop"] = run_table5(
+            bench_setting, datasets=("tdrive",), oracle_mode="exact-loop"
+        )
+        out["exact"] = run_table5(
+            bench_setting, datasets=("tdrive",), oracle_mode="exact"
+        )
+        out["exact+4shards"] = run_table5(
+            bench_setting, datasets=("tdrive",), oracle_mode="exact", n_shards=4
+        )
+        return out
+
+    out = run_once(benchmark, run_engines)
+    lines = ["Table V user-side cost by collection engine (tdrive, s/timestamp)"]
+    for label, results in out.items():
+        lines.append(f"  {label:<14} {results['tdrive']['user_side']:.6f}")
+    save_artifact("table5_collection_engines", "\n".join(lines))
+    # The batched path must not be slower than the per-user reference loop.
+    assert (
+        out["exact"]["tdrive"]["user_side"]
+        <= out["exact-loop"]["tdrive"]["user_side"]
+    ), out

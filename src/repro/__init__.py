@@ -21,6 +21,7 @@ from repro.core import (
     OnlineRetraSyn,
     RetraSyn,
     RetraSynConfig,
+    ShardedOnlineRetraSyn,
     SynthesisRun,
     Synthesizer,
     VectorizedSynthesizer,
@@ -47,6 +48,7 @@ __all__ = [
     "RetraSyn",
     "RetraSynConfig",
     "OnlineRetraSyn",
+    "ShardedOnlineRetraSyn",
     "SynthesisRun",
     "Synthesizer",
     "VectorizedSynthesizer",

@@ -60,6 +60,16 @@ def _add_run_parser(sub) -> None:
     p.add_argument("--engine", default="object",
                    choices=("object", "vectorized"),
                    help="synthesis engine (RetraSyn variants only)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="collection shards; >1 enables the sharded engine "
+                        "(RetraSyn variants only)")
+    p.add_argument("--shard-executor", default="serial",
+                   choices=("serial", "process"),
+                   help="run shards in-process or one worker process each")
+    p.add_argument("--oracle-mode", default="fast",
+                   choices=("fast", "exact", "exact-loop"),
+                   help="OUE execution: binomial shortcut, batched literal "
+                        "protocol, or per-user reference loop")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True, help="synthetic output .npz path")
     p.add_argument("--no-audit", action="store_true",
@@ -147,6 +157,9 @@ def _cmd_run(args) -> int:
     overrides = {"track_privacy": not args.no_audit}
     if args.method.lower() not in ("lbd", "lba", "lpd", "lpa"):
         overrides["engine"] = args.engine
+        overrides["n_shards"] = args.shards
+        overrides["shard_executor"] = args.shard_executor
+        overrides["oracle_mode"] = args.oracle_mode
     algo = make_method(
         args.method,
         epsilon=args.epsilon,

@@ -12,6 +12,8 @@
   (Algorithm 1), with budget- and population-division modes.
 * :mod:`~repro.core.variants` — AllUpdate and NoEQ ablation variants
   (Table IV).
+* :class:`~repro.core.sharded.ShardedOnlineRetraSyn` — hash-partitioned,
+  optionally multi-process collection engine (``RetraSynConfig.n_shards``).
 """
 
 from repro.core.mobility_model import GlobalMobilityModel
@@ -30,6 +32,7 @@ from repro.core.allocation import (
     UniformPopulationAllocator,
 )
 from repro.core.online import OnlineRetraSyn, TimestepResult
+from repro.core.sharded import CollectionShard, ShardedOnlineRetraSyn, shard_of
 from repro.core.persistence import (
     load_config,
     load_model,
@@ -58,6 +61,9 @@ __all__ = [
     "SynthesisRun",
     "OnlineRetraSyn",
     "TimestepResult",
+    "ShardedOnlineRetraSyn",
+    "CollectionShard",
+    "shard_of",
     "save_model",
     "load_model",
     "save_config",

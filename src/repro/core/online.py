@@ -53,6 +53,59 @@ from repro.stream.user_tracker import UserTracker
 _MIN_EPSILON = 1e-8
 
 
+def sample_population_reporters(
+    tracker,
+    report_phase: dict,
+    rng,
+    cfg,
+    t: int,
+    participants,
+    newly_entered,
+    rate: Optional[float],
+    stochastic_round: bool = False,
+) -> list:
+    """Algorithm 1's per-timestamp reporter selection over one user set.
+
+    Registers arrivals, recycles the ``t − w`` cohort, then either applies
+    the user-driven "random" phase rule or samples a ``rate`` fraction of
+    the eligible set.  Shared by the unsharded engine (whole population)
+    and each :class:`~repro.core.sharded.CollectionShard` (one partition),
+    so the selection semantics cannot drift between engines.
+
+    ``stochastic_round=True`` rounds the sample size probabilistically so
+    that its *expectation* is exactly ``rate * len(eligible)`` — required
+    when the population is split into many small partitions, where
+    deterministic rounding would systematically under- or over-sample.
+    """
+    tracker.register(newly_entered)
+    if cfg.allocator == "random":
+        for uid in newly_entered:
+            report_phase[uid] = int(rng.integers(0, cfg.w))
+    tracker.recycle(t)
+    eligible = [
+        (uid, s)
+        for uid, s in participants
+        if tracker.status(uid).value == "active"
+    ]
+    if cfg.allocator == "random":
+        return [
+            (uid, s)
+            for uid, s in eligible
+            if report_phase.get(uid, 0) == t % cfg.w
+        ]
+    target = (rate or 0.0) * len(eligible)
+    if stochastic_round:
+        n_sample = int(target) + int(rng.random() < (target - int(target)))
+    else:
+        n_sample = int(round(target))
+    if n_sample <= 0 or not eligible:
+        return []
+    idx = rng.choice(
+        len(eligible), size=min(n_sample, len(eligible)), replace=False
+    )
+    return [eligible[int(i)] for i in np.atleast_1d(idx)]
+
+
 @dataclass(frozen=True)
 class TimestepResult:
     """What happened inside one :meth:`OnlineRetraSyn.process_timestep`."""
@@ -173,13 +226,10 @@ class OnlineRetraSyn:
                 (uid, s) for uid, s in participants if s.kind is StateKind.MOVE
             ]
 
-        chosen, eps_used = self._select_reporters(t, participants, newly_entered)
-        n_reporters = len(chosen)
+        collected, n_reporters, eps_used = self._collect_round(
+            t, participants, newly_entered, quitted
+        )
         self.reporters_per_timestamp.append(n_reporters)
-
-        collected = self._collect(t, chosen, eps_used)
-        if self._tracker is not None:
-            self._tracker.mark_quitted(quitted)
 
         n_significant = self._update_model(collected, eps_used, n_reporters)
         self.significant_per_timestamp.append(n_significant)
@@ -196,37 +246,31 @@ class OnlineRetraSyn:
     # ------------------------------------------------------------------ #
     # phases
     # ------------------------------------------------------------------ #
+    def _collect_round(self, t, participants, newly_entered, quitted):
+        """Selection + private collection for one timestamp.
+
+        Returns ``(collected, n_reporters, eps_used)``.  This is the hook
+        :class:`~repro.core.sharded.ShardedOnlineRetraSyn` overrides: the
+        model-update and synthesis phases downstream are shared.
+        """
+        chosen, eps_used = self._select_reporters(t, participants, newly_entered)
+        collected = self._collect(t, chosen, eps_used)
+        if self._tracker is not None:
+            self._tracker.mark_quitted(quitted)
+        return collected, len(chosen), eps_used
+
     def _select_reporters(self, t, participants, newly_entered):
         cfg = self.config
         if cfg.division == "population":
-            self._tracker.register(newly_entered)
-            if cfg.allocator == "random":
-                for uid in newly_entered:
-                    self._report_phase[uid] = int(self.rng.integers(0, cfg.w))
-            self._tracker.recycle(t)
-            eligible = [
-                (uid, s)
-                for uid, s in participants
-                if self._tracker.status(uid).value == "active"
-            ]
-            if cfg.allocator == "random":
-                chosen = [
-                    (uid, s)
-                    for uid, s in eligible
-                    if self._report_phase.get(uid, 0) == t % cfg.w
-                ]
-            else:
-                p_t = self._pop_alloc.propose(t, self.context)
-                n_sample = int(round(p_t * len(eligible)))
-                if n_sample > 0 and eligible:
-                    idx = self.rng.choice(
-                        len(eligible),
-                        size=min(n_sample, len(eligible)),
-                        replace=False,
-                    )
-                    chosen = [eligible[int(i)] for i in np.atleast_1d(idx)]
-                else:
-                    chosen = []
+            rate = (
+                None
+                if cfg.allocator == "random"
+                else self._pop_alloc.propose(t, self.context)
+            )
+            chosen = sample_population_reporters(
+                self._tracker, self._report_phase, self.rng, cfg,
+                t, participants, newly_entered, rate,
+            )
             return chosen, cfg.epsilon
 
         eps_t = self._budget_alloc.propose(t, self.context)
@@ -309,4 +353,18 @@ class OnlineRetraSyn:
             self.synthesizer.all_trajectories(),
             n_timestamps=n_timestamps,
             name=name,
+        )
+
+    def result(self, n_timestamps: int, name: str = "online", total_runtime: float = 0.0):
+        """Package the curator's state as a finished SynthesisRun."""
+        from repro.core.retrasyn import SynthesisRun
+
+        return SynthesisRun(
+            synthetic=self.synthetic_dataset(n_timestamps, name=name),
+            config=self.config,
+            accountant=self.accountant,
+            timings=self.timings,
+            reporters_per_timestamp=self.reporters_per_timestamp,
+            significant_per_timestamp=self.significant_per_timestamp,
+            total_runtime=total_runtime or sum(self.timings.values()),
         )

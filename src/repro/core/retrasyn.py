@@ -54,8 +54,10 @@ class RetraSynConfig:
     alpha: float = 8.0
     kappa: int = 5
     p_max: float = 0.6
-    oracle_mode: str = "fast"  # "fast" | "exact"
+    oracle_mode: str = "fast"  # "fast" | "exact" (batched) | "exact-loop"
     engine: str = "object"  # "object" | "vectorized" synthesis engine
+    n_shards: int = 1  # >1 routes collection through ShardedOnlineRetraSyn
+    shard_executor: str = "serial"  # "serial" | "process" shard execution
     track_privacy: bool = True
     seed: RngLike = None
 
@@ -78,6 +80,20 @@ class RetraSynConfig:
         if self.engine not in ("object", "vectorized"):
             raise ConfigurationError(
                 f"engine must be 'object' or 'vectorized', got {self.engine!r}"
+            )
+        if self.oracle_mode not in ("fast", "exact", "exact-loop"):
+            raise ConfigurationError(
+                f"oracle_mode must be 'fast', 'exact' or 'exact-loop', "
+                f"got {self.oracle_mode!r}"
+            )
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if self.shard_executor not in ("serial", "process"):
+            raise ConfigurationError(
+                f"shard_executor must be 'serial' or 'process', "
+                f"got {self.shard_executor!r}"
             )
         if self.epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
@@ -128,6 +144,7 @@ class RetraSyn:
     def run(self, dataset: StreamDataset) -> SynthesisRun:
         """Process the full stream and return the synthetic database."""
         from repro.core.online import OnlineRetraSyn
+        from repro.core.sharded import ShardedOnlineRetraSyn
 
         cfg = self.config
         lam = (
@@ -135,28 +152,28 @@ class RetraSyn:
             if cfg.lam is not None
             else max(1.0, average_length(dataset.trajectories))
         )
-        curator = OnlineRetraSyn(dataset.grid, cfg, lam=lam)
+        if cfg.n_shards > 1:
+            curator = ShardedOnlineRetraSyn(dataset.grid, cfg, lam=lam)
+        else:
+            curator = OnlineRetraSyn(dataset.grid, cfg, lam=lam)
 
-        start = time.perf_counter()
-        for t in range(dataset.n_timestamps):
-            curator.process_timestep(
-                t,
-                participants=dataset.participants_at(t),
-                newly_entered=dataset.newly_entered_at(t),
-                quitted=dataset.quitted_at(t),
-                n_real_active=dataset.n_active_at(t),
-            )
-        total_runtime = time.perf_counter() - start
+        try:
+            start = time.perf_counter()
+            for t in range(dataset.n_timestamps):
+                curator.process_timestep(
+                    t,
+                    participants=dataset.participants_at(t),
+                    newly_entered=dataset.newly_entered_at(t),
+                    quitted=dataset.quitted_at(t),
+                    n_real_active=dataset.n_active_at(t),
+                )
+            total_runtime = time.perf_counter() - start
+        finally:
+            if isinstance(curator, ShardedOnlineRetraSyn):
+                curator.close()
 
-        synthetic = curator.synthetic_dataset(
-            dataset.n_timestamps, name=f"{cfg.label}({dataset.name})"
-        )
-        return SynthesisRun(
-            synthetic=synthetic,
-            config=cfg,
-            accountant=curator.accountant,
-            timings=curator.timings,
-            reporters_per_timestamp=curator.reporters_per_timestamp,
-            significant_per_timestamp=curator.significant_per_timestamp,
+        return curator.result(
+            dataset.n_timestamps,
+            name=f"{cfg.label}({dataset.name})",
             total_runtime=total_runtime,
         )

@@ -1,0 +1,321 @@
+"""Sharded collection engine: hash-partitioned parallel curator.
+
+:class:`ShardedOnlineRetraSyn` scales the *collection* half of the pipeline
+the way :class:`~repro.core.fast_synthesis.VectorizedSynthesizer` scaled the
+synthesis half.  Users are hash-partitioned across ``K`` independent
+collection shards, each owning its own :class:`~repro.stream.user_tracker
+.UserTracker`, :class:`~repro.stream.encoder.UserSideEncoder` and per-round
+frequency oracle.  Every timestamp each shard runs selection + perturbation
+on its partition only and returns raw per-position one-counts; the parent
+merges them with a single vector add and debiases once **before**
+mobility-model construction, so the model, DMU and synthesizer remain
+global and unchanged.
+
+Why this is statistically equivalent to the unsharded curator:
+
+* the hash partition is a fixed disjoint cover of the user population, so
+  each user lives in exactly one shard and can never be sampled twice in a
+  window — w-event accounting is preserved per user, not per shard;
+* every shard perturbs with the same ``(p, q)`` OUE parameters, and the sum
+  of independent per-shard one-count vectors has exactly the distribution
+  of the one-count vector over the union of reporters;
+* the sampling rate ``p_t`` (population division) or budget ``ε_t`` (budget
+  division) is proposed *globally* from the merged collection feedback, so
+  allocation adapts on the same signal as the unsharded engine.
+
+Shard rounds are embarrassingly parallel.  Two executors are provided:
+
+* ``executor="serial"`` — rounds run in-process, one shard after another
+  (no IPC overhead; the default and the reference semantics);
+* ``executor="process"`` — each shard lives in a persistent worker process
+  connected by a pipe, for true multi-core collection.  Both executors
+  draw shard randomness from the same per-shard seeds, so they produce
+  identical outputs for a fixed configuration.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.online import (
+    _MIN_EPSILON,
+    OnlineRetraSyn,
+    sample_population_reporters,
+)
+from repro.exceptions import ConfigurationError
+from repro.geo.grid import Grid
+from repro.ldp.oue import OptimizedUnaryEncoding
+from repro.stream.encoder import UserSideEncoder
+from repro.stream.state_space import TransitionStateSpace
+from repro.stream.user_tracker import UserTracker
+
+#: Knuth multiplicative hash, so shard assignment is uncorrelated with any
+#: arithmetic structure in the user-id space (parity, contiguous ranges, …).
+_HASH_MULT = 2654435761
+
+
+def shard_of(user_id: int, n_shards: int) -> int:
+    """Stable hash partition of a user id into ``[0, n_shards)``.
+
+    The xor-fold mixes the multiplied high bits back into the low bits —
+    a bare ``% n_shards`` of the product would preserve arithmetic
+    structure (e.g. parity) of the id space.
+    """
+    h = (int(user_id) * _HASH_MULT) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h % n_shards
+
+
+class CollectionShard:
+    """One partition's tracker + encoder + oracle; no model, no synthesis."""
+
+    def __init__(self, grid: Grid, config, seed: int) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.space = TransitionStateSpace(
+            grid, include_entering_quitting=config.model_entering_quitting
+        )
+        self.encoder = UserSideEncoder(self.space)
+        self.tracker = (
+            UserTracker(config.w) if config.division == "population" else None
+        )
+        self._report_phase: dict[int, int] = {}
+
+    def round(
+        self,
+        t: int,
+        participants: Sequence[tuple],
+        newly_entered: Sequence[int],
+        quitted: Sequence[int],
+        rate: Optional[float],
+        eps_used: float,
+    ) -> tuple[np.ndarray, list[int], float]:
+        """One timestamp on this shard's partition.
+
+        ``rate`` is the globally proposed sampling fraction ``p_t``
+        (population division, ``None`` for the user-driven "random"
+        strategy); ``eps_used`` the per-report budget.  Returns the raw
+        per-position one-counts, the reporter ids, and the seconds spent
+        in the perturbation itself (the user-side cost, excluding
+        selection bookkeeping, so timings stay comparable with the
+        unsharded engine).
+
+        Selection reuses :func:`~repro.core.online
+        .sample_population_reporters` with stochastic rounding: each
+        partition samples ``rate``·eligible in *expectation*, so the total
+        reporter volume is unbiased for any shard count (deterministic
+        per-shard rounding would collapse to zero when partitions are
+        small).
+        """
+        cfg = self.config
+        if cfg.division == "population":
+            chosen = sample_population_reporters(
+                self.tracker, self._report_phase, self.rng, cfg,
+                t, participants, newly_entered, rate,
+                stochastic_round=True,
+            )
+        else:
+            chosen = list(participants) if eps_used > 0.0 else []
+
+        uids = [uid for uid, _s in chosen]
+        user_seconds = 0.0
+        if chosen:
+            oracle = OptimizedUnaryEncoding(
+                self.space.size, eps_used, rng=self.rng, mode=cfg.oracle_mode
+            )
+            states = [s for _uid, s in chosen]
+            encoded = self.encoder.encode(states)
+            tic = time.perf_counter()
+            ones = oracle.simulate_ones(encoded)
+            user_seconds = time.perf_counter() - tic
+        else:
+            ones = np.zeros(self.space.size)
+        if self.tracker is not None:
+            self.tracker.mark_reported(uids, t)
+            self.tracker.mark_quitted(quitted)
+        return ones, uids, user_seconds
+
+
+def _shard_worker(conn, grid: Grid, config, seed: int) -> None:
+    """Process-executor loop: build the shard, answer rounds until EOF.
+
+    Exceptions are shipped back as ``("err", traceback)`` so the parent can
+    re-raise with shard context instead of dying on a bare ``EOFError``.
+    """
+    import traceback
+
+    shard = CollectionShard(grid, config, seed)
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            conn.close()
+            return
+        try:
+            conn.send(("ok", shard.round(*msg)))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+
+
+class ShardedOnlineRetraSyn(OnlineRetraSyn):
+    """Drop-in :class:`OnlineRetraSyn` with a hash-partitioned collector.
+
+    Exposes the same ``process_timestep`` / ``live_snapshot`` / ``result``
+    surface; only the selection + collection phases differ.  ``n_shards``
+    and ``executor`` default to the values in ``config`` (``n_shards``,
+    ``shard_executor``) so :class:`~repro.core.retrasyn.RetraSyn` can route
+    through this engine on configuration alone.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        config,
+        lam: float,
+        n_shards: Optional[int] = None,
+        executor: Optional[str] = None,
+    ) -> None:
+        super().__init__(grid, config, lam)
+        self.n_shards = int(
+            n_shards if n_shards is not None else getattr(config, "n_shards", 1)
+        )
+        self.executor = (
+            executor
+            if executor is not None
+            else getattr(config, "shard_executor", "serial")
+        )
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if self.executor not in ("serial", "process"):
+            raise ConfigurationError(
+                f"shard executor must be 'serial' or 'process', got {self.executor!r}"
+            )
+        # The parent never tracks users itself — shards own their partitions.
+        self._tracker = None
+        seeds = [
+            int(s) for s in self.rng.integers(0, 2**63 - 1, size=self.n_shards)
+        ]
+        self._procs: list = []
+        self._pipes: list = []
+        if self.executor == "process":
+            ctx = mp.get_context()
+            for seed in seeds:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child_conn, grid, config, seed),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._pipes.append(parent_conn)
+                self._procs.append(proc)
+            self._shards = None
+        else:
+            self._shards = [CollectionShard(grid, config, s) for s in seeds]
+
+    # ------------------------------------------------------------------ #
+    # the sharded collection round
+    # ------------------------------------------------------------------ #
+    def _collect_round(self, t, participants, newly_entered, quitted):
+        cfg = self.config
+        K = self.n_shards
+
+        # Globally proposed rate / budget, from the merged feedback context.
+        rate: Optional[float] = None
+        if cfg.division == "population":
+            eps_t = cfg.epsilon
+            if cfg.allocator != "random":
+                rate = self._pop_alloc.propose(t, self.context)
+        else:
+            eps_t = self._budget_alloc.propose(t, self.context)
+            if eps_t < _MIN_EPSILON:
+                eps_t = 0.0
+            self._budget_alloc.commit(eps_t)
+
+        # Hash-partition this timestamp's traffic.
+        parts: list[list] = [[] for _ in range(K)]
+        entered: list[list[int]] = [[] for _ in range(K)]
+        quits: list[list[int]] = [[] for _ in range(K)]
+        for uid, s in participants:
+            parts[shard_of(uid, K)].append((uid, s))
+        for uid in newly_entered:
+            entered[shard_of(uid, K)].append(uid)
+        for uid in quitted:
+            quits[shard_of(uid, K)].append(uid)
+
+        rounds = [
+            (t, parts[k], entered[k], quits[k], rate, eps_t) for k in range(K)
+        ]
+        if self.executor == "process":
+            for pipe, msg in zip(self._pipes, rounds):
+                pipe.send(msg)
+            outs = []
+            for k, pipe in enumerate(self._pipes):
+                status, payload = pipe.recv()
+                if status == "err":
+                    raise RuntimeError(
+                        f"collection shard {k} failed at t={t}:\n{payload}"
+                    )
+                outs.append(payload)
+        else:
+            outs = [shard.round(*msg) for shard, msg in zip(self._shards, rounds)]
+
+        # Merge: one vector add per shard, one debias for the union.  Only
+        # the perturbation seconds count as user-side cost — the unsharded
+        # engine does not time selection either, keeping Table V comparable.
+        ones = np.zeros(self.space.size)
+        reporter_uids: list[int] = []
+        for shard_ones, uids, user_seconds in outs:
+            ones += shard_ones
+            reporter_uids.extend(uids)
+            self.timings["user_side"] += user_seconds
+        n_reporters = len(reporter_uids)
+        eps_used = eps_t
+
+        collected = None
+        if n_reporters:
+            tic = time.perf_counter()
+            oracle = OptimizedUnaryEncoding(
+                self.space.size, eps_used, rng=self.rng, mode=cfg.oracle_mode
+            )
+            collected = oracle.debias(ones, n_reporters) / n_reporters
+            self.timings["model_construction"] += time.perf_counter() - tic
+            if self.accountant is not None:
+                self.accountant.spend_many(reporter_uids, t, eps_used)
+            self.context.record_collection(collected)
+        return collected, n_reporters, eps_used
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down worker processes (no-op for the serial executor)."""
+        for pipe in self._pipes:
+            try:
+                pipe.send(None)
+                pipe.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._pipes, self._procs = [], []
+
+    def __enter__(self) -> "ShardedOnlineRetraSyn":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

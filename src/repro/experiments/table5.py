@@ -18,11 +18,16 @@ def run_table5(
     setting: ExperimentSetting = ExperimentSetting(),
     datasets: Optional[Sequence[str]] = None,
     oracle_mode: str = "exact",
+    **engine_overrides,
 ) -> dict:
     """``results[dataset][component] -> avg seconds per timestamp``.
 
-    ``oracle_mode='exact'`` materialises per-user bit vectors so the
-    user-side figure reflects the real protocol cost.
+    ``oracle_mode='exact'`` materialises per-user bit vectors (batched) so
+    the user-side figure reflects the real protocol cost;
+    ``oracle_mode='exact-loop'`` is the sequential per-user reference.
+    Extra keyword arguments (``engine=``, ``n_shards=``, …) are forwarded
+    to :class:`~repro.core.retrasyn.RetraSynConfig`, so engine speedups are
+    measured with the same harness as the paper's Table V.
     """
     data = standard_datasets(setting, datasets)
     results: dict = {}
@@ -33,6 +38,7 @@ def run_table5(
             w=setting.w,
             seed=setting.seed,
             oracle_mode=oracle_mode,
+            **engine_overrides,
         )
         run = algo.run(dataset)
         results[name] = run.avg_time_per_timestamp()

@@ -73,12 +73,14 @@ class PrivacyAccountant:
             return
         window_total = self.window_spend(user_id, timestamp) + epsilon
         if window_total > self.epsilon + _EPS_TOL:
-            self._violations.append((user_id, timestamp, window_total))
             if self.strict:
+                # The spend is refused outright, so no violation is recorded:
+                # the ledger still describes only what actually happened.
                 raise PrivacyBudgetError(
                     f"user {user_id} would spend {window_total:.6f} > "
                     f"epsilon={self.epsilon} in window ending at t={timestamp}"
                 )
+            self._violations.append((user_id, timestamp, window_total))
         self._spends[user_id].append(SpendRecord(timestamp, float(epsilon)))
 
     def spend_many(self, user_ids: Iterable[int], timestamp: int, epsilon: float) -> None:

@@ -10,10 +10,17 @@ The curator counts ones per position and debiases with
 ``f̂(x) = (f'(x)/n − q) / (1/2 − q)`` where ``q = 1/(e^ε + 1)``; the estimate
 is unbiased with variance ``4 e^ε / (n (e^ε − 1)^2)`` (paper Eq. 3).
 
-Two execution modes are provided:
+Three execution modes are provided:
 
-* ``mode="exact"`` materialises every user's perturbed bit vector — this is
-  the literal protocol and what the user-side cost model measures;
+* ``mode="exact"`` materialises every user's perturbed bit vector — the
+  literal protocol, executed *batched*: all ``n`` reports are drawn as
+  ``(chunk, d)`` Bernoulli arrays and aggregated with one column-sum per
+  chunk, so the per-user Python loop disappears while the sampled joint
+  distribution stays bit-for-bit that of the sequential protocol;
+* ``mode="exact-loop"`` is the sequential reference: one
+  :meth:`~OptimizedUnaryEncoding.perturb_one` call per user.  It exists so
+  the batched path can be benchmarked and property-tested against the
+  textbook formulation (``benchmarks/bench_engine_speedup.py``);
 * ``mode="fast"`` samples the aggregated one-counts directly from the exact
   per-position binomial law, which is distribution-identical to summing
   ``n`` independent reports but orders of magnitude faster.  Statistical
@@ -29,6 +36,10 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.ldp.freq_oracle import FrequencyOracle
 from repro.rng import RngLike
+
+#: Bound on ``chunk_users * domain_size`` for the batched exact path, so the
+#: perturbed-bit working set stays ~tens of MB regardless of population size.
+_BATCH_ELEMENTS = 4_000_000
 
 
 def oue_variance(epsilon: float, n: int) -> float:
@@ -50,8 +61,10 @@ class OptimizedUnaryEncoding(FrequencyOracle):
         mode: str = "fast",
     ) -> None:
         super().__init__(domain_size, epsilon, rng)
-        if mode not in ("exact", "fast"):
-            raise ConfigurationError(f"mode must be 'exact' or 'fast', got {mode!r}")
+        if mode not in ("exact", "exact-loop", "fast"):
+            raise ConfigurationError(
+                f"mode must be 'exact', 'exact-loop' or 'fast', got {mode!r}"
+            )
         self.mode = mode
         self._p = 0.5
         self._q = 1.0 / (np.exp(self.epsilon) + 1.0)
@@ -107,21 +120,54 @@ class OptimizedUnaryEncoding(FrequencyOracle):
     def simulate_ones(self, values: Sequence[int]) -> np.ndarray:
         """User-side half of the round trip: per-position one-counts.
 
-        In ``exact`` mode every user's bit vector is materialised and summed;
-        in ``fast`` mode the sums are drawn directly from the per-position
-        binomial law ``Binomial(true_j, p) + Binomial(n − true_j, q)``, which
-        has exactly the distribution of the exact sum.
+        In ``exact`` mode every user's bit vector is materialised (in
+        memory-bounded batches) and column-summed; ``exact-loop`` does the
+        same one user at a time; in ``fast`` mode the sums are drawn directly
+        from the per-position binomial law
+        ``Binomial(true_j, p) + Binomial(n − true_j, q)``, which has exactly
+        the distribution of the exact sum.
         """
         arr = self._check_values(values)
         n = arr.size
         if n == 0:
             return np.zeros(self.domain_size)
         if self.mode == "exact":
-            return self.perturb_many(arr).sum(axis=0).astype(float)
+            return self._simulate_ones_batched(arr)
+        if self.mode == "exact-loop":
+            return self._simulate_ones_loop(arr)
         true_counts = np.bincount(arr, minlength=self.domain_size)
         ones = self.rng.binomial(true_counts, self._p) + self.rng.binomial(
             n - true_counts, self._q
         )
+        return ones.astype(float)
+
+    def _simulate_ones_batched(self, arr: np.ndarray) -> np.ndarray:
+        """All reports as ``(chunk, d)`` Bernoulli draws + one column-sum each.
+
+        Semantically identical to :meth:`_simulate_ones_loop`: each user's
+        report is still an independent ``d``-bit vector with the exact
+        per-bit flip probabilities; only the loop moved into numpy.
+        """
+        ones = np.zeros(self.domain_size, dtype=np.int64)
+        chunk = max(1, _BATCH_ELEMENTS // self.domain_size)
+        # float32 uniforms halve the memory traffic; the implied Bernoulli
+        # probabilities differ from the float64 targets by < 2^-24, far
+        # below anything observable at protocol scale.
+        q32 = np.float32(self._q)
+        p32 = np.float32(self._p)
+        for lo in range(0, arr.size, chunk):
+            part = arr[lo : lo + chunk]
+            m = part.size
+            bits = self.rng.random((m, self.domain_size), dtype=np.float32) < q32
+            bits[np.arange(m), part] = self.rng.random(m, dtype=np.float32) < p32
+            ones += bits.sum(axis=0)
+        return ones.astype(float)
+
+    def _simulate_ones_loop(self, arr: np.ndarray) -> np.ndarray:
+        """Sequential reference: one perturbed vector per user, accumulated."""
+        ones = np.zeros(self.domain_size, dtype=np.int64)
+        for value in arr:
+            ones += self.perturb_one(int(value))
         return ones.astype(float)
 
     def debias(self, ones: np.ndarray, n: int) -> np.ndarray:

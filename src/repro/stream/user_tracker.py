@@ -13,13 +13,21 @@ Population-division allocation (Algorithm 1) samples reporters from a
 This bookkeeping is exactly what guarantees w-event ε-LDP under population
 division: each user reports at most once with full ε inside any window of
 ``w`` timestamps.
+
+Internally the tracker is columnar: statuses live in an int8 code array and
+last-report timestamps in an int64 array, both indexed by a dense per-user
+slot.  The hot ``recycle`` scan is therefore one vectorized mask over the
+whole population instead of a Python dict traversal, which is what keeps
+million-user streams inside the per-timestamp budget.  Full report histories
+(audit/test surface only) stay in a plain dict of lists.
 """
 
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
 from typing import Iterable
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 
@@ -30,6 +38,17 @@ class UserStatus(enum.Enum):
     QUITTED = "quitted"
 
 
+#: int8 codes backing the status column.
+_ACTIVE, _INACTIVE, _QUITTED = 0, 1, 2
+_CODE_TO_STATUS = {
+    _ACTIVE: UserStatus.ACTIVE,
+    _INACTIVE: UserStatus.INACTIVE,
+    _QUITTED: UserStatus.QUITTED,
+}
+#: Sentinel for "never reported"; smaller than any valid t - w.
+_NEVER = np.iinfo(np.int64).min // 2
+
+
 class UserTracker:
     """Tracks user statuses and performs the t−w recycling rule."""
 
@@ -37,65 +56,107 @@ class UserTracker:
         if w < 1:
             raise ConfigurationError(f"window size w must be >= 1, got {w}")
         self.w = int(w)
-        self._status: dict[int, UserStatus] = {}
-        self._reported_at: dict[int, list[int]] = defaultdict(list)
+        self._slot: dict[int, int] = {}  # user id -> dense column index
+        self._uids = np.empty(0, dtype=np.int64)
+        self._status = np.empty(0, dtype=np.int8)
+        self._last_report = np.empty(0, dtype=np.int64)
+        self._n = 0
+        self._history: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # columnar storage
+    # ------------------------------------------------------------------ #
+    def _grow(self, extra: int) -> None:
+        need = self._n + extra
+        cap = len(self._uids)
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap, 1024)
+        for name, fill in (("_uids", 0), ("_status", _ACTIVE), ("_last_report", _NEVER)):
+            old = getattr(self, name)
+            fresh = np.full(new_cap, fill, dtype=old.dtype)
+            fresh[: self._n] = old[: self._n]
+            setattr(self, name, fresh)
+
+    def _slots_of(self, user_ids: Iterable[int]) -> np.ndarray:
+        """Dense slots for ``user_ids``; unknown ids are appended as active."""
+        ids = list(user_ids)
+        self._grow(len(ids))
+        out = np.empty(len(ids), dtype=np.int64)
+        for i, uid in enumerate(ids):
+            slot = self._slot.get(uid)
+            if slot is None:
+                slot = self._n
+                self._slot[uid] = slot
+                self._uids[slot] = uid
+                self._status[slot] = _ACTIVE
+                self._last_report[slot] = _NEVER
+                self._n += 1
+            out[i] = slot
+        return out
 
     # ------------------------------------------------------------------ #
     # lifecycle transitions
     # ------------------------------------------------------------------ #
     def register(self, user_ids: Iterable[int]) -> None:
         """Mark newly arrived users as active (Algorithm 1, lines 1 and 7)."""
-        for uid in user_ids:
-            if self._status.get(uid) is not UserStatus.QUITTED:
-                self._status[uid] = UserStatus.ACTIVE
+        slots = self._slots_of(user_ids)
+        if slots.size:
+            keep = self._status[slots] != _QUITTED
+            self._status[slots[keep]] = _ACTIVE
 
     def mark_quitted(self, user_ids: Iterable[int]) -> None:
         """Mark users who ceased sharing as quitted (line 8)."""
-        for uid in user_ids:
-            self._status[uid] = UserStatus.QUITTED
+        slots = self._slots_of(user_ids)
+        if slots.size:
+            self._status[slots] = _QUITTED
 
     def mark_reported(self, user_ids: Iterable[int], timestamp: int) -> None:
         """Mark sampled reporters inactive and remember when (line 14)."""
-        for uid in user_ids:
-            if self._status.get(uid) is UserStatus.QUITTED:
-                continue
-            self._status[uid] = UserStatus.INACTIVE
-            self._reported_at[uid].append(timestamp)
+        ids = list(user_ids)
+        slots = self._slots_of(ids)
+        if not slots.size:
+            return
+        live = self._status[slots] != _QUITTED
+        chosen = slots[live]
+        self._status[chosen] = _INACTIVE
+        self._last_report[chosen] = timestamp
+        for uid, ok in zip(ids, live):
+            if ok:
+                self._history.setdefault(uid, []).append(timestamp)
 
     def recycle(self, t: int) -> list[int]:
         """Reactivate users whose last report was at ``t - w`` (line 9).
 
         Returns the recycled user ids (useful for tests and audits).
+        One vectorized scan over the status / last-report columns.
         """
         target = t - self.w
-        recycled: list[int] = []
         if target < 0:
-            return recycled
-        for uid, times in self._reported_at.items():
-            if not times or times[-1] != target:
-                continue
-            if self._status.get(uid) is UserStatus.INACTIVE:
-                self._status[uid] = UserStatus.ACTIVE
-                recycled.append(uid)
-        return recycled
+            return []
+        n = self._n
+        mask = (self._status[:n] == _INACTIVE) & (self._last_report[:n] == target)
+        self._status[:n][mask] = _ACTIVE
+        return self._uids[:n][mask].tolist()
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def status(self, user_id: int) -> UserStatus:
-        if user_id not in self._status:
+        if user_id not in self._slot:
             raise ConfigurationError(f"unknown user {user_id}")
-        return self._status[user_id]
+        return _CODE_TO_STATUS[int(self._status[self._slot[user_id]])]
 
     def active_users(self) -> list[int]:
         """The current active set ``U_A`` (Algorithm 1, line 11)."""
-        return [u for u, s in self._status.items() if s is UserStatus.ACTIVE]
+        n = self._n
+        return self._uids[:n][self._status[:n] == _ACTIVE].tolist()
 
     def n_active(self) -> int:
-        return sum(1 for s in self._status.values() if s is UserStatus.ACTIVE)
+        return int((self._status[: self._n] == _ACTIVE).sum())
 
     def n_known(self) -> int:
-        return len(self._status)
+        return self._n
 
     def report_history(self, user_id: int) -> list[int]:
-        return list(self._reported_at.get(user_id, ()))
+        return list(self._history.get(user_id, ()))

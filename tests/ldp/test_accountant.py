@@ -37,6 +37,16 @@ class TestPrivacyAccountant:
         acc.spend(2, 0, 1.0)
         assert acc.verify()
 
+    def test_strict_refusal_leaves_ledger_clean(self):
+        """A refused spend never happened: the ledger must still verify."""
+        acc = PrivacyAccountant(epsilon=1.0, w=6)
+        for t, a in enumerate([0.125, 0.125, 0.1875, 0.1875, 0.1875]):
+            acc.spend(0, t, a)
+        with pytest.raises(PrivacyBudgetError):
+            acc.spend(0, 5, 0.1953125)  # would tip the window over 1.0
+        assert acc.verify()
+        assert acc.violations == []
+
     def test_uniform_budget_division_fills_window_exactly(self):
         w, eps = 4, 1.0
         acc = PrivacyAccountant(eps, w)

@@ -155,6 +155,65 @@ class TestCuratorSide:
         assert est_split == pytest.approx(est_direct)
 
 
+class TestBatchedExactMode:
+    """The batched exact path must match the per-user reference loop."""
+
+    def test_batched_and_loop_same_distribution(self):
+        values = [0] * 300 + [2] * 500 + [5] * 200
+        batched = np.stack([
+            OptimizedUnaryEncoding(6, 1.0, rng=i, mode="exact").collect(values)
+            for i in range(80)
+        ])
+        loop = np.stack([
+            OptimizedUnaryEncoding(
+                6, 1.0, rng=5000 + i, mode="exact-loop"
+            ).collect(values)
+            for i in range(80)
+        ])
+        assert batched.mean(axis=0) == pytest.approx(loop.mean(axis=0), abs=60)
+        assert batched.std(axis=0) == pytest.approx(loop.std(axis=0), rel=0.5)
+
+    def test_batched_unbiased(self):
+        values = [1] * 700 + [3] * 300
+        runs = np.stack([
+            OptimizedUnaryEncoding(4, 2.0, rng=i, mode="exact").collect(values)
+            for i in range(60)
+        ])
+        mean_est = runs.mean(axis=0)
+        assert mean_est[1] == pytest.approx(700, abs=45)
+        assert mean_est[3] == pytest.approx(300, abs=45)
+        assert mean_est[0] == pytest.approx(0, abs=45)
+
+    def test_chunked_accumulation_spans_batches(self, monkeypatch):
+        """Forcing tiny chunks must not change the estimator's behaviour."""
+        import repro.ldp.oue as oue_mod
+
+        monkeypatch.setattr(oue_mod, "_BATCH_ELEMENTS", 16)
+        values = [0] * 500 + [2] * 500
+        runs = np.stack([
+            OptimizedUnaryEncoding(4, 2.0, rng=i, mode="exact").collect(values)
+            for i in range(40)
+        ])
+        assert runs.mean(axis=0)[0] == pytest.approx(500, abs=60)
+        assert runs.mean(axis=0)[2] == pytest.approx(500, abs=60)
+
+    def test_loop_mode_matches_perturb_one_stream(self):
+        """exact-loop is literally perturb_one per user on the same rng."""
+        values = [1, 0, 2, 2, 1]
+        a = OptimizedUnaryEncoding(3, 1.0, rng=11, mode="exact-loop")
+        ones = a.simulate_ones(values)
+        b = OptimizedUnaryEncoding(3, 1.0, rng=11, mode="exact-loop")
+        expected = np.zeros(3)
+        for v in values:
+            expected += b.perturb_one(v)
+        assert ones == pytest.approx(expected)
+
+    def test_empty_input_all_modes(self):
+        for mode in ("exact", "exact-loop", "fast"):
+            oue = OptimizedUnaryEncoding(5, 1.0, rng=0, mode=mode)
+            assert np.all(oue.collect([]) == 0)
+
+
 class TestPrivacyProperty:
     @given(eps=st.floats(0.1, 4.0))
     @settings(max_examples=30)
