@@ -1,6 +1,6 @@
 """Docs check: every path README.md links or mentions must exist.
 
-Two rules, applied to README.md (and docs/ARCHITECTURE.md):
+Two rules, applied to README.md, docs/ARCHITECTURE.md and docs/STREAMING.md:
 
 * every relative markdown link target must exist in the repo;
 * every `path`-looking inline-code span (contains a `/` or ends in .py/.md
@@ -16,7 +16,11 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
-DOCS = [ROOT / "README.md", ROOT / "docs" / "ARCHITECTURE.md"]
+DOCS = [
+    ROOT / "README.md",
+    ROOT / "docs" / "ARCHITECTURE.md",
+    ROOT / "docs" / "STREAMING.md",
+]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#]+)\)")
 CODE_RE = re.compile(r"`([A-Za-z0-9_./-]+\.(?:py|md))`")

@@ -1,13 +1,18 @@
 """Engine acceleration: synthesis *and* collection (Section VII future work).
 
-Three measurements:
+Four measurements:
 
 * object vs. vectorized synthesis engine (per-timestamp synthesis cost);
 * per-user-loop vs. batched exact-mode OUE collection at n=100k users —
   the ISSUE 1 acceptance gate (>= 5x);
-* unsharded vs. sharded collection engine on a full pipeline run.
+* unsharded vs. sharded collection engine on a full pipeline run;
+* object vs. columnar report plane over the persistent shard worker pool —
+  the ISSUE 2 acceptance gate (>= 3x end-to-end collection at n=100k).
 
 Each verifies that acceleration does not change utility / statistics.
+``--quick`` (a benchmarks-only pytest option) shrinks the report-plane
+measurement to n=10k with a >= 1x gate, which is what the CI smoke job
+runs.
 """
 
 import time
@@ -18,9 +23,13 @@ import pytest
 from _util import run_once
 
 from repro.core.retrasyn import RetraSyn, RetraSynConfig
+from repro.core.sharded import ShardedOnlineRetraSyn
 from repro.datasets.registry import load_dataset
+from repro.geo.grid import unit_grid
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.metrics.registry import evaluate_all
+from repro.stream.events import TransitionState
+from repro.stream.reports import KIND_ENTER, KIND_MOVE, ReportBatch
 
 
 def test_vectorized_engine_speedup(benchmark, bench_setting, save_artifact):
@@ -104,6 +113,123 @@ def test_batched_collection_speedup(benchmark, save_artifact):
     for mode in ("exact-loop", "exact"):
         assert out[mode]["mean_est"] == pytest.approx(expected, abs=200)
     assert speedup >= 5.0, out
+
+
+def _random_mobility(n_users, grid, n_rounds, rng):
+    """Per-round (origin, destination) arrays for a synthetic population."""
+    n_cells = grid.n_cells
+    deg = np.asarray([len(grid.neighbor_lists[c]) for c in range(n_cells)])
+    pad = np.zeros((n_cells, deg.max()), dtype=np.int64)
+    for c in range(n_cells):
+        pad[c, : deg[c]] = grid.neighbor_lists[c]
+    uids = np.arange(n_users, dtype=np.int64)
+    cur = rng.integers(0, n_cells, size=n_users)
+    start_cells = cur.copy()
+    rounds = []
+    for _ in range(n_rounds):
+        nxt = pad[cur, (rng.random(n_users) * deg[cur]).astype(np.int64)]
+        rounds.append((cur, nxt))
+        cur = nxt
+    return uids, start_cells, rounds
+
+
+def test_columnar_report_plane_speedup(benchmark, quick_mode, save_artifact):
+    """ISSUE 2 acceptance: columnar report plane >= 3x the object path.
+
+    Both runs drive the *same* sharded curator (persistent worker pool,
+    identical seed, so identical sampled reporter sets) over identical
+    mobility; only the report representation differs.  The object path
+    pays what the seed pipeline paid every round — one TransitionState
+    per user plus the per-user encode — while the columnar path slices
+    pre-encoded index arrays.  ``--quick`` shrinks to n=10k and only
+    requires the columnar path to not be slower (the CI smoke gate).
+    """
+    n_users = 10_000 if quick_mode else 100_000
+    n_rounds = 3 if quick_mode else 4
+    min_speedup = 1.0 if quick_mode else 3.0
+    grid = unit_grid(6)
+    data_rng = np.random.default_rng(0)
+    uids, start_cells, rounds = _random_mobility(
+        n_users, grid, n_rounds, data_rng
+    )
+
+    def build_curator():
+        cfg = RetraSynConfig(
+            epsilon=1.0, w=10, n_shards=2, shard_executor="process",
+            engine="vectorized", seed=0, track_privacy=False,
+        )
+        return ShardedOnlineRetraSyn(grid, cfg, lam=10.0)
+
+    def run_object():
+        curator = build_curator()
+        try:
+            # t=0 (arrivals) is warm-up for both paths, untimed.
+            enters = [
+                (int(u), TransitionState.enter(int(c)))
+                for u, c in zip(uids, start_cells)
+            ]
+            curator.process_timestep(0, enters, newly_entered=uids,
+                                     n_real_active=1_000)
+            tic = time.perf_counter()
+            for i, (origins, dests) in enumerate(rounds):
+                participants = [
+                    (int(u), TransitionState.move(int(o), int(d)))
+                    for u, o, d in zip(uids, origins, dests)
+                ]
+                curator.process_timestep(i + 1, participants,
+                                         n_real_active=1_000)
+            seconds = time.perf_counter() - tic
+            reporters = sum(curator.reporters_per_timestamp[1:])
+        finally:
+            curator.close()
+        return seconds, reporters
+
+    def run_columnar():
+        curator = build_curator()
+        space = curator.space
+        try:
+            enter_idx = space.enter_indices[start_cells]
+            batch0 = ReportBatch.from_arrays(
+                uids, enter_idx, np.full(n_users, KIND_ENTER)
+            )
+            curator.process_timestep(0, batch0, newly_entered=uids,
+                                     n_real_active=1_000)
+            tic = time.perf_counter()
+            for i, (origins, dests) in enumerate(rounds):
+                batch = ReportBatch.from_arrays(
+                    uids,
+                    space.move_index_lookup(origins, dests),
+                    np.full(n_users, KIND_MOVE),
+                )
+                curator.process_timestep(i + 1, batch, n_real_active=1_000)
+            seconds = time.perf_counter() - tic
+            reporters = sum(curator.reporters_per_timestamp[1:])
+        finally:
+            curator.close()
+        return seconds, reporters
+
+    def measure():
+        obj_s, obj_reporters = run_object()
+        col_s, col_reporters = run_columnar()
+        # Same seed + same mobility => the two runs sample identical
+        # reporter volumes; anything else means the paths diverged.
+        assert obj_reporters == col_reporters, (obj_reporters, col_reporters)
+        return {"object_s": obj_s, "columnar_s": col_s,
+                "n_reporters": obj_reporters}
+
+    out = run_once(benchmark, measure)
+    speedup = out["object_s"] / max(out["columnar_s"], 1e-12)
+    save_artifact(
+        "columnar_report_plane",
+        f"Columnar report plane vs object path "
+        f"(n={n_users}, {n_rounds} rounds, K=2 persistent process pool)\n"
+        f"  object:   {out['object_s']:.3f} s   "
+        f"({out['n_reporters']} reports collected)\n"
+        f"  columnar: {out['columnar_s']:.3f} s\n"
+        f"  speedup:  {speedup:.1f}x"
+        + ("   [--quick smoke scale]" if quick_mode else ""),
+    )
+    assert speedup >= min_speedup, out
 
 
 def test_sharded_collection_engine(benchmark, bench_setting, save_artifact):

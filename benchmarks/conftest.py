@@ -22,6 +22,21 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="CI smoke scale: small populations, relaxed speedup gates "
+             "(used by the benchmark-smoke workflow job)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_mode(request) -> bool:
+    return bool(request.config.getoption("--quick"))
+
+
 @pytest.fixture(scope="session")
 def bench_setting() -> ExperimentSetting:
     """Laptop-scale defaults: smaller w and horizon than Table II, same shape."""

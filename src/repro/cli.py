@@ -70,10 +70,52 @@ def _add_run_parser(sub) -> None:
                    choices=("fast", "exact", "exact-loop"),
                    help="OUE execution: binomial shortcut, batched literal "
                         "protocol, or per-user reference loop")
+    p.add_argument("--dmu-prefilter", action="store_true",
+                   help="shard-local never-observed DMU candidate pruning")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True, help="synthetic output .npz path")
     p.add_argument("--no-audit", action="store_true",
                    help="skip the privacy-ledger audit (faster)")
+
+
+def _add_serve_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="replay a dataset through the async ingestion service "
+             "(bounded queue, watermarks, checkpoints)",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help="dataset .npz path")
+    src.add_argument("--dataset", choices=available_datasets(), help="generate fresh")
+    p.add_argument("--scale", type=float, default=0.05, help="with --dataset")
+    p.add_argument("--epsilon", type=float, default=1.0)
+    p.add_argument("--w", type=int, default=20)
+    p.add_argument("--allocator", default="adaptive",
+                   choices=("adaptive", "uniform", "sample", "random"))
+    p.add_argument("--engine", default="vectorized",
+                   choices=("object", "vectorized"))
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--shard-executor", default="serial",
+                   choices=("serial", "process"))
+    p.add_argument("--oracle-mode", default="fast",
+                   choices=("fast", "exact", "exact-loop"))
+    p.add_argument("--dmu-prefilter", action="store_true",
+                   help="shard-local never-observed DMU candidate pruning")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--queue-size", type=int, default=10_000,
+                   help="ingress queue bound (backpressure threshold)")
+    p.add_argument("--lateness", type=int, default=0,
+                   help="watermark slack: timestamps a report may trail")
+    p.add_argument("--shuffle", action="store_true",
+                   help="shuffle arrival order inside the lateness window")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint file to write (and resume from)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="timestamps between checkpoints (0 = only at end)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint instead of starting fresh")
+    p.add_argument("--out", default=None, help="synthetic output .npz path")
+    p.add_argument("--no-audit", action="store_true")
 
 
 def _add_evaluate_parser(sub) -> None:
@@ -122,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_datasets_parser(sub)
     _add_run_parser(sub)
+    _add_serve_parser(sub)
     _add_evaluate_parser(sub)
     _add_experiment_parser(sub)
     _add_plan_parser(sub)
@@ -160,6 +203,7 @@ def _cmd_run(args) -> int:
         overrides["n_shards"] = args.shards
         overrides["shard_executor"] = args.shard_executor
         overrides["oracle_mode"] = args.oracle_mode
+        overrides["dmu_prefilter"] = args.dmu_prefilter
     algo = make_method(
         args.method,
         epsilon=args.epsilon,
@@ -173,6 +217,51 @@ def _cmd_run(args) -> int:
     print(f"wrote {args.out}: {run.synthetic.stats()}")
     if run.accountant is not None:
         summary = run.accountant.summary()
+        print(f"privacy audit: {summary}")
+        if not summary["satisfied"]:
+            print("ERROR: w-event LDP guarantee violated", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core.retrasyn import RetraSynConfig
+    from repro.serve import ServeSettings, serve_dataset
+
+    if args.input:
+        data = load_stream_dataset(args.input)
+    else:
+        data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    cfg = RetraSynConfig(
+        epsilon=args.epsilon,
+        w=args.w,
+        allocator=args.allocator,
+        engine=args.engine,
+        n_shards=args.shards,
+        shard_executor=args.shard_executor,
+        oracle_mode=args.oracle_mode,
+        dmu_prefilter=args.dmu_prefilter,
+        track_privacy=not args.no_audit,
+        seed=args.seed,
+    )
+    settings = ServeSettings(
+        config=cfg,
+        queue_size=args.queue_size,
+        max_lateness=args.lateness,
+        shuffle=args.shuffle,
+        shuffle_seed=args.seed,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+    outcome = serve_dataset(data, settings)
+    for line in outcome.report_lines():
+        print(line)
+    if args.out:
+        save_stream_dataset(outcome.run.synthetic, args.out)
+        print(f"wrote {args.out}: {outcome.run.synthetic.stats()}")
+    if outcome.run.accountant is not None:
+        summary = outcome.run.accountant.summary()
         print(f"privacy audit: {summary}")
         if not summary["satisfied"]:
             print("ERROR: w-event LDP guarantee violated", file=sys.stderr)
@@ -253,6 +342,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "datasets": _cmd_datasets,
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "plan": _cmd_plan,

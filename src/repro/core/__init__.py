@@ -34,8 +34,10 @@ from repro.core.allocation import (
 from repro.core.online import OnlineRetraSyn, TimestepResult
 from repro.core.sharded import CollectionShard, ShardedOnlineRetraSyn, shard_of
 from repro.core.persistence import (
+    load_checkpoint,
     load_config,
     load_model,
+    save_checkpoint,
     save_config,
     save_model,
 )
@@ -68,6 +70,8 @@ __all__ = [
     "load_model",
     "save_config",
     "load_config",
+    "save_checkpoint",
+    "load_checkpoint",
     "make_retrasyn",
     "make_all_update",
     "make_no_eq",

@@ -21,6 +21,14 @@ timestamp.  :class:`OnlineRetraSyn` is that interface::
 The batch pipeline is implemented on top of this class, so both paths share
 one code base and one set of invariants (privacy accounting, DMU, size
 adjustment).
+
+Internally the collection phase is *columnar*: ``participants`` may be a
+:class:`~repro.stream.reports.ReportBatch` (numpy arrays of user ids,
+encoded state indices, and transition-kind codes) and object-path inputs —
+lists of ``(user_id, TransitionState)`` pairs — are bridged into one at the
+boundary.  Both representations drive the same selection code and consume
+the RNG identically, so they produce bit-identical synthetic streams for a
+fixed seed (tested in ``tests/core/test_columnar_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -45,12 +53,32 @@ from repro.ldp.accountant import PrivacyAccountant
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.rng import ensure_rng
 from repro.stream.encoder import UserSideEncoder
-from repro.stream.events import StateKind, TransitionState
+from repro.stream.reports import ReportBatch, as_report_batch
 from repro.stream.state_space import TransitionStateSpace
 from repro.stream.user_tracker import UserTracker
 
 #: Collections with less budget than this are skipped outright.
 _MIN_EPSILON = 1e-8
+
+#: z-score of the per-position one-count noise floor used by the DMU
+#: prefilter: positions whose raw one-counts never exceed
+#: ``n·q + z·sqrt(n·q(1−q))`` are treated as never observed.
+_SUPPORT_Z = 3.0
+
+
+def support_mask(ones: np.ndarray, n_reporters: int, q: float) -> np.ndarray:
+    """Which positions plausibly received a true report this round.
+
+    Pure post-processing of the perturbed one-counts (no privacy cost): a
+    position whose count is within ``_SUPPORT_Z`` standard deviations of
+    the all-noise expectation ``n·q`` is indistinguishable from never
+    reported.  Used to build the DMU candidate set when
+    ``RetraSynConfig.dmu_prefilter`` is on.
+    """
+    if n_reporters <= 0:
+        return np.zeros(np.asarray(ones).shape, dtype=bool)
+    floor = n_reporters * q + _SUPPORT_Z * np.sqrt(n_reporters * q * (1.0 - q))
+    return np.asarray(ones) > floor
 
 
 def sample_population_reporters(
@@ -106,6 +134,55 @@ def sample_population_reporters(
     return [eligible[int(i)] for i in np.atleast_1d(idx)]
 
 
+def sample_population_reporters_batch(
+    tracker,
+    report_phase: dict,
+    rng,
+    cfg,
+    t: int,
+    batch: ReportBatch,
+    newly_entered,
+    rate: Optional[float],
+    stochastic_round: bool = False,
+) -> np.ndarray:
+    """Columnar twin of :func:`sample_population_reporters`.
+
+    Returns the selected *row indices* into ``batch`` (in selection order).
+    Draws from ``rng`` in exactly the same sequence as the object version —
+    one ``integers`` call per arrival under the "random" strategy, one
+    ``random`` call for stochastic rounding, one ``choice`` call over the
+    eligible set — so for a fixed seed both samplers select the same users
+    in the same order (pinned by ``tests/core/test_columnar_equivalence``).
+    """
+    entered = [int(u) for u in newly_entered]
+    tracker.register(entered)
+    if cfg.allocator == "random":
+        for uid in entered:
+            report_phase[uid] = int(rng.integers(0, cfg.w))
+    tracker.recycle(t)
+    eligible_rows = np.flatnonzero(tracker.active_mask(batch.user_ids))
+    if cfg.allocator == "random":
+        phase = t % cfg.w
+        keep = [
+            i
+            for i, uid in zip(
+                eligible_rows.tolist(), batch.user_ids[eligible_rows].tolist()
+            )
+            if report_phase.get(uid, 0) == phase
+        ]
+        return np.asarray(keep, dtype=np.int64)
+    n_eligible = int(eligible_rows.size)
+    target = (rate or 0.0) * n_eligible
+    if stochastic_round:
+        n_sample = int(target) + int(rng.random() < (target - int(target)))
+    else:
+        n_sample = int(round(target))
+    if n_sample <= 0 or n_eligible == 0:
+        return np.empty(0, dtype=np.int64)
+    idx = rng.choice(n_eligible, size=min(n_sample, n_eligible), replace=False)
+    return eligible_rows[np.atleast_1d(idx)]
+
+
 @dataclass(frozen=True)
 class TimestepResult:
     """What happened inside one :meth:`OnlineRetraSyn.process_timestep`."""
@@ -137,6 +214,7 @@ class OnlineRetraSyn:
             raise ConfigurationError(f"lambda must be positive, got {lam}")
         self.grid = grid
         self.config = config
+        self.lam = float(lam)
         self.rng = ensure_rng(config.seed)
         self.space = TransitionStateSpace(
             grid, include_entering_quitting=config.model_entering_quitting
@@ -176,6 +254,9 @@ class OnlineRetraSyn:
         self.significant_per_timestamp: list[int] = []
         self._model_initialized = False
         self._last_t: Optional[int] = None
+        # Cumulative plausibly-observed support, grown by each collection
+        # round; only consulted when config.dmu_prefilter is on.
+        self._dmu_candidates = np.zeros(self.space.size, dtype=bool)
 
         if config.division == "population":
             self._pop_alloc = (
@@ -203,16 +284,19 @@ class OnlineRetraSyn:
     def process_timestep(
         self,
         t: int,
-        participants: Sequence[tuple[int, TransitionState]],
+        participants,
         newly_entered: Sequence[int] = (),
         quitted: Sequence[int] = (),
         n_real_active: int = 0,
     ) -> TimestepResult:
         """Run one full collection → update → synthesis round.
 
-        ``participants`` are (user_id, transition_state) pairs for every
-        user *able* to report at ``t``; the allocation strategy decides who
-        actually does.  ``n_real_active`` drives size adjustment.
+        ``participants`` describes every user *able* to report at ``t`` —
+        either a columnar :class:`~repro.stream.reports.ReportBatch` (the
+        native representation) or object-path ``(user_id, state)`` pairs,
+        which are bridged into a batch here.  The allocation strategy
+        decides who actually reports; ``n_real_active`` drives size
+        adjustment.
         """
         cfg = self.config
         if self._last_t is not None and t != self._last_t + 1:
@@ -221,13 +305,14 @@ class OnlineRetraSyn:
             )
         self._last_t = t
 
+        batch = as_report_batch(self.space, participants)
         if not cfg.model_entering_quitting:
-            participants = [
-                (uid, s) for uid, s in participants if s.kind is StateKind.MOVE
-            ]
+            batch = batch.moves_only()
+        entered = np.asarray(newly_entered, dtype=np.int64)
+        quit_ids = np.asarray(quitted, dtype=np.int64)
 
         collected, n_reporters, eps_used = self._collect_round(
-            t, participants, newly_entered, quitted
+            t, batch, entered, quit_ids
         )
         self.reporters_per_timestamp.append(n_reporters)
 
@@ -246,20 +331,20 @@ class OnlineRetraSyn:
     # ------------------------------------------------------------------ #
     # phases
     # ------------------------------------------------------------------ #
-    def _collect_round(self, t, participants, newly_entered, quitted):
-        """Selection + private collection for one timestamp.
+    def _collect_round(self, t, batch: ReportBatch, newly_entered, quitted):
+        """Selection + private collection for one timestamp (columnar).
 
         Returns ``(collected, n_reporters, eps_used)``.  This is the hook
         :class:`~repro.core.sharded.ShardedOnlineRetraSyn` overrides: the
         model-update and synthesis phases downstream are shared.
         """
-        chosen, eps_used = self._select_reporters(t, participants, newly_entered)
+        chosen, eps_used = self._select_reporters(t, batch, newly_entered)
         collected = self._collect(t, chosen, eps_used)
         if self._tracker is not None:
             self._tracker.mark_quitted(quitted)
         return collected, len(chosen), eps_used
 
-    def _select_reporters(self, t, participants, newly_entered):
+    def _select_reporters(self, t, batch: ReportBatch, newly_entered):
         cfg = self.config
         if cfg.division == "population":
             rate = (
@@ -267,29 +352,28 @@ class OnlineRetraSyn:
                 if cfg.allocator == "random"
                 else self._pop_alloc.propose(t, self.context)
             )
-            chosen = sample_population_reporters(
+            rows = sample_population_reporters_batch(
                 self._tracker, self._report_phase, self.rng, cfg,
-                t, participants, newly_entered, rate,
+                t, batch, newly_entered, rate,
             )
-            return chosen, cfg.epsilon
+            return batch.take(rows), cfg.epsilon
 
         eps_t = self._budget_alloc.propose(t, self.context)
         if eps_t < _MIN_EPSILON:
-            chosen, eps_used = [], 0.0
+            chosen, eps_used = ReportBatch.empty(), 0.0
         else:
-            chosen, eps_used = list(participants), eps_t
+            chosen, eps_used = batch, eps_t
         self._budget_alloc.commit(eps_used)
         return chosen, eps_used
 
-    def _collect(self, t, chosen, eps_used):
-        if not chosen:
+    def _collect(self, t, chosen: ReportBatch, eps_used):
+        if len(chosen) == 0:
             return None
         oracle = OptimizedUnaryEncoding(
             self.space.size, eps_used, rng=self.rng, mode=self.config.oracle_mode
         )
-        states = [s for _uid, s in chosen]
         tic = time.perf_counter()
-        ones = oracle.simulate_ones(self.encoder.encode(states))
+        ones = oracle.simulate_ones(chosen.state_idx)
         self.timings["user_side"] += time.perf_counter() - tic
 
         tic = time.perf_counter()
@@ -298,9 +382,11 @@ class OnlineRetraSyn:
         self.timings["model_construction"] += time.perf_counter() - tic
 
         if self.accountant is not None:
-            self.accountant.spend_many((uid for uid, _s in chosen), t, eps_used)
+            self.accountant.spend_many(chosen.user_ids.tolist(), t, eps_used)
         if self._tracker is not None:
-            self._tracker.mark_reported([uid for uid, _s in chosen], t)
+            self._tracker.mark_reported(chosen.user_ids, t)
+        if self.config.dmu_prefilter:
+            self._dmu_candidates |= support_mask(ones, len(chosen), oracle.q)
         self.context.record_collection(collected)
         return collected
 
@@ -313,8 +399,12 @@ class OnlineRetraSyn:
                 n_significant = self.space.size
                 self._model_initialized = True
             else:
+                candidates = (
+                    self._dmu_candidates if self.config.dmu_prefilter else None
+                )
                 decision = self.selector.select(
-                    self.model.frequencies, collected, eps_used, n_reporters
+                    self.model.frequencies, collected, eps_used, n_reporters,
+                    candidates=candidates,
                 )
                 self.model.update_selected(decision.selected, collected)
                 n_significant = decision.n_selected
@@ -334,6 +424,23 @@ class OnlineRetraSyn:
             target = n_real_active if cfg.model_entering_quitting else None
             self.synthesizer.step(t, target)
         self.timings["synthesis"] += time.perf_counter() - tic
+
+    # ------------------------------------------------------------------ #
+    # checkpointing (see repro.core.persistence)
+    # ------------------------------------------------------------------ #
+    def checkpoint_state(self) -> dict:
+        """Everything needed to resume this curator bit-for-bit.
+
+        The whole attribute graph (rng, model, synthesizer, tracker,
+        allocators, accountant, feedback context, …) is returned as one
+        dict so that shared references — e.g. the synthesizer drawing from
+        the curator's rng — survive a pickle round trip intact.
+        """
+        return dict(self.__dict__)
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`checkpoint_state` on a freshly built curator."""
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------ #
     # outputs

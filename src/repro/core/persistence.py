@@ -1,19 +1,30 @@
-"""Persistence for mobility models and pipeline configurations.
+"""Persistence for mobility models, configurations and curator checkpoints.
 
-A deployed curator needs to survive restarts: the learned global mobility
-model (frequencies over the transition-state space) and the pipeline
-configuration are saved together so a new process can resume synthesis with
-the same state.  Models are stored as npz (frequencies + the grid geometry
-and state-space flags needed to rebuild the space); configurations as JSON.
+A deployed curator needs to survive restarts.  Three artefact shapes:
 
-Restoring a model is pure post-processing of already-released statistics
-(paper Theorem 2), so persistence never touches the privacy budget.
+* **models** (npz): the learned global mobility model — frequencies plus
+  the grid geometry and state-space flags needed to rebuild the space;
+* **configurations** (JSON): the full pipeline tuning;
+* **checkpoints** (pickle): a *running curator's* complete state — rng,
+  model, synthesizer (live synthetic streams), user trackers (including
+  per-shard trackers fetched from worker processes), allocator feedback
+  context and the privacy-accountant ledger.  A curator restored from a
+  checkpoint continues the stream bit-for-bit identically to one that was
+  never interrupted; the ingestion service
+  (:mod:`repro.stream.ingest`) checkpoints on this API.
+
+Checkpoints use :mod:`pickle` because they capture an arbitrary live
+object graph; load them only from paths you wrote yourself (same trust
+model as any process state file).  Restoring any artefact is pure
+post-processing of already-released statistics (paper Theorem 2), so
+persistence never touches the privacy budget.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import pickle
 from pathlib import Path
 from typing import Union
 
@@ -27,6 +38,7 @@ from repro.geo.point import BoundingBox
 from repro.stream.state_space import TransitionStateSpace
 
 _MODEL_FORMAT_VERSION = 1
+_CHECKPOINT_FORMAT_VERSION = 1
 
 
 def save_model(model: GlobalMobilityModel, path: Union[str, Path]) -> None:
@@ -92,6 +104,62 @@ def config_from_dict(data: dict) -> RetraSynConfig:
     if unknown:
         raise ConfigurationError(f"unknown config fields: {sorted(unknown)}")
     return RetraSynConfig(**data)
+
+
+def save_checkpoint(curator, path: Union[str, Path]) -> None:
+    """Freeze a running curator (online or sharded) to ``path``.
+
+    Captures everything :meth:`~repro.core.online.OnlineRetraSyn
+    .checkpoint_state` returns, plus the grid / config / λ needed to
+    rebuild the curator object itself.  For the process shard executor the
+    per-shard states are fetched from the worker processes first, so the
+    checkpoint is complete even though the workers hold the trackers.
+    """
+    from repro.core.sharded import ShardedOnlineRetraSyn
+
+    payload = {
+        "version": _CHECKPOINT_FORMAT_VERSION,
+        "kind": (
+            "sharded" if isinstance(curator, ShardedOnlineRetraSyn) else "online"
+        ),
+        "grid": curator.grid,
+        "config": curator.config,
+        "lam": curator.lam,
+        "state": curator.checkpoint_state(),
+    }
+    tmp = Path(str(path) + ".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(Path(path))  # atomic: a crash mid-write never corrupts
+
+
+def load_checkpoint(path: Union[str, Path]):
+    """Rebuild the curator saved by :func:`save_checkpoint`.
+
+    Returns an :class:`~repro.core.online.OnlineRetraSyn` or
+    :class:`~repro.core.sharded.ShardedOnlineRetraSyn` whose next
+    ``process_timestep`` continues exactly where the saved one stopped
+    (``curator._last_t + 1``).  Only load checkpoints you wrote: the
+    format is pickle.
+    """
+    from repro.core.online import OnlineRetraSyn
+    from repro.core.sharded import ShardedOnlineRetraSyn
+
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"checkpoint file not found: {path}")
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    version = int(payload.get("version", -1))
+    if version != _CHECKPOINT_FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported checkpoint format version {version} "
+            f"(expected {_CHECKPOINT_FORMAT_VERSION})"
+        )
+    cls = ShardedOnlineRetraSyn if payload["kind"] == "sharded" else OnlineRetraSyn
+    curator = cls(payload["grid"], payload["config"], lam=payload["lam"])
+    curator.restore_state(payload["state"])
+    return curator
 
 
 def save_config(config: RetraSynConfig, path: Union[str, Path]) -> None:

@@ -58,6 +58,7 @@ class RetraSynConfig:
     engine: str = "object"  # "object" | "vectorized" synthesis engine
     n_shards: int = 1  # >1 routes collection through ShardedOnlineRetraSyn
     shard_executor: str = "serial"  # "serial" | "process" shard execution
+    dmu_prefilter: bool = False  # shard-local never-observed DMU prefilter
     track_privacy: bool = True
     seed: RngLike = None
 
@@ -146,6 +147,8 @@ class RetraSyn:
         from repro.core.online import OnlineRetraSyn
         from repro.core.sharded import ShardedOnlineRetraSyn
 
+        from repro.stream.reports import ColumnarStreamView
+
         cfg = self.config
         lam = (
             cfg.lam
@@ -157,15 +160,21 @@ class RetraSyn:
         else:
             curator = OnlineRetraSyn(dataset.grid, cfg, lam=lam)
 
+        # The batch pipeline feeds the curator columnar ReportBatches: the
+        # per-timestamp views are materialised once as index arrays instead
+        # of per-user TransitionState objects every round.  Row order
+        # matches participants_at, so this is bit-identical to the object
+        # path under a fixed seed.
+        view = ColumnarStreamView(dataset, curator.space)
         try:
             start = time.perf_counter()
             for t in range(dataset.n_timestamps):
                 curator.process_timestep(
                     t,
-                    participants=dataset.participants_at(t),
-                    newly_entered=dataset.newly_entered_at(t),
-                    quitted=dataset.quitted_at(t),
-                    n_real_active=dataset.n_active_at(t),
+                    participants=view.batch_at(t),
+                    newly_entered=view.newly_entered_at(t),
+                    quitted=view.quitted_at(t),
+                    n_real_active=view.n_active_at(t),
                 )
             total_runtime = time.perf_counter() - start
         finally:

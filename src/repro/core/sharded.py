@@ -4,12 +4,17 @@
 the way :class:`~repro.core.fast_synthesis.VectorizedSynthesizer` scaled the
 synthesis half.  Users are hash-partitioned across ``K`` independent
 collection shards, each owning its own :class:`~repro.stream.user_tracker
-.UserTracker`, :class:`~repro.stream.encoder.UserSideEncoder` and per-round
-frequency oracle.  Every timestamp each shard runs selection + perturbation
-on its partition only and returns raw per-position one-counts; the parent
-merges them with a single vector add and debiases once **before**
-mobility-model construction, so the model, DMU and synthesizer remain
-global and unchanged.
+.UserTracker` and per-round frequency oracle.  Every timestamp each shard
+runs selection + perturbation on its partition only and returns raw
+per-position one-counts; the parent merges them with a single vector add and
+debiases once **before** mobility-model construction, so the model, DMU and
+synthesizer remain global and unchanged.
+
+The shard wire format is columnar (:class:`~repro.stream.reports
+.ReportBatch`): partitions travel as numpy index arrays — user ids, encoded
+state indices, kind codes — never as per-user ``TransitionState`` objects.
+For the process executor this is the difference between pickling three flat
+arrays per round and pickling tens of thousands of dataclass instances.
 
 Why this is statistically equivalent to the unsharded curator:
 
@@ -27,10 +32,12 @@ Shard rounds are embarrassingly parallel.  Two executors are provided:
 
 * ``executor="serial"`` — rounds run in-process, one shard after another
   (no IPC overhead; the default and the reference semantics);
-* ``executor="process"`` — each shard lives in a persistent worker process
-  connected by a pipe, for true multi-core collection.  Both executors
-  draw shard randomness from the same per-shard seeds, so they produce
-  identical outputs for a fixed configuration.
+* ``executor="process"`` — shards live in a persistent
+  :class:`ShardWorkerPool`: one worker process per shard, spawned once and
+  reused for every round, holding the shard's tracker and rng across the
+  whole stream.  Both executors draw shard randomness from the same
+  per-shard seeds, so they produce identical outputs for a fixed
+  configuration.
 """
 
 from __future__ import annotations
@@ -44,12 +51,14 @@ import numpy as np
 from repro.core.online import (
     _MIN_EPSILON,
     OnlineRetraSyn,
-    sample_population_reporters,
+    sample_population_reporters_batch,
+    support_mask,
 )
 from repro.exceptions import ConfigurationError
 from repro.geo.grid import Grid
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.stream.encoder import UserSideEncoder
+from repro.stream.reports import ReportBatch, shard_of_array
 from repro.stream.state_space import TransitionStateSpace
 from repro.stream.user_tracker import UserTracker
 
@@ -63,15 +72,31 @@ def shard_of(user_id: int, n_shards: int) -> int:
 
     The xor-fold mixes the multiplied high bits back into the low bits —
     a bare ``% n_shards`` of the product would preserve arithmetic
-    structure (e.g. parity) of the id space.
+    structure (e.g. parity) of the id space.  The vectorized twin is
+    :func:`repro.stream.reports.shard_of_array`.
     """
     h = (int(user_id) * _HASH_MULT) & 0xFFFFFFFF
     h ^= h >> 16
     return h % n_shards
 
 
+def _split_ids(ids: np.ndarray, n_shards: int) -> list[np.ndarray]:
+    """Partition an id array by shard, preserving order inside each part."""
+    ids = np.asarray(ids, dtype=np.int64)
+    if n_shards == 1:
+        return [ids]
+    sid = shard_of_array(ids, n_shards)
+    return [ids[sid == k] for k in range(n_shards)]
+
+
 class CollectionShard:
-    """One partition's tracker + encoder + oracle; no model, no synthesis."""
+    """One partition's tracker + oracle; no model, no synthesis.
+
+    The shard consumes columnar :class:`ReportBatch` partitions whose
+    states were encoded upstream (at ingestion or by the batch pipeline's
+    stream view), so no per-user encoding happens here.  An encoder is
+    kept only for the object-path compatibility wrapper :meth:`round`.
+    """
 
     def __init__(self, grid: Grid, config, seed: int) -> None:
         self.config = config
@@ -85,6 +110,62 @@ class CollectionShard:
         )
         self._report_phase: dict[int, int] = {}
 
+    def round_batch(
+        self,
+        t: int,
+        batch: ReportBatch,
+        newly_entered: np.ndarray,
+        quitted: np.ndarray,
+        rate: Optional[float],
+        eps_used: float,
+    ) -> tuple[np.ndarray, np.ndarray, float, Optional[np.ndarray]]:
+        """One timestamp on this shard's partition (columnar).
+
+        ``rate`` is the globally proposed sampling fraction ``p_t``
+        (population division, ``None`` for the user-driven "random"
+        strategy); ``eps_used`` the per-report budget.  Returns the raw
+        per-position one-counts, the reporter id array, the seconds spent
+        in the perturbation itself (the user-side cost, excluding
+        selection bookkeeping, so timings stay comparable with the
+        unsharded engine), and — when ``config.dmu_prefilter`` is on —
+        this round's plausibly-observed support mask.
+
+        Selection uses :func:`~repro.core.online
+        .sample_population_reporters_batch` with stochastic rounding: each
+        partition samples ``rate``·eligible in *expectation*, so the total
+        reporter volume is unbiased for any shard count (deterministic
+        per-shard rounding would collapse to zero when partitions are
+        small).
+        """
+        cfg = self.config
+        if cfg.division == "population":
+            rows = sample_population_reporters_batch(
+                self.tracker, self._report_phase, self.rng, cfg,
+                t, batch, newly_entered, rate,
+                stochastic_round=True,
+            )
+            chosen = batch.take(rows)
+        else:
+            chosen = batch if eps_used > 0.0 else ReportBatch.empty()
+
+        user_seconds = 0.0
+        support: Optional[np.ndarray] = None
+        if len(chosen):
+            oracle = OptimizedUnaryEncoding(
+                self.space.size, eps_used, rng=self.rng, mode=cfg.oracle_mode
+            )
+            tic = time.perf_counter()
+            ones = oracle.simulate_ones(chosen.state_idx)
+            user_seconds = time.perf_counter() - tic
+            if cfg.dmu_prefilter:
+                support = support_mask(ones, len(chosen), oracle.q)
+        else:
+            ones = np.zeros(self.space.size)
+        if self.tracker is not None:
+            self.tracker.mark_reported(chosen.user_ids, t)
+            self.tracker.mark_quitted(quitted)
+        return ones, chosen.user_ids, user_seconds, support
+
     def round(
         self,
         t: int,
@@ -94,55 +175,24 @@ class CollectionShard:
         rate: Optional[float],
         eps_used: float,
     ) -> tuple[np.ndarray, list[int], float]:
-        """One timestamp on this shard's partition.
-
-        ``rate`` is the globally proposed sampling fraction ``p_t``
-        (population division, ``None`` for the user-driven "random"
-        strategy); ``eps_used`` the per-report budget.  Returns the raw
-        per-position one-counts, the reporter ids, and the seconds spent
-        in the perturbation itself (the user-side cost, excluding
-        selection bookkeeping, so timings stay comparable with the
-        unsharded engine).
-
-        Selection reuses :func:`~repro.core.online
-        .sample_population_reporters` with stochastic rounding: each
-        partition samples ``rate``·eligible in *expectation*, so the total
-        reporter volume is unbiased for any shard count (deterministic
-        per-shard rounding would collapse to zero when partitions are
-        small).
-        """
-        cfg = self.config
-        if cfg.division == "population":
-            chosen = sample_population_reporters(
-                self.tracker, self._report_phase, self.rng, cfg,
-                t, participants, newly_entered, rate,
-                stochastic_round=True,
-            )
-        else:
-            chosen = list(participants) if eps_used > 0.0 else []
-
-        uids = [uid for uid, _s in chosen]
-        user_seconds = 0.0
-        if chosen:
-            oracle = OptimizedUnaryEncoding(
-                self.space.size, eps_used, rng=self.rng, mode=cfg.oracle_mode
-            )
-            states = [s for _uid, s in chosen]
-            encoded = self.encoder.encode(states)
-            tic = time.perf_counter()
-            ones = oracle.simulate_ones(encoded)
-            user_seconds = time.perf_counter() - tic
-        else:
-            ones = np.zeros(self.space.size)
-        if self.tracker is not None:
-            self.tracker.mark_reported(uids, t)
-            self.tracker.mark_quitted(quitted)
-        return ones, uids, user_seconds
+        """Object-path compatibility wrapper around :meth:`round_batch`."""
+        batch = self.encoder.encode_batch(participants)
+        if not self.config.model_entering_quitting:
+            batch = batch.moves_only()
+        ones, uids, user_seconds, _support = self.round_batch(
+            t, batch,
+            np.asarray(newly_entered, dtype=np.int64),
+            np.asarray(quitted, dtype=np.int64),
+            rate, eps_used,
+        )
+        return ones, uids.tolist(), user_seconds
 
 
 def _shard_worker(conn, grid: Grid, config, seed: int) -> None:
-    """Process-executor loop: build the shard, answer rounds until EOF.
+    """Process-executor loop: build the shard, answer commands until EOF.
 
+    Commands are ``("round", args)``, ``("get_state", None)`` /
+    ``("set_state", shard)`` for checkpoint/resume, and ``None`` to exit.
     Exceptions are shipped back as ``("err", traceback)`` so the parent can
     re-raise with shard context instead of dying on a bare ``EOFError``.
     """
@@ -154,10 +204,85 @@ def _shard_worker(conn, grid: Grid, config, seed: int) -> None:
         if msg is None:
             conn.close()
             return
+        cmd, payload = msg
         try:
-            conn.send(("ok", shard.round(*msg)))
+            if cmd == "round":
+                conn.send(("ok", shard.round_batch(*payload)))
+            elif cmd == "get_state":
+                conn.send(("ok", shard))
+            elif cmd == "set_state":
+                shard = payload
+                conn.send(("ok", None))
+            else:
+                conn.send(("err", f"unknown shard command {cmd!r}"))
         except Exception:
             conn.send(("err", traceback.format_exc()))
+
+
+class ShardWorkerPool:
+    """Persistent worker processes, one per collection shard.
+
+    Workers are spawned once and reused for every round: shard state
+    (tracker, rng, report phases) never crosses the pipe during normal
+    operation — only the round's columnar index arrays and the returned
+    one-count vectors do.  ``get_states`` / ``set_states`` ship whole
+    :class:`CollectionShard` objects for checkpoint/resume.
+    """
+
+    def __init__(self, grid: Grid, config, seeds: Sequence[int]) -> None:
+        ctx = mp.get_context()
+        self._procs: list = []
+        self._pipes: list = []
+        for seed in seeds:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, grid, config, seed),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._procs.append(proc)
+
+    def __len__(self) -> int:
+        return len(self._pipes)
+
+    def _call_all(self, command: str, payloads: Sequence) -> list:
+        for pipe, payload in zip(self._pipes, payloads):
+            pipe.send((command, payload))
+        outs = []
+        for k, pipe in enumerate(self._pipes):
+            status, payload = pipe.recv()
+            if status == "err":
+                raise RuntimeError(
+                    f"collection shard {k} failed ({command}):\n{payload}"
+                )
+            outs.append(payload)
+        return outs
+
+    def run_rounds(self, rounds: Sequence[tuple]) -> list:
+        """One ``round_batch`` per shard; blocks until all K results land."""
+        return self._call_all("round", rounds)
+
+    def get_states(self) -> list:
+        return self._call_all("get_state", [None] * len(self._pipes))
+
+    def set_states(self, shards: Sequence) -> None:
+        self._call_all("set_state", shards)
+
+    def close(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(None)
+                pipe.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._pipes, self._procs = [], []
 
 
 class ShardedOnlineRetraSyn(OnlineRetraSyn):
@@ -200,29 +325,19 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
         seeds = [
             int(s) for s in self.rng.integers(0, 2**63 - 1, size=self.n_shards)
         ]
-        self._procs: list = []
-        self._pipes: list = []
         if self.executor == "process":
-            ctx = mp.get_context()
-            for seed in seeds:
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_shard_worker,
-                    args=(child_conn, grid, config, seed),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._pipes.append(parent_conn)
-                self._procs.append(proc)
+            self._pool: Optional[ShardWorkerPool] = ShardWorkerPool(
+                grid, config, seeds
+            )
             self._shards = None
         else:
+            self._pool = None
             self._shards = [CollectionShard(grid, config, s) for s in seeds]
 
     # ------------------------------------------------------------------ #
     # the sharded collection round
     # ------------------------------------------------------------------ #
-    def _collect_round(self, t, participants, newly_entered, quitted):
+    def _collect_round(self, t, batch: ReportBatch, newly_entered, quitted):
         cfg = self.config
         K = self.n_shards
 
@@ -238,44 +353,35 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
                 eps_t = 0.0
             self._budget_alloc.commit(eps_t)
 
-        # Hash-partition this timestamp's traffic.
-        parts: list[list] = [[] for _ in range(K)]
-        entered: list[list[int]] = [[] for _ in range(K)]
-        quits: list[list[int]] = [[] for _ in range(K)]
-        for uid, s in participants:
-            parts[shard_of(uid, K)].append((uid, s))
-        for uid in newly_entered:
-            entered[shard_of(uid, K)].append(uid)
-        for uid in quitted:
-            quits[shard_of(uid, K)].append(uid)
+        # Hash-partition this timestamp's traffic: pure array slicing.
+        parts = batch.partition(K)
+        entered = _split_ids(newly_entered, K)
+        quits = _split_ids(quitted, K)
 
         rounds = [
             (t, parts[k], entered[k], quits[k], rate, eps_t) for k in range(K)
         ]
-        if self.executor == "process":
-            for pipe, msg in zip(self._pipes, rounds):
-                pipe.send(msg)
-            outs = []
-            for k, pipe in enumerate(self._pipes):
-                status, payload = pipe.recv()
-                if status == "err":
-                    raise RuntimeError(
-                        f"collection shard {k} failed at t={t}:\n{payload}"
-                    )
-                outs.append(payload)
+        if self._pool is not None:
+            outs = self._pool.run_rounds(rounds)
         else:
-            outs = [shard.round(*msg) for shard, msg in zip(self._shards, rounds)]
+            outs = [
+                shard.round_batch(*msg)
+                for shard, msg in zip(self._shards, rounds)
+            ]
 
         # Merge: one vector add per shard, one debias for the union.  Only
         # the perturbation seconds count as user-side cost — the unsharded
         # engine does not time selection either, keeping Table V comparable.
         ones = np.zeros(self.space.size)
-        reporter_uids: list[int] = []
-        for shard_ones, uids, user_seconds in outs:
+        uid_parts: list[np.ndarray] = []
+        for shard_ones, uids, user_seconds, support in outs:
             ones += shard_ones
-            reporter_uids.extend(uids)
+            uid_parts.append(uids)
             self.timings["user_side"] += user_seconds
-        n_reporters = len(reporter_uids)
+            if support is not None:
+                self._dmu_candidates |= support
+        reporter_uids = np.concatenate(uid_parts) if uid_parts else np.empty(0, np.int64)
+        n_reporters = int(reporter_uids.size)
         eps_used = eps_t
 
         collected = None
@@ -287,26 +393,45 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             collected = oracle.debias(ones, n_reporters) / n_reporters
             self.timings["model_construction"] += time.perf_counter() - tic
             if self.accountant is not None:
-                self.accountant.spend_many(reporter_uids, t, eps_used)
+                self.accountant.spend_many(
+                    reporter_uids.tolist(), t, eps_used
+                )
             self.context.record_collection(collected)
         return collected, n_reporters, eps_used
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def checkpoint_state(self) -> dict:
+        """Base curator state plus each shard's full state.
+
+        For the process executor the shards live in worker memory, so they
+        are fetched over the pipes; the pool itself (pipes, processes) is
+        never part of a checkpoint.
+        """
+        state = {k: v for k, v in self.__dict__.items() if k != "_pool"}
+        if self._pool is not None:
+            state["_shards"] = self._pool.get_states()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        state = dict(state)
+        shards = state.pop("_shards")
+        state.pop("_pool", None)
+        self.__dict__.update(state)
+        if self._pool is not None:
+            self._pool.set_states(shards)
+            self._shards = None
+        else:
+            self._shards = shards
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Shut down worker processes (no-op for the serial executor)."""
-        for pipe in self._pipes:
-            try:
-                pipe.send(None)
-                pipe.close()
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-        self._pipes, self._procs = [], []
+        if self._pool is not None:
+            self._pool.close()
 
     def __enter__(self) -> "ShardedOnlineRetraSyn":
         return self

@@ -71,6 +71,15 @@ class FrequencyOracle(abc.ABC):
             )
         return arr
 
+    def collect_batch(self, batch) -> np.ndarray:
+        """Run the round trip over a columnar report batch.
+
+        ``batch`` is a :class:`~repro.stream.reports.ReportBatch`; its
+        ``state_idx`` column must contain only encodable states (filter
+        with ``moves_only()`` first under a NoEQ space).
+        """
+        return self.collect(batch.state_idx)
+
     def estimate_frequencies(self, values: Sequence[int]) -> np.ndarray:
         """Convenience wrapper: estimated frequencies instead of counts."""
         n = len(values)

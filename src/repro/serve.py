@@ -1,0 +1,141 @@
+"""`repro serve`: run the curator as an ingestion service over a dataset.
+
+The batch path (`repro run`) hands the curator a finished dataset.  This
+module instead *replays* the dataset as a live report stream through the
+async ingestion front-end (:mod:`repro.stream.ingest`), which is the shape
+of a real deployment: a bounded ingress queue with backpressure,
+out-of-order arrival (optional shuffling inside the watermark window),
+watermark-based timestamp closing, and periodic checkpoints that a crashed
+or restarted service resumes from bit-for-bit.
+
+Programmatic use::
+
+    outcome = serve_dataset(data, ServeSettings(config=cfg, shuffle=True))
+    outcome.run.synthetic     # same SynthesisRun a batch run produces
+    outcome.stats             # ingestion counters (lateness, backpressure)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.online import OnlineRetraSyn
+from repro.core.persistence import load_checkpoint
+from repro.core.retrasyn import RetraSynConfig, SynthesisRun
+from repro.core.sharded import ShardedOnlineRetraSyn
+from repro.geo.trajectory import average_length
+from repro.stream.ingest import IngestStats, dataset_reports, ingest_events
+from repro.stream.reports import ColumnarStreamView
+from repro.stream.stream import StreamDataset
+
+
+@dataclass
+class ServeSettings:
+    """Everything `repro serve` needs besides the dataset."""
+
+    config: RetraSynConfig = field(default_factory=RetraSynConfig)
+    queue_size: int = 10_000
+    max_lateness: int = 0
+    shuffle: bool = False  # permute arrival order inside the lateness window
+    shuffle_seed: int = 0
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 0  # extra mid-run checkpoints (0 = only at end)
+    resume: bool = False  # load checkpoint_path and continue from it
+
+
+@dataclass
+class ServeOutcome:
+    """What one service run produced."""
+
+    run: SynthesisRun
+    stats: IngestStats
+    resumed_from_t: Optional[int] = None
+    wall_seconds: float = 0.0
+
+    def report_lines(self) -> list[str]:
+        s = self.stats
+        lines = [
+            f"timestamps processed   {s.n_timestamps}",
+            f"reports ingested       {s.n_submitted}",
+            f"reports processed      {s.n_reports_processed}",
+            f"late reports dropped   {s.n_late_dropped}",
+            f"backpressure waits     {s.backpressure_waits}",
+            f"checkpoints written    {s.checkpoints_written}",
+            f"wall seconds           {self.wall_seconds:.3f}",
+        ]
+        if self.wall_seconds > 0:
+            lines.append(
+                f"throughput             "
+                f"{s.n_reports_processed / self.wall_seconds:,.0f} reports/s"
+            )
+        if self.resumed_from_t is not None:
+            lines.insert(0, f"resumed at t={self.resumed_from_t}")
+        return lines
+
+
+def build_curator(data: StreamDataset, config: RetraSynConfig):
+    """The same engine routing `repro run` uses, without running anything."""
+    lam = (
+        config.lam
+        if config.lam is not None
+        else max(1.0, average_length(data.trajectories))
+    )
+    if config.n_shards > 1:
+        return ShardedOnlineRetraSyn(data.grid, config, lam=lam)
+    return OnlineRetraSyn(data.grid, config, lam=lam)
+
+
+def serve_dataset(data: StreamDataset, settings: ServeSettings) -> ServeOutcome:
+    """Replay ``data`` through the ingestion service and package the run."""
+    resumed_from_t: Optional[int] = None
+    if settings.resume:
+        if not settings.checkpoint_path:
+            raise ValueError("resume requires a checkpoint_path")
+        if not Path(settings.checkpoint_path).exists():
+            raise FileNotFoundError(
+                f"no checkpoint to resume from: {settings.checkpoint_path}"
+            )
+        curator = load_checkpoint(settings.checkpoint_path)
+        resumed_from_t = curator._last_t + 1
+    else:
+        curator = build_curator(data, settings.config)
+
+    view = ColumnarStreamView(data, curator.space)
+    shuffle_rng = (
+        np.random.default_rng(settings.shuffle_seed) if settings.shuffle else None
+    )
+    reports = dataset_reports(
+        view,
+        start_t=resumed_from_t or 0,
+        shuffle_rng=shuffle_rng,
+        block=settings.max_lateness + 1,
+    )
+
+    start = time.perf_counter()
+    try:
+        stats = ingest_events(
+            curator,
+            reports,
+            queue_size=settings.queue_size,
+            max_lateness=settings.max_lateness,
+            checkpoint_path=settings.checkpoint_path,
+            checkpoint_every=settings.checkpoint_every,
+        )
+    finally:
+        if isinstance(curator, ShardedOnlineRetraSyn):
+            curator.close()
+    wall = time.perf_counter() - start
+
+    run = curator.result(
+        data.n_timestamps,
+        name=f"{curator.config.label}(serve:{data.name})",
+        total_runtime=wall,
+    )
+    return ServeOutcome(
+        run=run, stats=stats, resumed_from_t=resumed_from_t, wall_seconds=wall
+    )

@@ -12,9 +12,27 @@ Models the paper's streaming setting (Sections II-B and III-B):
   transition state at each timestamp.
 * :class:`~repro.stream.user_tracker.UserTracker` — the dynamic active-user
   set with the recycling rule of Algorithm 1 (line 9).
+* :class:`~repro.stream.reports.ReportBatch` — the columnar report plane:
+  per-timestamp batches as numpy index arrays, the wire format the whole
+  collection pipeline (shards included) speaks.
+* :mod:`~repro.stream.ingest` — the async ingestion front-end: out-of-order
+  reports assembled into per-timestamp batches under a watermark, behind a
+  bounded backpressure queue.
 """
 
 from repro.stream.events import StateKind, TransitionState
+from repro.stream.ingest import (
+    IngestionService,
+    IngestStats,
+    TimestampAssembler,
+    UserReport,
+    ingest_events,
+)
+from repro.stream.reports import (
+    ColumnarStreamView,
+    ReportBatch,
+    shard_of_array,
+)
 from repro.stream.state_space import TransitionStateSpace
 from repro.stream.stream import StreamDataset
 from repro.stream.user_tracker import UserStatus, UserTracker
@@ -28,4 +46,12 @@ __all__ = [
     "UserStatus",
     "UserTracker",
     "UserSideEncoder",
+    "ReportBatch",
+    "ColumnarStreamView",
+    "shard_of_array",
+    "UserReport",
+    "TimestampAssembler",
+    "IngestionService",
+    "IngestStats",
+    "ingest_events",
 ]

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.ldp.freq_oracle import FrequencyOracle
 from repro.stream.events import TransitionState
+from repro.stream.reports import ReportBatch
 from repro.stream.state_space import TransitionStateSpace
 
 
@@ -27,6 +28,13 @@ class UserSideEncoder:
     def encode(self, states: Sequence[TransitionState]) -> np.ndarray:
         """Dense state indices for a batch of users' transition states."""
         return np.asarray([self.space.index_of(s) for s in states], dtype=np.int64)
+
+    def encode_batch(
+        self, participants: Sequence[tuple[int, TransitionState]]
+    ) -> ReportBatch:
+        """Columnar :class:`~repro.stream.reports.ReportBatch` from object
+        ``(user_id, state)`` pairs, preserving row order."""
+        return ReportBatch.from_participants(self.space, participants)
 
     def one_hot(self, state: TransitionState) -> np.ndarray:
         """The |S|-bit one-hot vector of a single state (paper Figure 2 ②)."""

@@ -1,0 +1,414 @@
+"""Async ingestion front-end: out-of-order reports → per-timestamp batches.
+
+The batch pipeline replays a finished dataset, but a *deployed* curator is
+a service: users emit perturbation-ready reports continuously, slightly out
+of order, and the server must close each timestamp, aggregate, update the
+model and synthesize before moving on.  This module is that front door:
+
+* :class:`UserReport` — one user's report for one timestamp, either an
+  explicit :class:`~repro.stream.events.TransitionState` or a pre-encoded
+  ``(state_idx, kind)`` pair (the fast path: encoding happens user-side).
+* :class:`TimestampAssembler` — pure, sans-IO reordering core.  Buffers
+  reports per timestamp, advances a *watermark* ``max_seen_t −
+  max_lateness`` and closes every timestamp at or below it, emitting
+  columnar :class:`~repro.stream.reports.ReportBatch`es in strict
+  timestamp order.  Reports for an already-closed timestamp are dropped
+  and counted (the usual streaming late-data policy).  Closed batches are
+  sorted by user id, giving the service a canonical row order that is
+  independent of arrival order — so a fixed seed yields the same synthetic
+  stream no matter how the network shuffled the reports.
+* :class:`IngestionService` — the asyncio event loop around the assembler:
+  a bounded :class:`asyncio.Queue` provides backpressure (``submit``
+  suspends the producer when the curator falls behind), a single consumer
+  drains it into the assembler and drives ``curator.process_timestep`` for
+  every closed timestamp, optionally checkpointing every N timestamps via
+  :func:`repro.core.persistence.save_checkpoint`.
+* :func:`ingest_events` — synchronous convenience driver used by the CLI
+  (``repro serve``), tests and benchmarks.
+
+The curator's round is CPU-bound and runs inline on the consumer task;
+the event loop's job here is flow control, not parallelism — collection
+parallelism lives in :class:`~repro.core.sharded.ShardWorkerPool`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import AsyncIterator, Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.stream.events import TransitionState
+from repro.stream.reports import (
+    KIND_ENTER,
+    KIND_MOVE,
+    KIND_OF_STATE,
+    KIND_QUIT,
+    ReportBatch,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class UserReport:
+    """One user's report for one timestamp.
+
+    Either ``state`` is a :class:`TransitionState` (encoded on arrival) or
+    ``state_idx``/``kind`` carry the already-encoded columnar form.
+    """
+
+    user_id: int
+    t: int
+    state: Optional[TransitionState] = None
+    state_idx: int = -1
+    kind: int = -1
+
+    @staticmethod
+    def encoded(user_id: int, t: int, state_idx: int, kind: int) -> "UserReport":
+        return UserReport(user_id, t, None, int(state_idx), int(kind))
+
+
+@dataclass(frozen=True)
+class ClosedTimestamp:
+    """Everything the curator needs for one closed collection round."""
+
+    t: int
+    batch: ReportBatch
+    newly_entered: np.ndarray
+    quitted: np.ndarray
+    n_active: int
+
+
+@dataclass
+class IngestStats:
+    """Counters the service exposes for monitoring."""
+
+    n_submitted: int = 0
+    n_late_dropped: int = 0
+    n_timestamps: int = 0
+    n_reports_processed: int = 0
+    backpressure_waits: int = 0
+    checkpoints_written: int = 0
+
+
+class TimestampAssembler:
+    """Reorders an out-of-order report stream into closed timestamps.
+
+    Parameters
+    ----------
+    space:
+        Transition-state space used to encode object-form reports; also
+        decides whether enter/quit states are encodable (NoEQ spaces keep
+        them as ``state_idx == -1`` rows, which the curator filters).
+    start_t:
+        First timestamp to emit (``curator._last_t + 1`` when resuming).
+    max_lateness:
+        Reorder bound: a report for timestamp ``t`` may still arrive as
+        long as no report for any ``t' > t + max_lateness`` has been seen.
+        ``0`` means arrivals are timestamp-ordered (reports within one
+        timestamp may interleave freely); ``t`` then closes the moment a
+        report for ``t+1`` arrives.  Reports that violate the bound are
+        dropped — and if a user's *enter* report is among them, their later
+        movement reports reference a user the tracker never met, which the
+        curator rejects.  Size the bound to the transport's real skew.
+    """
+
+    def __init__(self, space, start_t: int = 0, max_lateness: int = 0) -> None:
+        if max_lateness < 0:
+            raise ConfigurationError(
+                f"max_lateness must be >= 0, got {max_lateness}"
+            )
+        self.space = space
+        self.max_lateness = int(max_lateness)
+        self._next_t = int(start_t)
+        self._max_seen = int(start_t) - 1
+        self._buffers: dict[int, list[tuple[int, int, int]]] = {}
+        self.n_late_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # feeding
+    # ------------------------------------------------------------------ #
+    def add(self, report: UserReport) -> None:
+        """Buffer one report; late reports are dropped and counted."""
+        t = int(report.t)
+        if t < self._next_t:
+            self.n_late_dropped += 1
+            return
+        if report.state is not None:
+            kind = KIND_OF_STATE[report.state.kind]
+            if kind == KIND_MOVE or self.space.include_eq:
+                idx = self.space.index_of(report.state)
+            else:
+                idx = -1
+        else:
+            if report.kind not in (KIND_MOVE, KIND_ENTER, KIND_QUIT):
+                raise ConfigurationError(
+                    f"report carries neither a state nor a valid kind: {report}"
+                )
+            idx, kind = int(report.state_idx), int(report.kind)
+        self._buffers.setdefault(t, []).append((int(report.user_id), idx, kind))
+        if t > self._max_seen:
+            self._max_seen = t
+
+    # ------------------------------------------------------------------ #
+    # closing
+    # ------------------------------------------------------------------ #
+    @property
+    def watermark(self) -> int:
+        """Largest timestamp that is safe to close.
+
+        Seeing a report for ``max_seen`` promises nothing about timestamps
+        within ``max_lateness`` of it — including ``max_seen`` itself, whose
+        own reports are still arriving — hence the additional ``− 1``.
+        """
+        return self._max_seen - self.max_lateness - 1
+
+    @property
+    def next_t(self) -> int:
+        return self._next_t
+
+    def pop_ready(self) -> list[ClosedTimestamp]:
+        """Close every timestamp at or below the watermark, in order.
+
+        Timestamps with no buffered reports still close (as empty rounds)
+        so the curator's consecutive-timestamp invariant holds across
+        quiet periods.
+        """
+        out: list[ClosedTimestamp] = []
+        while self._next_t <= self.watermark:
+            out.append(self._close(self._next_t))
+            self._next_t += 1
+        return out
+
+    def flush(self) -> list[ClosedTimestamp]:
+        """Close everything buffered (end of stream)."""
+        out: list[ClosedTimestamp] = []
+        while self._next_t <= self._max_seen:
+            out.append(self._close(self._next_t))
+            self._next_t += 1
+        return out
+
+    def _close(self, t: int) -> ClosedTimestamp:
+        rows = self._buffers.pop(t, [])
+        n = len(rows)
+        uids = np.empty(n, dtype=np.int64)
+        idx = np.empty(n, dtype=np.int64)
+        kinds = np.empty(n, dtype=np.int8)
+        for i, (uid, state_idx, kind) in enumerate(rows):
+            uids[i], idx[i], kinds[i] = uid, state_idx, kind
+        # Canonical row order: sort by user id so the batch (and therefore
+        # the curator's RNG consumption) is arrival-order independent.
+        order = np.argsort(uids, kind="stable")
+        batch = ReportBatch(uids[order], idx[order], kinds[order])
+        return ClosedTimestamp(
+            t=t,
+            batch=batch,
+            newly_entered=batch.user_ids[batch.kinds == KIND_ENTER],
+            quitted=batch.user_ids[batch.kinds == KIND_QUIT],
+            n_active=int((batch.kinds != KIND_QUIT).sum()),
+        )
+
+
+class IngestionService:
+    """Bounded-queue asyncio service driving a curator from raw reports.
+
+    Parameters
+    ----------
+    curator:
+        An :class:`~repro.core.online.OnlineRetraSyn` (or sharded
+        subclass).  Resume is automatic: ingestion starts at
+        ``curator._last_t + 1``.
+    queue_size:
+        Bound of the ingress queue; a full queue suspends ``submit``
+        callers until the consumer catches up (backpressure).
+    max_lateness:
+        Watermark slack forwarded to :class:`TimestampAssembler`.
+    checkpoint_path / checkpoint_every:
+        When ``checkpoint_path`` is set, a final checkpoint is always
+        written at end of stream; ``checkpoint_every > 0`` additionally
+        checkpoints after every that many processed timestamps.
+    """
+
+    _SENTINEL = None
+
+    def __init__(
+        self,
+        curator,
+        queue_size: int = 10_000,
+        max_lateness: int = 0,
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+    ) -> None:
+        if queue_size < 1:
+            raise ConfigurationError(
+                f"queue_size must be >= 1, got {queue_size}"
+            )
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.curator = curator
+        last_t = getattr(curator, "_last_t", None)
+        start_t = 0 if last_t is None else last_t + 1
+        self.assembler = TimestampAssembler(
+            curator.space, start_t=start_t, max_lateness=max_lateness
+        )
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = int(checkpoint_every)
+        self.stats = IngestStats()
+        self._since_checkpoint = 0
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    async def submit(self, report: UserReport) -> None:
+        """Enqueue one report; suspends while the queue is full."""
+        if self.queue.full():
+            self.stats.backpressure_waits += 1
+        await self.queue.put(report)
+        self.stats.n_submitted += 1
+
+    async def stop(self) -> None:
+        """Signal end-of-stream; ``run`` flushes and returns."""
+        await self.queue.put(self._SENTINEL)
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+    async def run(self) -> IngestStats:
+        """Drain the queue until the sentinel, driving the curator."""
+        while True:
+            report = await self.queue.get()
+            if report is self._SENTINEL:
+                for closed in self.assembler.flush():
+                    self._process(closed)
+                self.stats.n_late_dropped = self.assembler.n_late_dropped
+                if self.checkpoint_path is not None:
+                    self._checkpoint()
+                return self.stats
+            self.assembler.add(report)
+            ready = self.assembler.pop_ready()
+            for closed in ready:
+                self._process(closed)
+            if ready:
+                # Yield so suspended producers resume promptly after a
+                # CPU-heavy curator round.
+                await asyncio.sleep(0)
+            self.stats.n_late_dropped = self.assembler.n_late_dropped
+
+    def _process(self, closed: ClosedTimestamp) -> None:
+        self.curator.process_timestep(
+            closed.t,
+            participants=closed.batch,
+            newly_entered=closed.newly_entered,
+            quitted=closed.quitted,
+            n_real_active=closed.n_active,
+        )
+        self.stats.n_timestamps += 1
+        self.stats.n_reports_processed += len(closed.batch)
+        if self.checkpoint_path is not None and self.checkpoint_every:
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.checkpoint_every:
+                self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        from repro.core.persistence import save_checkpoint
+
+        save_checkpoint(self.curator, self.checkpoint_path)
+        self.stats.checkpoints_written += 1
+        self._since_checkpoint = 0
+
+
+async def _drive(
+    service: IngestionService,
+    reports: Union[Iterable[UserReport], AsyncIterator[UserReport]],
+) -> IngestStats:
+    async def _produce() -> None:
+        if hasattr(reports, "__aiter__"):
+            async for report in reports:  # pragma: no cover - async sources
+                await service.submit(report)
+        else:
+            for report in reports:
+                await service.submit(report)
+        await service.stop()
+
+    consumer = asyncio.ensure_future(service.run())
+    producer = asyncio.ensure_future(_produce())
+    try:
+        # FIRST_EXCEPTION: if the curator raises, stop immediately instead
+        # of leaving the producer suspended on a full queue forever.
+        done, _pending = await asyncio.wait(
+            {consumer, producer}, return_when=asyncio.FIRST_EXCEPTION
+        )
+        for task in done:
+            exc = task.exception()
+            if exc is not None:
+                raise exc
+        return await consumer
+    finally:
+        for task in (consumer, producer):
+            if not task.done():
+                task.cancel()
+
+
+def ingest_events(
+    curator,
+    reports: Iterable[UserReport],
+    queue_size: int = 10_000,
+    max_lateness: int = 0,
+    checkpoint_path=None,
+    checkpoint_every: int = 0,
+) -> IngestStats:
+    """Synchronously run the full ingestion loop over ``reports``.
+
+    Builds an :class:`IngestionService`, feeds every report through the
+    bounded queue, flushes, and returns the stats.  This is the CLI and
+    test entry point; long-running deployments hold the service object and
+    call ``submit`` from their own event loop instead.
+    """
+    service = IngestionService(
+        curator,
+        queue_size=queue_size,
+        max_lateness=max_lateness,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
+    return asyncio.run(_drive(service, reports))
+
+
+def dataset_reports(
+    view,
+    start_t: int = 0,
+    shuffle_rng: Optional[np.random.Generator] = None,
+    block: int = 1,
+) -> Iterator[UserReport]:
+    """Replay a :class:`~repro.stream.reports.ColumnarStreamView` as an
+    event stream of pre-encoded :class:`UserReport`\\ s.
+
+    ``shuffle_rng`` permutes arrival order inside blocks of ``block``
+    consecutive timestamps, simulating out-of-order delivery: with
+    ``block = max_lateness + 1`` every report still lands within the
+    service's lateness budget, so nothing is dropped and — thanks to the
+    assembler's canonical ordering — the synthetic output is identical to
+    an in-order replay.
+    """
+    block = max(1, int(block))
+    for t0 in range(start_t, view.n_timestamps, block):
+        ts = range(t0, min(t0 + block, view.n_timestamps))
+        rows: list[UserReport] = []
+        for t in ts:
+            b = view.batch_at(t)
+            rows.extend(
+                UserReport.encoded(uid, t, idx, kind)
+                for uid, idx, kind in zip(
+                    b.user_ids.tolist(),
+                    b.state_idx.tolist(),
+                    b.kinds.tolist(),
+                )
+            )
+        if shuffle_rng is not None and len(rows) > 1:
+            order = shuffle_rng.permutation(len(rows))
+            rows = [rows[int(i)] for i in order]
+        yield from rows

@@ -60,6 +60,16 @@ class TransitionStateSpace:
             idx = [self._move_index[(origin, d)] for d in grid.neighbor_lists[origin]]
             self._out_move_indices.append(np.asarray(idx, dtype=np.int64))
 
+        # Flat (origin * n_cells + dest) -> move index table for vectorized
+        # lookups; -1 marks illegal pairs.  Only materialised while the
+        # quadratic table stays small; larger grids fall back to the dict.
+        self._flat_move_lookup: np.ndarray | None = None
+        if self.n_cells * self.n_cells <= 4_000_000:
+            flat = np.full(self.n_cells * self.n_cells, -1, dtype=np.int64)
+            for (origin, dest), i in self._move_index.items():
+                flat[origin * self.n_cells + dest] = i
+            self._flat_move_lookup = flat
+
     # ------------------------------------------------------------------ #
     # state -> index
     # ------------------------------------------------------------------ #
@@ -81,6 +91,35 @@ class TransitionStateSpace:
         self._require_eq("quit")
         self._check_cell(cell)
         return self._quit_offset + cell
+
+    def move_index_lookup(
+        self, origins: np.ndarray, destinations: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`index_of_move` over parallel cell arrays."""
+        origins = np.asarray(origins, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if origins.size and (
+            origins.min() < 0 or origins.max() >= self.n_cells
+            or destinations.min() < 0 or destinations.max() >= self.n_cells
+        ):
+            raise DomainError("cell ids outside the grid")
+        if self._flat_move_lookup is not None:
+            out = self._flat_move_lookup[origins * self.n_cells + destinations]
+        else:
+            out = np.asarray(
+                [
+                    self._move_index.get((int(o), int(d)), -1)
+                    for o, d in zip(origins, destinations)
+                ],
+                dtype=np.int64,
+            )
+        if out.size and out.min() < 0:
+            bad = int(np.flatnonzero(out < 0)[0])
+            raise DomainError(
+                f"movement {int(origins[bad])}->{int(destinations[bad])} "
+                f"violates the reachability constraint (cells are not adjacent)"
+            )
+        return out
 
     def index_of(self, state: TransitionState) -> int:
         if state.kind is StateKind.MOVE:

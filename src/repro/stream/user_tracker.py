@@ -80,7 +80,7 @@ class UserTracker:
 
     def _slots_of(self, user_ids: Iterable[int]) -> np.ndarray:
         """Dense slots for ``user_ids``; unknown ids are appended as active."""
-        ids = list(user_ids)
+        ids = [int(u) for u in user_ids]  # normalise numpy ints to dict keys
         self._grow(len(ids))
         out = np.empty(len(ids), dtype=np.int64)
         for i, uid in enumerate(ids):
@@ -113,7 +113,7 @@ class UserTracker:
 
     def mark_reported(self, user_ids: Iterable[int], timestamp: int) -> None:
         """Mark sampled reporters inactive and remember when (line 14)."""
-        ids = list(user_ids)
+        ids = [int(u) for u in user_ids]
         slots = self._slots_of(ids)
         if not slots.size:
             return
@@ -146,6 +146,24 @@ class UserTracker:
         if user_id not in self._slot:
             raise ConfigurationError(f"unknown user {user_id}")
         return _CODE_TO_STATUS[int(self._status[self._slot[user_id]])]
+
+    def active_mask(self, user_ids) -> np.ndarray:
+        """Boolean mask of which of ``user_ids`` are currently active.
+
+        Columnar twin of per-user :meth:`status` calls; unknown ids raise
+        exactly as ``status`` does.
+        """
+        ids = np.asarray(user_ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        slots = np.empty(ids.size, dtype=np.int64)
+        get = self._slot.get
+        for i, uid in enumerate(ids.tolist()):
+            slot = get(uid)
+            if slot is None:
+                raise ConfigurationError(f"unknown user {uid}")
+            slots[i] = slot
+        return self._status[slots] == _ACTIVE
 
     def active_users(self) -> list[int]:
         """The current active set ``U_A`` (Algorithm 1, line 11)."""

@@ -1,0 +1,164 @@
+"""Tests for the async ingestion front-end (assembler + service)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineRetraSyn
+from repro.core.retrasyn import RetraSynConfig
+from repro.datasets.synthetic import make_random_walks
+from repro.exceptions import ConfigurationError
+from repro.stream.events import TransitionState
+from repro.stream.ingest import (
+    IngestionService,
+    TimestampAssembler,
+    UserReport,
+    dataset_reports,
+    ingest_events,
+)
+from repro.stream.reports import KIND_ENTER, KIND_MOVE, KIND_QUIT, ColumnarStreamView
+from repro.stream.state_space import TransitionStateSpace
+
+
+@pytest.fixture(scope="module")
+def walks():
+    return make_random_walks(k=4, n_streams=60, n_timestamps=16, seed=2)
+
+
+@pytest.fixture
+def space(walks):
+    return TransitionStateSpace(walks.grid)
+
+
+class TestTimestampAssembler:
+    def test_in_order_closing(self, space):
+        asm = TimestampAssembler(space)
+        asm.add(UserReport(1, 0, TransitionState.enter(0)))
+        asm.add(UserReport(2, 0, TransitionState.enter(1)))
+        assert asm.pop_ready() == []  # t=0 may still receive reports
+        asm.add(UserReport(1, 1, TransitionState.move(0, 1)))
+        closed = asm.pop_ready()
+        assert [c.t for c in closed] == [0]
+        assert closed[0].batch.user_ids.tolist() == [1, 2]
+        assert closed[0].newly_entered.tolist() == [1, 2]
+        assert closed[0].n_active == 2
+
+    def test_out_of_order_within_lateness(self, space):
+        asm = TimestampAssembler(space, max_lateness=2)
+        asm.add(UserReport(1, 2, TransitionState.move(1, 2)))
+        asm.add(UserReport(1, 0, TransitionState.enter(0)))  # 2 behind max
+        asm.add(UserReport(1, 1, TransitionState.move(0, 1)))
+        assert asm.pop_ready() == []  # watermark = 2 - 2 - 1 < 0
+        asm.add(UserReport(2, 4, TransitionState.enter(2)))
+        closed = asm.pop_ready()
+        assert [c.t for c in closed] == [0, 1]
+        assert asm.n_late_dropped == 0
+
+    def test_late_report_dropped_and_counted(self, space):
+        asm = TimestampAssembler(space)
+        asm.add(UserReport(1, 0, TransitionState.enter(0)))
+        asm.add(UserReport(1, 1, TransitionState.move(0, 1)))
+        asm.pop_ready()  # closes t=0
+        asm.add(UserReport(9, 0, TransitionState.enter(3)))  # too late
+        assert asm.n_late_dropped == 1
+
+    def test_gap_timestamps_close_empty(self, space):
+        asm = TimestampAssembler(space)
+        asm.add(UserReport(1, 0, TransitionState.enter(0)))
+        asm.add(UserReport(2, 5, TransitionState.enter(1)))
+        closed = asm.pop_ready()
+        assert [c.t for c in closed] == [0, 1, 2, 3, 4]
+        assert all(len(c.batch) == 0 for c in closed[1:])
+
+    def test_canonical_order_is_arrival_independent(self, space):
+        def close_one(order):
+            asm = TimestampAssembler(space)
+            for uid in order:
+                asm.add(UserReport(uid, 0, TransitionState.enter(uid % 4)))
+            return asm.flush()[0].batch
+
+        a = close_one([5, 1, 9, 3])
+        b = close_one([3, 9, 1, 5])
+        assert a.user_ids.tolist() == b.user_ids.tolist() == [1, 3, 5, 9]
+        assert a.state_idx.tolist() == b.state_idx.tolist()
+
+    def test_flush_closes_everything(self, space):
+        asm = TimestampAssembler(space, max_lateness=3)
+        asm.add(UserReport(1, 0, TransitionState.enter(0)))
+        asm.add(UserReport(1, 1, TransitionState.move(0, 1)))
+        assert asm.pop_ready() == []
+        assert [c.t for c in asm.flush()] == [0, 1]
+
+    def test_encoded_reports(self, space):
+        asm = TimestampAssembler(space)
+        asm.add(UserReport.encoded(4, 0, space.index_of_enter(1), KIND_ENTER))
+        closed = asm.flush()
+        assert closed[0].batch.state_idx.tolist() == [space.index_of_enter(1)]
+
+    def test_invalid_report_rejected(self, space):
+        asm = TimestampAssembler(space)
+        with pytest.raises(ConfigurationError):
+            asm.add(UserReport(1, 0))  # neither state nor encoded form
+
+    def test_negative_lateness_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            TimestampAssembler(space, max_lateness=-1)
+
+
+class TestIngestionService:
+    def _curator(self, walks, **overrides):
+        cfg = RetraSynConfig(epsilon=1.0, w=5, seed=0, **overrides)
+        return OnlineRetraSyn(walks.grid, cfg, lam=5.0)
+
+    def test_full_replay_processes_everything(self, walks):
+        curator = self._curator(walks)
+        view = ColumnarStreamView(walks, curator.space)
+        stats = ingest_events(curator, dataset_reports(view))
+        assert stats.n_timestamps == walks.n_timestamps
+        assert stats.n_late_dropped == 0
+        assert stats.n_reports_processed == stats.n_submitted
+        assert curator.accountant.verify()
+
+    def test_backpressure_with_tiny_queue(self, walks):
+        curator = self._curator(walks)
+        view = ColumnarStreamView(walks, curator.space)
+        stats = ingest_events(curator, dataset_reports(view), queue_size=8)
+        assert stats.backpressure_waits > 0
+        assert stats.n_timestamps == walks.n_timestamps
+
+    def test_curator_error_propagates_not_deadlocks(self, walks):
+        curator = self._curator(walks)
+        view = ColumnarStreamView(walks, curator.space)
+        # Unknown user 999 moves without ever entering: the tracker must
+        # reject it and the error must surface through ingest_events.
+        bad = [UserReport(999, 0, TransitionState.move(0, 1))] + list(
+            dataset_reports(view)
+        )
+        with pytest.raises(ConfigurationError):
+            ingest_events(curator, bad, queue_size=4)
+
+    def test_invalid_queue_size(self, walks):
+        with pytest.raises(ConfigurationError):
+            IngestionService(self._curator(walks), queue_size=0)
+
+    def test_final_checkpoint_written_without_interval(self, walks, tmp_path):
+        """checkpoint_path alone means 'checkpoint at end of stream'."""
+        curator = self._curator(walks)
+        view = ColumnarStreamView(walks, curator.space)
+        path = tmp_path / "c.ckpt"
+        stats = ingest_events(
+            curator, dataset_reports(view),
+            checkpoint_path=path, checkpoint_every=0,
+        )
+        assert path.exists()
+        assert stats.checkpoints_written == 1
+
+    def test_periodic_checkpoints(self, walks, tmp_path):
+        curator = self._curator(walks)
+        view = ColumnarStreamView(walks, curator.space)
+        path = tmp_path / "c.ckpt"
+        stats = ingest_events(
+            curator, dataset_reports(view),
+            checkpoint_path=path, checkpoint_every=4,
+        )
+        # 16 timestamps / every 4 => 4 periodic + the final one
+        assert stats.checkpoints_written == 5

@@ -104,3 +104,55 @@ class TestExperimentCommand:
         ])
         assert code == 0
         assert "Figure 7" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def dataset_file(self, tmp_path):
+        path = tmp_path / "data.npz"
+        main([
+            "datasets", "generate", "--name", "tdrive",
+            "--scale", "0.01", "--out", str(path), "--seed", "0",
+        ])
+        return path
+
+    def test_serve_basic(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "syn.npz"
+        code = main([
+            "serve", "--input", str(dataset_file), "--w", "5",
+            "--out", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "timestamps processed" in text
+        assert "privacy audit" in text
+        assert out.exists()
+
+    def test_serve_shuffled_sharded_with_checkpoint(
+        self, dataset_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "curator.ckpt"
+        code = main([
+            "serve", "--input", str(dataset_file), "--w", "5",
+            "--shards", "2", "--shuffle", "--lateness", "2",
+            "--queue-size", "64",
+            "--checkpoint", str(ckpt), "--checkpoint-every", "5",
+        ])
+        assert code == 0
+        assert ckpt.exists()
+        text = capsys.readouterr().out
+        assert "late reports dropped   0" in text
+
+    def test_serve_resume_from_checkpoint(self, dataset_file, tmp_path, capsys):
+        ckpt = tmp_path / "curator.ckpt"
+        main([
+            "serve", "--input", str(dataset_file), "--w", "5",
+            "--checkpoint", str(ckpt), "--checkpoint-every", "5",
+        ])
+        capsys.readouterr()
+        code = main([
+            "serve", "--input", str(dataset_file), "--w", "5",
+            "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert code == 0
+        assert "resumed at t=" in capsys.readouterr().out
