@@ -1,18 +1,21 @@
 """Engine acceleration: synthesis *and* collection (Section VII future work).
 
-Four measurements:
+Five measurements:
 
 * object vs. vectorized synthesis engine (per-timestamp synthesis cost);
 * per-user-loop vs. batched exact-mode OUE collection at n=100k users —
   the ISSUE 1 acceptance gate (>= 5x);
 * unsharded vs. sharded collection engine on a full pipeline run;
 * object vs. columnar report plane over the persistent shard worker pool —
-  the ISSUE 2 acceptance gate (>= 3x end-to-end collection at n=100k).
+  the ISSUE 2 acceptance gate (>= 3x end-to-end collection at n=100k);
+* dict-ledger vs. columnar privacy accountant at n=100k reporters —
+  the ISSUE 3 acceptance gate (>= 5x ``spend_many`` throughput, with
+  bit-identical pipeline output in both modes at K=1 and K=4).
 
 Each verifies that acceleration does not change utility / statistics.
 ``--quick`` (a benchmarks-only pytest option) shrinks the report-plane
-measurement to n=10k with a >= 1x gate, which is what the CI smoke job
-runs.
+and accountant measurements to n=10k with a >= 1x gate, which is what
+the CI smoke job runs.
 """
 
 import time
@@ -25,7 +28,9 @@ from _util import run_once
 from repro.core.retrasyn import RetraSyn, RetraSynConfig
 from repro.core.sharded import ShardedOnlineRetraSyn
 from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic import make_random_walks
 from repro.geo.grid import unit_grid
+from repro.ldp.accountant import make_accountant
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.metrics.registry import evaluate_all
 from repro.stream.events import TransitionState
@@ -227,6 +232,74 @@ def test_columnar_report_plane_speedup(benchmark, quick_mode, save_artifact):
         f"({out['n_reporters']} reports collected)\n"
         f"  columnar: {out['columnar_s']:.3f} s\n"
         f"  speedup:  {speedup:.1f}x"
+        + ("   [--quick smoke scale]" if quick_mode else ""),
+    )
+    assert speedup >= min_speedup, out
+
+
+def test_spend_many_speedup(benchmark, quick_mode, save_artifact):
+    """ISSUE 3 acceptance: columnar ledger >= 5x object spend_many at 100k.
+
+    Budget-division shape: every reporter spends ε/w at every timestamp,
+    keeping each window exactly full — the worst case for the dict ledger
+    (every spend rescans the user's record list) and the common case for
+    the ring buffer (one masked row-sum per batch).  Both ledgers must
+    agree on every audit number afterwards.  A second phase replays a
+    small end-to-end pipeline under both accountant modes at K=1 and K=4
+    and requires bit-identical synthetic streams.
+    """
+    n_users = 10_000 if quick_mode else 100_000
+    w, eps = 20, 1.0
+    n_rounds = 8 if quick_mode else 25
+    min_speedup = 1.0 if quick_mode else 5.0
+    uids = np.arange(n_users, dtype=np.int64)
+
+    def measure():
+        out = {}
+        for mode in ("object", "columnar"):
+            acc = make_accountant(eps, w, mode=mode)
+            tic = time.perf_counter()
+            for t in range(n_rounds):
+                acc.spend_many(uids, t, eps / w)
+            out[mode] = {
+                "seconds": time.perf_counter() - tic,
+                "summary": acc.summary(),
+            }
+        # The two ledgers must reach identical audit verdicts.
+        so, sc = out["object"]["summary"], out["columnar"]["summary"]
+        assert so["n_users"] == sc["n_users"] == n_users
+        assert so["satisfied"] and sc["satisfied"]
+        assert so["max_window_spend"] == pytest.approx(sc["max_window_spend"])
+
+        # Bit-identical pipeline output in both modes, K=1 and K=4.
+        data = make_random_walks(k=4, n_streams=80, n_timestamps=12, seed=3)
+        for n_shards in (1, 4):
+            prints = {}
+            for mode in ("object", "columnar"):
+                run = RetraSyn(
+                    RetraSynConfig(
+                        epsilon=1.0, w=5, seed=0, n_shards=n_shards,
+                        accountant_mode=mode,
+                    )
+                ).run(data)
+                prints[mode] = [
+                    (tr.start_time, list(tr.cells))
+                    for tr in run.synthetic.trajectories
+                ]
+                assert run.accountant.verify()
+            assert prints["object"] == prints["columnar"], n_shards
+        return out
+
+    out = run_once(benchmark, measure)
+    speedup = out["object"]["seconds"] / max(out["columnar"]["seconds"], 1e-12)
+    save_artifact(
+        "accountant_speedup",
+        f"Columnar privacy ledger vs dict reference "
+        f"(n={n_users} reporters, w={w}, {n_rounds} rounds)\n"
+        f"  object:   {out['object']['seconds']:.3f} s\n"
+        f"  columnar: {out['columnar']['seconds']:.3f} s\n"
+        f"  speedup:  {speedup:.1f}x   "
+        f"(pipeline output bit-identical at K=1 and K=4)"
         + ("   [--quick smoke scale]" if quick_mode else ""),
     )
     assert speedup >= min_speedup, out

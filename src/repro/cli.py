@@ -72,6 +72,10 @@ def _add_run_parser(sub) -> None:
                         "protocol, or per-user reference loop")
     p.add_argument("--dmu-prefilter", action="store_true",
                    help="shard-local never-observed DMU candidate pruning")
+    p.add_argument("--accountant-mode", default="columnar",
+                   choices=("columnar", "object"),
+                   help="privacy-ledger engine: vectorized ring-buffer "
+                        "ledger or the per-uid dict reference")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True, help="synthetic output .npz path")
     p.add_argument("--no-audit", action="store_true",
@@ -101,6 +105,9 @@ def _add_serve_parser(sub) -> None:
                    choices=("fast", "exact", "exact-loop"))
     p.add_argument("--dmu-prefilter", action="store_true",
                    help="shard-local never-observed DMU candidate pruning")
+    p.add_argument("--accountant-mode", default="columnar",
+                   choices=("columnar", "object"),
+                   help="privacy-ledger engine (see `repro run`)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--queue-size", type=int, default=10_000,
                    help="ingress queue bound (backpressure threshold)")
@@ -204,6 +211,7 @@ def _cmd_run(args) -> int:
         overrides["shard_executor"] = args.shard_executor
         overrides["oracle_mode"] = args.oracle_mode
         overrides["dmu_prefilter"] = args.dmu_prefilter
+        overrides["accountant_mode"] = args.accountant_mode
     algo = make_method(
         args.method,
         epsilon=args.epsilon,
@@ -241,6 +249,7 @@ def _cmd_serve(args) -> int:
         shard_executor=args.shard_executor,
         oracle_mode=args.oracle_mode,
         dmu_prefilter=args.dmu_prefilter,
+        accountant_mode=args.accountant_mode,
         track_privacy=not args.no_audit,
         seed=args.seed,
     )

@@ -49,11 +49,12 @@ from repro.core.mobility_model import GlobalMobilityModel
 from repro.core.synthesis import Synthesizer
 from repro.exceptions import ConfigurationError
 from repro.geo.grid import Grid
-from repro.ldp.accountant import PrivacyAccountant
+from repro.ldp.accountant import make_accountant
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.rng import ensure_rng
 from repro.stream.encoder import UserSideEncoder
 from repro.stream.reports import ReportBatch, as_report_batch
+from repro.stream.slots import UserSlotTable
 from repro.stream.state_space import TransitionStateSpace
 from repro.stream.user_tracker import UserTracker
 
@@ -239,8 +240,16 @@ class OnlineRetraSyn:
             )
         self.selector = DMUSelector()
         self.context = AllocationContext(kappa=config.kappa)
+        # One uid -> slot table backs both columnar user-state planes: the
+        # tracker's status columns and the accountant's spend ring buffer.
+        self._slots = UserSlotTable()
         self.accountant = (
-            PrivacyAccountant(config.epsilon, config.w)
+            make_accountant(
+                config.epsilon,
+                config.w,
+                mode=getattr(config, "accountant_mode", "columnar"),
+                slots=self._slots,
+            )
             if config.track_privacy
             else None
         )
@@ -268,7 +277,7 @@ class OnlineRetraSyn:
                 )
             )
             self._budget_alloc = None
-            self._tracker = UserTracker(config.w)
+            self._tracker = UserTracker(config.w, slots=self._slots)
             self._report_phase: dict[int, int] = {}
         else:
             self._pop_alloc = None
@@ -382,7 +391,7 @@ class OnlineRetraSyn:
         self.timings["model_construction"] += time.perf_counter() - tic
 
         if self.accountant is not None:
-            self.accountant.spend_many(chosen.user_ids.tolist(), t, eps_used)
+            self.accountant.spend_many(chosen.user_ids, t, eps_used)
         if self._tracker is not None:
             self._tracker.mark_reported(chosen.user_ids, t)
         if self.config.dmu_prefilter:

@@ -8,10 +8,14 @@ A deployed curator needs to survive restarts.  Three artefact shapes:
 * **checkpoints** (pickle): a *running curator's* complete state — rng,
   model, synthesizer (live synthetic streams), user trackers (including
   per-shard trackers fetched from worker processes), allocator feedback
-  context and the privacy-accountant ledger.  A curator restored from a
-  checkpoint continues the stream bit-for-bit identically to one that was
-  never interrupted; the ingestion service
-  (:mod:`repro.stream.ingest`) checkpoints on this API.
+  context and the privacy-accountant ledger.  The columnar accounting
+  plane checkpoints as plain numpy state: the shared
+  :class:`~repro.stream.slots.UserSlotTable` and the accountant's spend
+  ring buffer are ordinary arrays, and pickle's reference sharing keeps
+  the tracker and accountant pointing at the *same* table after a
+  restore.  A curator restored from a checkpoint continues the stream
+  bit-for-bit identically to one that was never interrupted; the
+  ingestion service (:mod:`repro.stream.ingest`) checkpoints on this API.
 
 Checkpoints use :mod:`pickle` because they capture an arbitrary live
 object graph; load them only from paths you wrote yourself (same trust

@@ -35,7 +35,11 @@ from typing import Optional
 
 from repro.exceptions import ConfigurationError
 from repro.geo.trajectory import average_length
-from repro.ldp.accountant import PrivacyAccountant
+from repro.ldp.accountant import (
+    ACCOUNTANT_MODES,
+    ColumnarPrivacyAccountant,
+    PrivacyAccountant,
+)
 from repro.rng import RngLike
 from repro.stream.stream import StreamDataset
 
@@ -60,6 +64,7 @@ class RetraSynConfig:
     shard_executor: str = "serial"  # "serial" | "process" shard execution
     dmu_prefilter: bool = False  # shard-local never-observed DMU prefilter
     track_privacy: bool = True
+    accountant_mode: str = "columnar"  # "columnar" ledger | "object" reference
     seed: RngLike = None
 
     def __post_init__(self) -> None:
@@ -96,6 +101,11 @@ class RetraSynConfig:
                 f"shard_executor must be 'serial' or 'process', "
                 f"got {self.shard_executor!r}"
             )
+        if self.accountant_mode not in ACCOUNTANT_MODES:
+            raise ConfigurationError(
+                f"accountant_mode must be one of {ACCOUNTANT_MODES}, "
+                f"got {self.accountant_mode!r}"
+            )
         if self.epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
         if self.w < 1:
@@ -118,7 +128,7 @@ class SynthesisRun:
 
     synthetic: StreamDataset
     config: RetraSynConfig
-    accountant: Optional[PrivacyAccountant]
+    accountant: Optional["PrivacyAccountant | ColumnarPrivacyAccountant"]
     timings: dict[str, float] = field(default_factory=dict)
     reporters_per_timestamp: list[int] = field(default_factory=list)
     significant_per_timestamp: list[int] = field(default_factory=list)

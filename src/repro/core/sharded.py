@@ -20,7 +20,9 @@ Why this is statistically equivalent to the unsharded curator:
 
 * the hash partition is a fixed disjoint cover of the user population, so
   each user lives in exactly one shard and can never be sampled twice in a
-  window — w-event accounting is preserved per user, not per shard;
+  window — w-event accounting is preserved per user, not per shard; the
+  parent's (columnar by default) privacy accountant receives the merged
+  reporter-id array once per round, never per shard;
 * every shard perturbs with the same ``(p, q)`` OUE parameters, and the sum
   of independent per-shard one-count vectors has exactly the distribution
   of the one-count vector over the union of reporters;
@@ -393,9 +395,7 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             collected = oracle.debias(ones, n_reporters) / n_reporters
             self.timings["model_construction"] += time.perf_counter() - tic
             if self.accountant is not None:
-                self.accountant.spend_many(
-                    reporter_uids.tolist(), t, eps_used
-                )
+                self.accountant.spend_many(reporter_uids, t, eps_used)
             self.context.record_collection(collected)
         return collected, n_reporters, eps_used
 

@@ -8,16 +8,25 @@ Implements the frequency-oracle protocols the paper builds on (Section II-A):
   :class:`~repro.ldp.olh.OptimizedLocalHashing` — standard alternatives used
   for cross-validation in tests and ablation benches.
 
-plus a :class:`~repro.ldp.accountant.PrivacyAccountant` that records every
-user's per-timestamp budget spend and *verifies* the w-event LDP guarantee
-(Definition 3 / Theorem 3).
+plus two interchangeable privacy-ledger engines that record every user's
+per-timestamp budget spend and *verify* the w-event LDP guarantee
+(Definition 3 / Theorem 3): the dict-based
+:class:`~repro.ldp.accountant.PrivacyAccountant` reference and the
+pipeline's vectorized
+:class:`~repro.ldp.accountant.ColumnarPrivacyAccountant`, selected via
+:func:`~repro.ldp.accountant.make_accountant`.
 """
 
 from repro.ldp.freq_oracle import FrequencyOracle
 from repro.ldp.oue import OptimizedUnaryEncoding, oue_variance
 from repro.ldp.grr import GeneralizedRandomizedResponse
 from repro.ldp.olh import OptimizedLocalHashing
-from repro.ldp.accountant import PrivacyAccountant
+from repro.ldp.accountant import (
+    ACCOUNTANT_MODES,
+    ColumnarPrivacyAccountant,
+    PrivacyAccountant,
+    make_accountant,
+)
 
 __all__ = [
     "FrequencyOracle",
@@ -26,4 +35,7 @@ __all__ = [
     "GeneralizedRandomizedResponse",
     "OptimizedLocalHashing",
     "PrivacyAccountant",
+    "ColumnarPrivacyAccountant",
+    "ACCOUNTANT_MODES",
+    "make_accountant",
 ]

@@ -2,12 +2,33 @@
 
 The paper's Theorem 3 states that RetraSyn satisfies w-event ε-LDP for every
 user.  This module makes the guarantee *checkable*: pipelines register every
-user's per-timestamp budget spend with a :class:`PrivacyAccountant`, which
-raises :class:`~repro.exceptions.PrivacyBudgetError` the moment any sliding
-window of ``w`` consecutive timestamps would exceed ``epsilon`` for any user
+user's per-timestamp budget spend with an accountant, which raises
+:class:`~repro.exceptions.PrivacyBudgetError` the moment any sliding window
+of ``w`` consecutive timestamps would exceed ``epsilon`` for any user
 (Definition 3), and exposes audit summaries for tests and reports.
 
-The accountant works for both division styles:
+Two interchangeable ledger engines implement the same surface:
+
+* :class:`PrivacyAccountant` — the **object** reference: a per-uid dict of
+  full spend histories.  Simple, order-free, able to answer any historical
+  query; cost grows per user per spend (a Python loop in ``spend_many``).
+* :class:`ColumnarPrivacyAccountant` — the **columnar** engine used by the
+  pipeline: spends live in an ``(n_slots, w)`` numpy ring buffer indexed by
+  a :class:`~repro.stream.slots.UserSlotTable`, so ``spend_many``,
+  ``window_spend_many``, ``remaining_many`` and the strict-mode violation
+  check are array ops over whole report batches with no per-user loop.
+  The ledger retains exactly the live window per user (all the w-event
+  guarantee needs) plus running lifetime totals and the running maximum
+  window spend, and therefore requires spend timestamps to be
+  non-decreasing — which the curator's consecutive-timestamp protocol
+  guarantees.  ``tests/ldp/test_accountant_differential.py`` pins the two
+  engines to identical spends, refusals, violations and window totals on
+  randomized schedules.
+
+Select via :func:`make_accountant` /
+``RetraSynConfig(accountant_mode="columnar" | "object")``.
+
+Both engines work for both division styles:
 
 * budget division — every active user reports each timestamp with a small
   ``ε_t``; the accountant checks ``Σ ε_t over any window ≤ ε``;
@@ -18,14 +39,63 @@ The accountant works for both division styles:
 
 from __future__ import annotations
 
+import operator
 from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError, PrivacyBudgetError
+from repro.stream.slots import UserSlotTable
 
 #: Tolerance for floating-point budget accumulation.
 _EPS_TOL = 1e-9
+
+#: The selectable ledger engines (RetraSynConfig.accountant_mode).
+ACCOUNTANT_MODES = ("columnar", "object")
+
+#: Ring-buffer sentinel: "this cell was never written".
+_NEVER = np.iinfo(np.int64).min // 2
+
+
+def _as_uid(user_id) -> int:
+    """Exact-integer coercion; floats and other types are rejected."""
+    try:
+        return operator.index(user_id)
+    except TypeError:
+        raise ConfigurationError(
+            f"user ids must be integers, got {user_id!r}"
+        ) from None
+
+
+def _as_uid_array(user_ids) -> np.ndarray:
+    """Normalise a batch of user ids to an int64 array, rejecting non-ints.
+
+    Accepts numpy integer arrays of any width, plain sequences and
+    generators.  Float / object arrays raise instead of being silently
+    coerced (the regression the differential suite pins).
+    """
+    if isinstance(user_ids, np.ndarray):
+        ids = user_ids
+    else:
+        ids = np.asarray(list(user_ids))
+    if ids.size and not np.issubdtype(ids.dtype, np.integer):
+        raise ConfigurationError(
+            f"user ids must be an integer array, got dtype {ids.dtype}"
+        )
+    if ids.dtype == np.uint64 and ids.size and ids.max() > np.uint64(
+        np.iinfo(np.int64).max
+    ):
+        # astype would wrap these to negative ids, aliasing distinct users.
+        raise ConfigurationError("user ids exceed the int64 range")
+    return np.atleast_1d(ids.astype(np.int64, copy=False))
+
+
+def _checked_spend(epsilon) -> float:
+    if epsilon < 0:
+        raise ConfigurationError(f"cannot spend negative budget: {epsilon}")
+    return float(epsilon)
 
 
 @dataclass(frozen=True)
@@ -37,7 +107,7 @@ class SpendRecord:
 
 
 class PrivacyAccountant:
-    """Tracks per-user spends and enforces the w-event ε-LDP bound.
+    """Dict-ledger reference accountant (``accountant_mode="object"``).
 
     Parameters
     ----------
@@ -67,10 +137,13 @@ class PrivacyAccountant:
     # ------------------------------------------------------------------ #
     def spend(self, user_id: int, timestamp: int, epsilon: float) -> None:
         """Record that ``user_id`` consumed ``epsilon`` at ``timestamp``."""
-        if epsilon < 0:
-            raise ConfigurationError(f"cannot spend negative budget: {epsilon}")
+        epsilon = _checked_spend(epsilon)
+        # Validate the uid even for free spends, so the two engines reject
+        # bad ids identically regardless of epsilon.
+        user_id = _as_uid(user_id)
         if epsilon == 0:
             return
+        timestamp = int(timestamp)
         window_total = self.window_spend(user_id, timestamp) + epsilon
         if window_total > self.epsilon + _EPS_TOL:
             if self.strict:
@@ -81,10 +154,17 @@ class PrivacyAccountant:
                     f"epsilon={self.epsilon} in window ending at t={timestamp}"
                 )
             self._violations.append((user_id, timestamp, window_total))
-        self._spends[user_id].append(SpendRecord(timestamp, float(epsilon)))
+        self._spends[user_id].append(SpendRecord(timestamp, epsilon))
 
     def spend_many(self, user_ids: Iterable[int], timestamp: int, epsilon: float) -> None:
-        """Record an identical spend for a batch of users."""
+        """Record an identical spend for a batch of users.
+
+        Numpy integer arrays are accepted directly; float or object arrays
+        raise :class:`~repro.exceptions.ConfigurationError` instead of
+        silently creating non-int ledger keys.
+        """
+        if isinstance(user_ids, np.ndarray):
+            user_ids = _as_uid_array(user_ids).tolist()
         for uid in user_ids:
             self.spend(uid, timestamp, epsilon)
 
@@ -99,6 +179,17 @@ class PrivacyAccountant:
             for r in self._spends.get(user_id, ())
             if lo <= r.timestamp <= timestamp
         )
+
+    def window_spend_many(self, user_ids, timestamp: int) -> np.ndarray:
+        """Vectorized-signature twin of :meth:`window_spend` (still a loop)."""
+        ids = _as_uid_array(user_ids)
+        return np.asarray(
+            [self.window_spend(int(u), timestamp) for u in ids], dtype=float
+        )
+
+    def remaining_many(self, user_ids, timestamp: int) -> np.ndarray:
+        """Per-user budget still spendable in the window ending at ``timestamp``."""
+        return np.maximum(0.0, self.epsilon - self.window_spend_many(user_ids, timestamp))
 
     def total_spend(self, user_id: int) -> float:
         """Lifetime budget spent by one user (for audit output only)."""
@@ -126,6 +217,10 @@ class PrivacyAccountant:
     def n_users(self) -> int:
         return len(self._spends)
 
+    def user_ids(self) -> list[int]:
+        """Every user with at least one recorded spend (audit surface)."""
+        return list(self._spends)
+
     def summary(self) -> dict:
         """Audit summary suitable for experiment reports."""
         return {
@@ -136,6 +231,272 @@ class PrivacyAccountant:
             "n_violations": len(self._violations),
             "satisfied": self.verify(),
         }
+
+
+class ColumnarPrivacyAccountant:
+    """Ring-buffer ledger over a dense slot table (``accountant_mode="columnar"``).
+
+    Spends at timestamp ``t`` land in column ``t % w`` of an
+    ``(n_slots, w)`` float matrix; a parallel int64 matrix remembers which
+    timestamp each cell belongs to, so window totals are one masked
+    row-sum and never require clearing sweeps.  All batch operations —
+    recording, the strict refusal check, violation detection, window and
+    remaining-budget queries — are numpy array ops over the whole batch.
+
+    Semantics match :class:`PrivacyAccountant` exactly (including partial
+    recording of a batch prefix before a strict refusal, and per-row
+    violation entries under ``strict=False``), with two documented
+    restrictions that follow from keeping only the live window:
+
+    * spend timestamps must be non-decreasing (the curator's protocol
+      already enforces consecutive ``t``); out-of-order spends raise
+      :class:`~repro.exceptions.ConfigurationError`;
+    * :meth:`window_spend` is exact for windows ending at or after the
+      latest recorded timestamp; queries about long-closed windows may
+      undercount because their cells have been recycled.
+
+    Parameters
+    ----------
+    epsilon, w, strict:
+        As for :class:`PrivacyAccountant`.
+    slots:
+        Optional shared :class:`~repro.stream.slots.UserSlotTable`; the
+        unsharded curator passes the same table to its user tracker so a
+        user occupies one row in both planes.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        w: int,
+        strict: bool = True,
+        slots: Optional[UserSlotTable] = None,
+    ) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        if w < 1:
+            raise ConfigurationError(f"window size w must be >= 1, got {w}")
+        self.epsilon = float(epsilon)
+        self.w = int(w)
+        self.strict = bool(strict)
+        self._slots = slots if slots is not None else UserSlotTable()
+        self._ring = np.zeros((0, self.w))
+        self._ring_t = np.full((0, self.w), _NEVER, dtype=np.int64)
+        self._total = np.zeros(0)
+        self._max_window = 0.0
+        self._frontier: Optional[int] = None
+        self._violations: list[tuple[int, int, float]] = []
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def spend(self, user_id: int, timestamp: int, epsilon: float) -> None:
+        """Record that ``user_id`` consumed ``epsilon`` at ``timestamp``."""
+        self.spend_many(np.asarray([_as_uid(user_id)], dtype=np.int64),
+                        timestamp, epsilon)
+
+    def spend_many(self, user_ids, timestamp: int, epsilon: float) -> None:
+        """Record an identical spend for a batch of users — one array op.
+
+        Duplicate ids inside one batch are handled with sequential
+        semantics: the k-th occurrence sees the window total left by the
+        first k−1, exactly as the object ledger's loop would.
+        """
+        epsilon = _checked_spend(epsilon)
+        ids = _as_uid_array(user_ids)
+        if epsilon == 0 or ids.size == 0:
+            return
+        timestamp = int(timestamp)
+        if self._frontier is not None and timestamp < self._frontier:
+            raise ConfigurationError(
+                f"columnar ledger requires non-decreasing spend timestamps: "
+                f"got t={timestamp} after t={self._frontier}"
+            )
+        slots = self._slots.intern(ids)
+        self._ensure()
+        totals = self._window_totals(slots, timestamp)
+        totals += (self._occurrences(slots) + 1) * epsilon
+        over = totals > self.epsilon + _EPS_TOL
+        n_record = ids.size
+        offender = -1
+        if over.any():
+            if self.strict:
+                # Rows before the first offender really happened (the object
+                # ledger records them one by one before raising); keep them.
+                offender = int(np.argmax(over))
+                n_record = offender
+            else:
+                for i in np.flatnonzero(over).tolist():
+                    self._violations.append(
+                        (int(ids[i]), timestamp, float(totals[i]))
+                    )
+        if n_record:
+            self._record(slots[:n_record], timestamp, epsilon)
+        if offender >= 0:
+            raise PrivacyBudgetError(
+                f"user {int(ids[offender])} would spend "
+                f"{float(totals[offender]):.6f} > epsilon={self.epsilon} "
+                f"in window ending at t={timestamp}"
+            )
+
+    def _record(self, slots: np.ndarray, t: int, epsilon: float) -> None:
+        col = t % self.w
+        stale = self._ring_t[slots, col] != t
+        if stale.any():
+            recycled = slots[stale]
+            self._ring[recycled, col] = 0.0
+            self._ring_t[recycled, col] = t
+        np.add.at(self._ring, (slots, col), epsilon)
+        np.add.at(self._total, slots, epsilon)
+        touched = np.unique(slots)
+        new_totals = self._window_totals(touched, t)
+        if new_totals.size:
+            self._max_window = max(self._max_window, float(new_totals.max()))
+        self._frontier = t if self._frontier is None else max(self._frontier, t)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def window_spend(self, user_id: int, timestamp: int) -> float:
+        """Budget spent by ``user_id`` within ``[timestamp-w+1, timestamp]``."""
+        slot = self._slots.slot_of(_as_uid(user_id))
+        if slot < 0 or slot >= len(self._total):
+            return 0.0
+        return float(
+            self._window_totals(np.asarray([slot]), int(timestamp))[0]
+        )
+
+    def window_spend_many(self, user_ids, timestamp: int) -> np.ndarray:
+        """Window totals for a whole batch of users, vectorized."""
+        ids = _as_uid_array(user_ids)
+        out = np.zeros(ids.size)
+        slots = self._slots.lookup(ids)
+        known = (slots >= 0) & (slots < len(self._total))
+        if known.any():
+            out[known] = self._window_totals(slots[known], int(timestamp))
+        return out
+
+    def remaining_many(self, user_ids, timestamp: int) -> np.ndarray:
+        """Per-user budget still spendable in the window ending at ``timestamp``."""
+        return np.maximum(0.0, self.epsilon - self.window_spend_many(user_ids, timestamp))
+
+    def total_spend(self, user_id: int) -> float:
+        """Lifetime budget spent by one user (for audit output only)."""
+        slot = self._slots.slot_of(_as_uid(user_id))
+        if slot < 0 or slot >= len(self._total):
+            return 0.0
+        return float(self._total[slot])
+
+    def max_window_spend(self) -> float:
+        """The largest any-user any-window spend observed so far.
+
+        Maintained incrementally: every recorded batch refreshes the
+        window totals of the touched slots, and any window's maximum is
+        attained at a window ending on its last contained spend — so the
+        running maximum over "windows ending at spend time" equals the
+        object ledger's full-history scan.
+        """
+        return self._max_window
+
+    def verify(self) -> bool:
+        """Whether every user satisfied the w-event bound at all times."""
+        return not self._violations and self._max_window <= self.epsilon + _EPS_TOL
+
+    @property
+    def violations(self) -> list[tuple[int, int, float]]:
+        """Recorded ``(user_id, timestamp, window_total)`` violations."""
+        return list(self._violations)
+
+    @property
+    def n_users(self) -> int:
+        return int((self._total[: self._n_rows()] > 0.0).sum())
+
+    def user_ids(self) -> list[int]:
+        """Every user with at least one recorded spend (audit surface).
+
+        Slot order — i.e. first time the shared table saw the user, which
+        may predate their first spend when the table is shared with a
+        tracker.
+        """
+        n = self._n_rows()
+        spenders = np.flatnonzero(self._total[:n] > 0.0)
+        return self._slots.uids[spenders].tolist()
+
+    def summary(self) -> dict:
+        """Audit summary suitable for experiment reports."""
+        return {
+            "epsilon": self.epsilon,
+            "w": self.w,
+            "n_users": self.n_users,
+            "max_window_spend": self.max_window_spend(),
+            "n_violations": len(self._violations),
+            "satisfied": self.verify(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _n_rows(self) -> int:
+        # The shared table can hold slots interned by other components
+        # (tracker registrations) that never spent; rows exist lazily.
+        return min(self._slots.n_slots, len(self._total))
+
+    def _ensure(self) -> None:
+        need = self._slots.n_slots
+        cap = self._ring.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap, 1024)
+        ring = np.zeros((new_cap, self.w))
+        ring[:cap] = self._ring
+        ring_t = np.full((new_cap, self.w), _NEVER, dtype=np.int64)
+        ring_t[:cap] = self._ring_t
+        total = np.zeros(new_cap)
+        total[:cap] = self._total
+        self._ring, self._ring_t, self._total = ring, ring_t, total
+
+    def _window_totals(self, slots: np.ndarray, t: int) -> np.ndarray:
+        """Window totals ``[t-w+1, t]`` for the given slots (one row-sum)."""
+        if slots.size == 0:
+            return np.zeros(0)
+        cell_t = self._ring_t[slots]
+        valid = (cell_t > t - self.w) & (cell_t <= t)
+        return (self._ring[slots] * valid).sum(axis=1)
+
+    @staticmethod
+    def _occurrences(slots: np.ndarray) -> np.ndarray:
+        """For each row, how many earlier rows in the batch share its slot."""
+        order = np.argsort(slots, kind="stable")
+        s = slots[order]
+        n = s.size
+        starts = np.flatnonzero(np.r_[True, s[1:] != s[:-1]])
+        lengths = np.diff(np.r_[starts, n])
+        idx = np.arange(n, dtype=np.int64)
+        occ_sorted = idx - np.repeat(idx[starts], lengths)
+        occ = np.empty(n, dtype=np.int64)
+        occ[order] = occ_sorted
+        return occ
+
+
+def make_accountant(
+    epsilon: float,
+    w: int,
+    mode: str = "columnar",
+    strict: bool = True,
+    slots: Optional[UserSlotTable] = None,
+):
+    """Build the ledger engine selected by ``mode``.
+
+    ``slots`` is honoured only by the columnar engine (the object ledger
+    keys on raw uids and needs no slot table).
+    """
+    if mode not in ACCOUNTANT_MODES:
+        raise ConfigurationError(
+            f"accountant_mode must be one of {ACCOUNTANT_MODES}, got {mode!r}"
+        )
+    if mode == "object":
+        return PrivacyAccountant(epsilon, w, strict=strict)
+    return ColumnarPrivacyAccountant(epsilon, w, strict=strict, slots=slots)
 
 
 class SlidingBudgetTracker:

@@ -12,6 +12,9 @@ Models the paper's streaming setting (Sections II-B and III-B):
   transition state at each timestamp.
 * :class:`~repro.stream.user_tracker.UserTracker` — the dynamic active-user
   set with the recycling rule of Algorithm 1 (line 9).
+* :class:`~repro.stream.slots.UserSlotTable` — the vectorized uid → dense
+  slot mapping shared by the tracker's status columns and the columnar
+  privacy accountant's spend ring buffer.
 * :class:`~repro.stream.reports.ReportBatch` — the columnar report plane:
   per-timestamp batches as numpy index arrays, the wire format the whole
   collection pipeline (shards included) speaks.
@@ -33,6 +36,7 @@ from repro.stream.reports import (
     ReportBatch,
     shard_of_array,
 )
+from repro.stream.slots import UserSlotTable
 from repro.stream.state_space import TransitionStateSpace
 from repro.stream.stream import StreamDataset
 from repro.stream.user_tracker import UserStatus, UserTracker
@@ -45,6 +49,7 @@ __all__ = [
     "StreamDataset",
     "UserStatus",
     "UserTracker",
+    "UserSlotTable",
     "UserSideEncoder",
     "ReportBatch",
     "ColumnarStreamView",

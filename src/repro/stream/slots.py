@@ -1,0 +1,142 @@
+"""Shared uid → dense-slot table backing the columnar user-state planes.
+
+Several per-user columnar stores need the same mapping: given an int64
+array of user ids, find (or create) each user's dense row index so that
+statuses, last-report timestamps and privacy-ledger windows can live in
+flat numpy arrays instead of per-uid dicts.  :class:`UserSlotTable` is
+that mapping, fully vectorized:
+
+* lookups are one ``np.searchsorted`` over a sorted uid index — no Python
+  loop over the batch, which is what keeps ``spend_many`` /
+  ``active_mask`` array-speed at 100k+ reporters per round;
+* slot numbers are assigned in **first-appearance order**, exactly like
+  the dict-based stores they replace, so audit surfaces that iterate in
+  slot order (``recycle`` return values, ``active_users``) keep their
+  historical ordering;
+* one table can be *shared* between components — the unsharded curator
+  hands the same instance to its :class:`~repro.stream.user_tracker
+  .UserTracker` and its columnar privacy accountant, so a user occupies
+  one row everywhere.  Components own their columns and grow them lazily
+  to ``n_slots``; the table owns only the uid ↔ slot correspondence.
+
+The table pickles as plain arrays, so curator checkpoints restore shared
+instances with identity intact (both components point at one object
+again after :func:`~repro.core.persistence.load_checkpoint`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _as_id_array(user_ids) -> np.ndarray:
+    """Normalise ids to int64, rejecting silent coercion.
+
+    Float/object inputs raise (the dict stores this table replaced would
+    have raised on lookup or aliased distinct users on truncation), and
+    uint64 values above the int64 range raise instead of wrapping to
+    negative ids.
+    """
+    ids = np.asarray(user_ids)
+    if ids.size and not np.issubdtype(ids.dtype, np.integer):
+        raise ConfigurationError(
+            f"user ids must be integers, got dtype {ids.dtype}"
+        )
+    if ids.dtype == np.uint64 and ids.size and ids.max() > np.uint64(
+        np.iinfo(np.int64).max
+    ):
+        raise ConfigurationError("user ids exceed the int64 range")
+    return np.atleast_1d(ids.astype(np.int64, copy=False))
+
+
+class UserSlotTable:
+    """Vectorized, append-only mapping from user id to dense slot index."""
+
+    def __init__(self) -> None:
+        self._uids = np.empty(0, dtype=np.int64)  # slot -> uid (capacity-padded)
+        self._n = 0
+        # Sorted secondary index for O(log n) vectorized lookups.
+        self._sorted_uids = np.empty(0, dtype=np.int64)
+        self._sorted_slots = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_slots(self) -> int:
+        return self._n
+
+    @property
+    def uids(self) -> np.ndarray:
+        """uid of each slot, indexed by slot (do not mutate)."""
+        return self._uids[: self._n]
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, user_id) -> bool:
+        return self.slot_of(user_id) >= 0
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def lookup(self, user_ids) -> np.ndarray:
+        """Slots of ``user_ids``; ``-1`` marks ids the table has never seen."""
+        ids = _as_id_array(user_ids)
+        if self._n == 0 or ids.size == 0:
+            return np.full(ids.shape, -1, dtype=np.int64)
+        pos = np.searchsorted(self._sorted_uids, ids)
+        pos_c = np.minimum(pos, self._n - 1)
+        found = self._sorted_uids[pos_c] == ids
+        return np.where(found, self._sorted_slots[pos_c], -1)
+
+    def slot_of(self, user_id) -> int:
+        """Scalar lookup; ``-1`` when unknown."""
+        return int(self.lookup([user_id])[0])
+
+    # ------------------------------------------------------------------ #
+    # interning
+    # ------------------------------------------------------------------ #
+    def intern(self, user_ids) -> np.ndarray:
+        """Slots of ``user_ids``, appending unseen ids as new slots.
+
+        New ids receive consecutive slots in first-appearance order (the
+        dict-insertion order of the stores this table replaced), even when
+        one batch repeats an id.
+        """
+        ids = _as_id_array(user_ids)
+        slots = self.lookup(ids)
+        missing = slots < 0
+        if missing.any():
+            uniq, first_idx = np.unique(ids[missing], return_index=True)
+            new_uids = uniq[np.argsort(first_idx, kind="stable")]
+            base = self._n
+            self._grow(new_uids.size)
+            self._uids[base : base + new_uids.size] = new_uids
+            self._n += new_uids.size
+            self._insert_sorted(new_uids, np.arange(base, self._n, dtype=np.int64))
+            slots = self.lookup(ids)
+        return slots
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _grow(self, extra: int) -> None:
+        need = self._n + extra
+        cap = len(self._uids)
+        if need <= cap:
+            return
+        fresh = np.zeros(max(need, 2 * cap, 1024), dtype=np.int64)
+        fresh[: self._n] = self._uids[: self._n]
+        self._uids = fresh
+
+    def _insert_sorted(self, new_uids: np.ndarray, new_slots: np.ndarray) -> None:
+        # new_uids is sorted-unique only up to first-appearance reordering;
+        # sort locally so the merged index stays globally sorted.
+        order = np.argsort(new_uids, kind="stable")
+        new_uids, new_slots = new_uids[order], new_slots[order]
+        pos = np.searchsorted(self._sorted_uids, new_uids)
+        self._sorted_uids = np.insert(self._sorted_uids, pos, new_uids)
+        self._sorted_slots = np.insert(self._sorted_slots, pos, new_slots)

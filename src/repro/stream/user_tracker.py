@@ -14,22 +14,29 @@ This bookkeeping is exactly what guarantees w-event ε-LDP under population
 division: each user reports at most once with full ε inside any window of
 ``w`` timestamps.
 
-Internally the tracker is columnar: statuses live in an int8 code array and
-last-report timestamps in an int64 array, both indexed by a dense per-user
-slot.  The hot ``recycle`` scan is therefore one vectorized mask over the
-whole population instead of a Python dict traversal, which is what keeps
-million-user streams inside the per-timestamp budget.  Full report histories
-(audit/test surface only) stay in a plain dict of lists.
+Internally the tracker is columnar end-to-end: uid → row resolution goes
+through a :class:`~repro.stream.slots.UserSlotTable` (one vectorized
+``searchsorted`` per batch, no per-uid dict scan), statuses live in an int8
+code array and last-report timestamps in an int64 array, both indexed by
+the table's dense slots.  Every lifecycle transition, the hot ``recycle``
+scan and ``active_mask`` are single vectorized masks over the population.
+The table can be *shared* — the unsharded curator hands the same instance
+to its columnar privacy accountant, so a user occupies one row in both
+planes; slots interned by the other component stay in an *unknown* state
+here until the tracker itself meets the user.  Report histories (an
+audit/test surface) are kept as per-round ``(slots, t)`` array pairs and
+reconstructed on demand.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.stream.slots import UserSlotTable
 
 
 class UserStatus(enum.Enum):
@@ -38,8 +45,10 @@ class UserStatus(enum.Enum):
     QUITTED = "quitted"
 
 
-#: int8 codes backing the status column.
-_ACTIVE, _INACTIVE, _QUITTED = 0, 1, 2
+#: int8 codes backing the status column.  _UNKNOWN marks slots interned into
+#: a shared table by another component (e.g. the accountant) that the
+#: tracker itself has never been told about.
+_ACTIVE, _INACTIVE, _QUITTED, _UNKNOWN = 0, 1, 2, 3
 _CODE_TO_STATUS = {
     _ACTIVE: UserStatus.ACTIVE,
     _INACTIVE: UserStatus.INACTIVE,
@@ -50,50 +59,59 @@ _NEVER = np.iinfo(np.int64).min // 2
 
 
 class UserTracker:
-    """Tracks user statuses and performs the t−w recycling rule."""
+    """Tracks user statuses and performs the t−w recycling rule.
 
-    def __init__(self, w: int) -> None:
+    Parameters
+    ----------
+    w:
+        Privacy-window length.
+    slots:
+        Optional shared :class:`~repro.stream.slots.UserSlotTable`.  When
+        omitted the tracker owns a private table.
+    """
+
+    def __init__(self, w: int, slots: Optional[UserSlotTable] = None) -> None:
         if w < 1:
             raise ConfigurationError(f"window size w must be >= 1, got {w}")
         self.w = int(w)
-        self._slot: dict[int, int] = {}  # user id -> dense column index
-        self._uids = np.empty(0, dtype=np.int64)
+        self._table = slots if slots is not None else UserSlotTable()
         self._status = np.empty(0, dtype=np.int8)
         self._last_report = np.empty(0, dtype=np.int64)
-        self._n = 0
-        self._history: dict[int, list[int]] = {}
+        # Report history, columnar: one (slot-array, timestamp) pair per
+        # mark_reported call; report_history() builds (and caches) a
+        # per-slot index on first query so whole-population audits stay
+        # linear in the number of reports.
+        self._hist_slots: list[np.ndarray] = []
+        self._hist_ts: list[int] = []
+        self._hist_index: Optional[dict[int, list[int]]] = None
 
     # ------------------------------------------------------------------ #
     # columnar storage
     # ------------------------------------------------------------------ #
-    def _grow(self, extra: int) -> None:
-        need = self._n + extra
-        cap = len(self._uids)
+    def _ensure(self) -> None:
+        """Grow the status columns to cover every slot in the table."""
+        need = self._table.n_slots
+        cap = len(self._status)
         if need <= cap:
             return
         new_cap = max(need, 2 * cap, 1024)
-        for name, fill in (("_uids", 0), ("_status", _ACTIVE), ("_last_report", _NEVER)):
-            old = getattr(self, name)
-            fresh = np.full(new_cap, fill, dtype=old.dtype)
-            fresh[: self._n] = old[: self._n]
-            setattr(self, name, fresh)
+        status = np.full(new_cap, _UNKNOWN, dtype=np.int8)
+        status[:cap] = self._status
+        last = np.full(new_cap, _NEVER, dtype=np.int64)
+        last[:cap] = self._last_report
+        self._status, self._last_report = status, last
 
     def _slots_of(self, user_ids: Iterable[int]) -> np.ndarray:
-        """Dense slots for ``user_ids``; unknown ids are appended as active."""
-        ids = [int(u) for u in user_ids]  # normalise numpy ints to dict keys
-        self._grow(len(ids))
-        out = np.empty(len(ids), dtype=np.int64)
-        for i, uid in enumerate(ids):
-            slot = self._slot.get(uid)
-            if slot is None:
-                slot = self._n
-                self._slot[uid] = slot
-                self._uids[slot] = uid
-                self._status[slot] = _ACTIVE
-                self._last_report[slot] = _NEVER
-                self._n += 1
-            out[i] = slot
-        return out
+        """Dense slots for ``user_ids``, interning unseen ids — vectorized.
+
+        The table validates ids (integer dtype, int64 range), so float or
+        object inputs raise instead of silently aliasing truncated ids.
+        """
+        slots = self._table.intern(
+            user_ids if isinstance(user_ids, np.ndarray) else list(user_ids)
+        )
+        self._ensure()
+        return slots
 
     # ------------------------------------------------------------------ #
     # lifecycle transitions
@@ -113,17 +131,19 @@ class UserTracker:
 
     def mark_reported(self, user_ids: Iterable[int], timestamp: int) -> None:
         """Mark sampled reporters inactive and remember when (line 14)."""
-        ids = [int(u) for u in user_ids]
-        slots = self._slots_of(ids)
+        slots = self._slots_of(user_ids)
         if not slots.size:
             return
+        # An unknown (shared-table) user reporting here behaves like a
+        # fresh arrival, as the dict tracker's implicit creation did.
         live = self._status[slots] != _QUITTED
         chosen = slots[live]
         self._status[chosen] = _INACTIVE
         self._last_report[chosen] = timestamp
-        for uid, ok in zip(ids, live):
-            if ok:
-                self._history.setdefault(uid, []).append(timestamp)
+        if chosen.size:
+            self._hist_slots.append(chosen.copy())
+            self._hist_ts.append(int(timestamp))
+            self._hist_index = None
 
     def recycle(self, t: int) -> list[int]:
         """Reactivate users whose last report was at ``t - w`` (line 9).
@@ -134,47 +154,72 @@ class UserTracker:
         target = t - self.w
         if target < 0:
             return []
-        n = self._n
+        n = self._table.n_slots
+        if n > len(self._status):
+            self._ensure()
         mask = (self._status[:n] == _INACTIVE) & (self._last_report[:n] == target)
         self._status[:n][mask] = _ACTIVE
-        return self._uids[:n][mask].tolist()
+        return self._table.uids[mask].tolist()
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def status(self, user_id: int) -> UserStatus:
-        if user_id not in self._slot:
+        slot = self._table.slot_of(user_id)
+        if slot < 0 or slot >= len(self._status):
             raise ConfigurationError(f"unknown user {user_id}")
-        return _CODE_TO_STATUS[int(self._status[self._slot[user_id]])]
+        code = int(self._status[slot])
+        if code == _UNKNOWN:
+            raise ConfigurationError(f"unknown user {user_id}")
+        return _CODE_TO_STATUS[code]
 
     def active_mask(self, user_ids) -> np.ndarray:
         """Boolean mask of which of ``user_ids`` are currently active.
 
         Columnar twin of per-user :meth:`status` calls; unknown ids raise
-        exactly as ``status`` does.
+        exactly as ``status`` does (including ids another component
+        interned into a shared table without registering them here).
         """
-        ids = np.asarray(user_ids, dtype=np.int64)
+        ids = np.atleast_1d(np.asarray(user_ids))
         if ids.size == 0:
             return np.zeros(0, dtype=bool)
-        slots = np.empty(ids.size, dtype=np.int64)
-        get = self._slot.get
-        for i, uid in enumerate(ids.tolist()):
-            slot = get(uid)
-            if slot is None:
-                raise ConfigurationError(f"unknown user {uid}")
-            slots[i] = slot
-        return self._status[slots] == _ACTIVE
+        slots = self._table.lookup(ids)  # validates integer dtype/range
+        bad = np.flatnonzero((slots < 0) | (slots >= len(self._status)))
+        if bad.size:
+            raise ConfigurationError(f"unknown user {int(ids[bad[0]])}")
+        codes = self._status[slots]
+        unknown = np.flatnonzero(codes == _UNKNOWN)
+        if unknown.size:
+            raise ConfigurationError(f"unknown user {int(ids[unknown[0]])}")
+        return codes == _ACTIVE
 
     def active_users(self) -> list[int]:
         """The current active set ``U_A`` (Algorithm 1, line 11)."""
-        n = self._n
-        return self._uids[:n][self._status[:n] == _ACTIVE].tolist()
+        n = min(self._table.n_slots, len(self._status))
+        return self._table.uids[:n][self._status[:n] == _ACTIVE].tolist()
 
     def n_active(self) -> int:
-        return int((self._status[: self._n] == _ACTIVE).sum())
+        n = min(self._table.n_slots, len(self._status))
+        return int((self._status[:n] == _ACTIVE).sum())
 
     def n_known(self) -> int:
-        return self._n
+        """Users the tracker has met (excludes shared-table-only slots)."""
+        n = min(self._table.n_slots, len(self._status))
+        return int((self._status[:n] != _UNKNOWN).sum())
+
+    def known_users(self) -> list[int]:
+        """Ids of every user the tracker has met, in slot order."""
+        n = min(self._table.n_slots, len(self._status))
+        return self._table.uids[:n][self._status[:n] != _UNKNOWN].tolist()
 
     def report_history(self, user_id: int) -> list[int]:
-        return list(self._history.get(user_id, ()))
+        slot = self._table.slot_of(user_id)
+        if slot < 0:
+            return []
+        if self._hist_index is None:
+            index: dict[int, list[int]] = {}
+            for slots, t in zip(self._hist_slots, self._hist_ts):
+                for s in slots.tolist():
+                    index.setdefault(s, []).append(t)
+            self._hist_index = index
+        return list(self._hist_index.get(slot, ()))

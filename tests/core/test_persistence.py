@@ -215,7 +215,7 @@ class TestCheckpointResume:
         save_checkpoint(curator, path)
         resumed = load_checkpoint(path)
         spenders = [
-            uid for uid in resumed.accountant._spends
+            uid for uid in resumed.accountant.user_ids()
             if resumed.accountant.window_spend(uid, 5) > 0
         ]
         assert spenders

@@ -25,10 +25,18 @@ class TestBehaviour:
         assert run.accountant.verify()
 
     def test_report_gaps_exactly_w(self, walk_data):
-        """The phase rule yields per-user report gaps of exactly w."""
+        """The phase rule yields per-user report gaps of exactly w.
+
+        Uses the object-mode reference ledger: only it retains full
+        per-user spend histories (the columnar ledger keeps the live
+        window plus aggregates).
+        """
         w = 4
         run = RetraSyn(
-            RetraSynConfig(epsilon=1.0, w=w, allocator="random", seed=1)
+            RetraSynConfig(
+                epsilon=1.0, w=w, allocator="random", seed=1,
+                accountant_mode="object",
+            )
         ).run(walk_data)
         acc = run.accountant
         multi = 0

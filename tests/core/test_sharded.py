@@ -97,7 +97,7 @@ class TestShardedCurator:
         self._drive(curator, small_stream)
         seen: dict[int, int] = {}
         for k, shard in enumerate(curator._shards):
-            for uid in shard.tracker._slot:
+            for uid in shard.tracker.known_users():
                 assert seen.setdefault(uid, k) == k, uid
                 assert shard_of(uid, 4) == k
 

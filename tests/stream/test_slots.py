@@ -1,0 +1,116 @@
+"""Tests for the shared uid → dense-slot table."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.stream.slots import UserSlotTable
+
+
+class TestLookupIntern:
+    def test_empty_table(self):
+        table = UserSlotTable()
+        assert table.n_slots == 0
+        assert len(table) == 0
+        assert table.lookup([1, 2]).tolist() == [-1, -1]
+        assert table.slot_of(7) == -1
+        assert 7 not in table
+
+    def test_intern_assigns_first_appearance_order(self):
+        table = UserSlotTable()
+        slots = table.intern(np.asarray([30, 10, 20], dtype=np.int64))
+        assert slots.tolist() == [0, 1, 2]  # not sorted-by-uid order
+        assert table.uids.tolist() == [30, 10, 20]
+
+    def test_intern_is_idempotent(self):
+        table = UserSlotTable()
+        first = table.intern([5, 6, 7])
+        again = table.intern([7, 5, 6])
+        assert first.tolist() == [0, 1, 2]
+        assert again.tolist() == [2, 0, 1]
+        assert table.n_slots == 3
+
+    def test_duplicates_in_one_batch_share_a_slot(self):
+        table = UserSlotTable()
+        slots = table.intern([9, 9, 4, 9])
+        assert slots.tolist() == [0, 0, 1, 0]
+        assert table.n_slots == 2
+
+    def test_incremental_growth_across_batches(self):
+        table = UserSlotTable()
+        table.intern(np.arange(10))
+        slots = table.intern(np.asarray([3, 100, 7, 101]))
+        assert slots.tolist() == [3, 10, 7, 11]
+        assert table.slot_of(101) == 11
+
+    def test_lookup_never_creates(self):
+        table = UserSlotTable()
+        table.intern([1])
+        assert table.lookup([1, 2]).tolist() == [0, -1]
+        assert table.n_slots == 1
+
+    def test_scalar_and_contains(self):
+        table = UserSlotTable()
+        table.intern([42])
+        assert 42 in table
+        assert table.slot_of(np.int64(42)) == 0
+
+    def test_float_ids_rejected_not_truncated(self):
+        """7.5 must never alias user 7 (the dict stores raised too)."""
+        from repro.exceptions import ConfigurationError
+
+        table = UserSlotTable()
+        table.intern([7])
+        with pytest.raises(ConfigurationError):
+            table.lookup([7.5])
+        with pytest.raises(ConfigurationError):
+            table.slot_of(7.5)
+        with pytest.raises(ConfigurationError):
+            table.intern(np.asarray([1.0, 2.0]))
+        assert table.n_slots == 1
+
+    def test_uint64_overflow_rejected_not_wrapped(self):
+        from repro.exceptions import ConfigurationError
+
+        table = UserSlotTable()
+        with pytest.raises(ConfigurationError):
+            table.intern(np.asarray([2**63 + 5], dtype=np.uint64))
+        # In-range uint64 values are fine.
+        assert table.intern(np.asarray([5], dtype=np.uint64)).tolist() == [0]
+
+    def test_large_population_round_trip(self):
+        rng = np.random.default_rng(0)
+        uids = rng.choice(10**9, size=50_000, replace=False)
+        table = UserSlotTable()
+        slots = table.intern(uids)
+        assert slots.tolist() == list(range(50_000))
+        perm = rng.permutation(50_000)
+        assert np.array_equal(table.lookup(uids[perm]), slots[perm])
+
+
+class TestSharingAndPersistence:
+    def test_shared_between_components(self):
+        """Two components interning into one table agree on slots."""
+        table = UserSlotTable()
+        a = table.intern([7, 8])
+        b = table.intern([8, 9])
+        assert a.tolist() == [0, 1]
+        assert b.tolist() == [1, 2]
+
+    def test_pickle_round_trip_preserves_mapping(self):
+        table = UserSlotTable()
+        table.intern([5, 3, 8])
+        restored = pickle.loads(pickle.dumps(table))
+        assert restored.uids.tolist() == [5, 3, 8]
+        assert restored.lookup([3, 8, 5]).tolist() == [1, 2, 0]
+        # And it keeps interning correctly after restore.
+        assert restored.intern([99]).tolist() == [3]
+
+    def test_pickle_preserves_shared_identity(self):
+        """Pickling a graph holding the table twice restores ONE table."""
+        table = UserSlotTable()
+        table.intern([1])
+        graph = {"tracker_table": table, "accountant_table": table}
+        restored = pickle.loads(pickle.dumps(graph))
+        assert restored["tracker_table"] is restored["accountant_table"]

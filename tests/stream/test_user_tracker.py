@@ -88,6 +88,28 @@ class TestRecycling:
         tr.mark_reported([9], 3)
         assert tr.report_history(9) == [1, 3]
 
+    def test_report_history_cache_sees_later_reports(self):
+        """The lazily built history index must refresh after new rounds."""
+        tr = UserTracker(w=2)
+        tr.register([9, 10])
+        tr.mark_reported([9], 1)
+        assert tr.report_history(9) == [1]  # builds the cache
+        tr.recycle(3)
+        tr.mark_reported([9, 10], 3)  # must invalidate it
+        assert tr.report_history(9) == [1, 3]
+        assert tr.report_history(10) == [3]
+
+    def test_float_uid_rejected_not_aliased(self):
+        """status(7.5) must raise, never return user 7's status."""
+        tr = UserTracker(w=3)
+        tr.register([7])
+        with pytest.raises(ConfigurationError):
+            tr.status(7.5)
+        with pytest.raises(ConfigurationError):
+            tr.register([7.5])
+        with pytest.raises(ConfigurationError):
+            tr.active_mask([7.5])
+
 
 class TestWEventInvariant:
     def test_never_two_reports_within_window(self):
