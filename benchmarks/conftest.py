@@ -10,6 +10,7 @@ Scale is controlled by the REPRO_BENCH_SCALE environment variable
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -53,5 +54,22 @@ def save_artifact():
     def _save(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json_artifact():
+    """Write a machine-readable result to benchmarks/results/<name>.json.
+
+    Used by the acceptance-gate benchmarks so CI can persist measured
+    speedups (e.g. ``BENCH_synthesis.json``) alongside the rendered text.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, payload: dict) -> None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     return _save

@@ -9,7 +9,12 @@ engines:
 * ``RetraSynConfig(n_shards=K)`` hash-partitions users across K independent
   collection shards whose aggregated counts merge before the global
   mobility model is built — ``shard_executor="process"`` runs each shard
-  in its own worker process.
+  in its own worker process;
+* ``engine="vectorized"`` with ``compile_mode="incremental"`` runs the
+  columnar synthesis plane: DMU-dirtied model rows recompile in place and
+  streams live in the struct-of-arrays ``TrajectoryStore``
+  (``synthesis_shards=K`` additionally spreads generation over K threads
+  on multi-core hosts).
 
 The privacy ledger is verified for every engine: sharding never lets a
 user double-spend inside a w-window, because each user lives in exactly
@@ -36,6 +41,13 @@ def main() -> None:
         (
             "exact + 4 shards, process exec",
             dict(oracle_mode="exact", n_shards=4, shard_executor="process"),
+        ),
+        (
+            "exact + incremental synthesis",
+            dict(
+                oracle_mode="exact", engine="vectorized",
+                compile_mode="incremental",
+            ),
         ),
     ]
     for label, overrides in engines:

@@ -60,6 +60,14 @@ def _add_run_parser(sub) -> None:
     p.add_argument("--engine", default="object",
                    choices=("object", "vectorized"),
                    help="synthesis engine (RetraSyn variants only)")
+    p.add_argument("--compile-mode", default="incremental",
+                   choices=("incremental", "full", "full-loop"),
+                   help="vectorized-engine model compilation: dirty-row "
+                        "recompile, vectorized full rebuild, or the "
+                        "per-cell reference loop")
+    p.add_argument("--synthesis-shards", type=int, default=1,
+                   help="thread slabs advancing live synthetic streams in "
+                        "parallel (vectorized engine only)")
     p.add_argument("--shards", type=int, default=1,
                    help="collection shards; >1 enables the sharded engine "
                         "(RetraSyn variants only)")
@@ -98,6 +106,11 @@ def _add_serve_parser(sub) -> None:
                    choices=("adaptive", "uniform", "sample", "random"))
     p.add_argument("--engine", default="vectorized",
                    choices=("object", "vectorized"))
+    p.add_argument("--compile-mode", default="incremental",
+                   choices=("incremental", "full", "full-loop"),
+                   help="vectorized-engine model compilation (see `repro run`)")
+    p.add_argument("--synthesis-shards", type=int, default=1,
+                   help="thread slabs for parallel stream generation")
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--shard-executor", default="serial",
                    choices=("serial", "process"))
@@ -207,6 +220,8 @@ def _cmd_run(args) -> int:
     overrides = {"track_privacy": not args.no_audit}
     if args.method.lower() not in ("lbd", "lba", "lpd", "lpa"):
         overrides["engine"] = args.engine
+        overrides["compile_mode"] = args.compile_mode
+        overrides["synthesis_shards"] = args.synthesis_shards
         overrides["n_shards"] = args.shards
         overrides["shard_executor"] = args.shard_executor
         overrides["oracle_mode"] = args.oracle_mode
@@ -245,6 +260,8 @@ def _cmd_serve(args) -> int:
         w=args.w,
         allocator=args.allocator,
         engine=args.engine,
+        compile_mode=args.compile_mode,
+        synthesis_shards=args.synthesis_shards,
         n_shards=args.shards,
         shard_executor=args.shard_executor,
         oracle_mode=args.oracle_mode,

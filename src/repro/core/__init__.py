@@ -14,12 +14,15 @@
   (Table IV).
 * :class:`~repro.core.sharded.ShardedOnlineRetraSyn` — hash-partitioned,
   optionally multi-process collection engine (``RetraSynConfig.n_shards``).
+* :class:`~repro.core.trajectory_store.TrajectoryStore` — columnar (SoA)
+  storage for synthetic streams, shared by both synthesis engines.
 """
 
 from repro.core.mobility_model import GlobalMobilityModel
 from repro.core.dmu import DMUSelector
 from repro.core.synthesis import Synthesizer
 from repro.core.fast_synthesis import VectorizedSynthesizer
+from repro.core.trajectory_store import TrajectoryStore
 from repro.core.allocation import (
     AdaptiveBudgetAllocator,
     AdaptivePopulationAllocator,
@@ -49,6 +52,7 @@ __all__ = [
     "DMUSelector",
     "Synthesizer",
     "VectorizedSynthesizer",
+    "TrajectoryStore",
     "AllocationContext",
     "BudgetAllocator",
     "PopulationAllocator",

@@ -1,21 +1,38 @@
-"""Vectorized real-time synthesis (the paper's Section VII future work).
+"""Vectorized, incrementally compiled, shard-parallel real-time synthesis.
 
 The reference :class:`~repro.core.synthesis.Synthesizer` keeps one Python
 object per live stream; Table V shows synthesis dominating the per-timestamp
 cost.  This module provides :class:`VectorizedSynthesizer` — a drop-in
 replacement that advances *all* live streams with array operations:
 
-* per-cell movement distributions are compiled once per model version into
-  padded ``(|C|, 9)`` probability / destination matrices;
+* per-cell movement distributions are compiled into padded ``(|C|, width)``
+  probability / destination matrices.  Compilation is **incremental**: the
+  mobility model journals which origin rows each DMU round dirtied, and
+  :class:`_CompiledModel` re-assembles exactly those rows with vectorized
+  padded-row gathers — there is no per-cell Python loop even on a full
+  rebuild (``compile_mode="full"``); the seed implementation's per-cell
+  loop survives as the ``"full-loop"`` reference, mirroring
+  ``oracle_mode="exact-loop"``;
 * each timestamp draws one uniform vector for quits and one for moves, and
   resolves destinations with a row-wise inverse-CDF lookup;
-* trajectories are materialised into :class:`CellTrajectory` objects only
-  when the run finishes.
+* live streams can be partitioned into ``synthesis_shards`` slabs advanced
+  concurrently on a thread pool (the heavy numpy kernels release the GIL);
+  slab results are merged back by array concatenation, so the store is
+  written from one thread only;
+* trajectories live in a :class:`~repro.core.trajectory_store
+  .TrajectoryStore`; ``CellTrajectory`` objects are materialised only at
+  API boundaries.
 
 The generative *distribution* is identical to the reference implementation
 (property-tested in ``tests/core/test_fast_synthesis.py``); only the order
 in which random variates are consumed differs, so per-seed outputs are not
-bit-identical across the two engines.
+bit-identical across the two engines (nor across shard counts).  For a
+fixed seed and shard count the engine is fully deterministic.
+``incremental`` and ``full`` compile modes share one assembly routine and
+are bit-identical by construction; ``full-loop`` repeats the same
+arithmetic per cell (its row sums reduce in a different order, so equality
+is ulp-exact in practice — pinned by the test suite — rather than
+structural).
 """
 
 from __future__ import annotations
@@ -25,23 +42,118 @@ from typing import Optional
 import numpy as np
 
 from repro.core.mobility_model import GlobalMobilityModel
+from repro.core.trajectory_store import TrajectoryStore
 from repro.exceptions import ConfigurationError
 from repro.geo.trajectory import CellTrajectory
 from repro.rng import RngLike, ensure_rng
 
-_ABSENT = -1
+#: Selectable compilation strategies (RetraSynConfig.compile_mode).
+COMPILE_MODES = ("incremental", "full", "full-loop")
+
+#: Below this many live streams a shard round trip costs more than it saves.
+_MIN_STREAMS_PER_SHARD = 2048
 
 
 class _CompiledModel:
-    """Padded array view of a mobility model, rebuilt per model version."""
+    """Padded array view of a mobility model, kept current per row.
+
+    ``dest`` is the space's static padded destination matrix (shared,
+    read-only); ``cum_probs`` holds the per-origin inverse-CDF over
+    destinations (conditional on not quitting) and ``quit_raw`` the raw
+    per-origin quit probability of Eq. 6.
+    """
 
     def __init__(self, model: GlobalMobilityModel) -> None:
         space = model.space
+        out_pad, dest_pad, deg = space.padded_out_structure()
+        self._out_pad = out_pad
+        self._deg = deg
+        self._mask = np.arange(out_pad.shape[1]) < deg[:, None]
+        self.dest = dest_pad
+        self.cum_probs = np.empty(out_pad.shape, dtype=float)
+        self.quit_raw = np.empty(space.n_cells, dtype=float)
+        self._assemble(model, slice(None))
+        self.version = model.version
+
+    def _assemble(self, model: GlobalMobilityModel, rows) -> None:
+        """Recompute ``cum_probs`` / ``quit_raw`` for the selected rows.
+
+        ``rows`` is a row-index array or ``slice(None)``; either way the
+        assembly is pure padded gathering — no per-cell iteration.
+        """
+        space = model.space
+        f = model.clipped_frequencies()
+        mask = self._mask[rows]
+        deg = self._deg[rows]
+        uniform = mask / deg[:, None]
+        moves = f[self._out_pad[rows]] * mask
+        if space.include_eq:
+            quit_mass = f[space.quit_indices][rows]
+        else:
+            quit_mass = np.zeros(deg.shape)
+        # Two-stage normalisation in exactly the reference arithmetic
+        # (row_distribution then probs/total in the compile loop), so all
+        # compile modes produce bit-identical CDFs, not just ulp-close
+        # ones: first Eq. 6 probabilities over the row denominator
+        # (uniform for massless rows), then renormalise conditional on
+        # not quitting (uniform again when all mass sits on quitting).
+        denom = moves.sum(axis=1) + quit_mass
+        has_mass = denom > 0.0
+        probs = np.where(
+            has_mass[:, None],
+            moves / np.where(has_mass, denom, 1.0)[:, None],
+            uniform,
+        )
+        total = probs.sum(axis=1)
+        has_moves = total > 0.0
+        norm = np.where(
+            has_moves[:, None],
+            probs / np.where(has_moves, total, 1.0)[:, None],
+            uniform,
+        )
+        cum = np.cumsum(norm, axis=1)
+        cum[~mask] = 1.0
+        cum[np.arange(deg.size), deg - 1] = 1.0  # guard against rounding
+        self.cum_probs[rows] = cum
+        self.quit_raw[rows] = np.where(
+            has_mass, quit_mass / np.where(has_mass, denom, 1.0), 0.0
+        )
+
+    def update(self, model: GlobalMobilityModel, mode: str) -> None:
+        """Bring the compiled arrays up to ``model.version``.
+
+        ``mode="incremental"`` re-assembles only the rows the model's
+        dirty journal names; when provenance is unavailable (a full
+        ``set_all``, or the journal was outrun) it degrades to the same
+        vectorized full rebuild that ``mode="full"`` always performs.
+        """
+        if self.version == model.version:
+            return
+        if mode == "incremental":
+            dirty = model.dirty_origins_since(self.version)
+            if dirty is not None:
+                if dirty.size:
+                    self._assemble(model, dirty)
+                self.version = model.version
+                return
+        self._assemble(model, slice(None))
+        self.version = model.version
+
+    @classmethod
+    def reference(cls, model: GlobalMobilityModel) -> "_CompiledModel":
+        """The seed implementation's per-cell compile loop (``full-loop``).
+
+        Kept verbatim as the behavioural reference the vectorized assembly
+        is property-tested against, and as the benchmark baseline for the
+        synthesis-plane speedup gate.
+        """
+        space = model.space
+        compiled = cls.__new__(cls)
         n = space.n_cells
         width = max(len(space.out_destinations(c)) for c in range(n))
-        self.dest = np.full((n, width), 0, dtype=np.int64)
-        self.cum_probs = np.ones((n, width), dtype=float)
-        self.quit_raw = np.zeros(n, dtype=float)
+        compiled.dest = np.full((n, width), 0, dtype=np.int64)
+        compiled.cum_probs = np.ones((n, width), dtype=float)
+        compiled.quit_raw = np.zeros(n, dtype=float)
         for cell in range(n):
             probs, quit = model.row_distribution(cell)
             dests = space.out_destinations(cell)
@@ -49,21 +161,30 @@ class _CompiledModel:
             norm = probs / total if total > 0 else np.full(len(dests), 1 / len(dests))
             cum = np.cumsum(norm)
             cum[-1] = 1.0  # guard against rounding
-            self.dest[cell, : len(dests)] = dests
-            self.dest[cell, len(dests):] = dests[-1]
-            self.cum_probs[cell, : len(dests)] = cum
-            self.cum_probs[cell, len(dests):] = 1.0
-            self.quit_raw[cell] = quit
-        self.version = model.version
+            compiled.dest[cell, : len(dests)] = dests
+            compiled.dest[cell, len(dests):] = dests[-1]
+            compiled.cum_probs[cell, : len(dests)] = cum
+            compiled.cum_probs[cell, len(dests):] = 1.0
+            compiled.quit_raw[cell] = quit
+        compiled.version = model.version
+        return compiled
 
 
 class VectorizedSynthesizer:
     """Array-based synthesizer with the same contract as ``Synthesizer``.
 
-    Parameters mirror :class:`~repro.core.synthesis.Synthesizer`.
-    """
+    Parameters mirror :class:`~repro.core.synthesis.Synthesizer`, plus:
 
-    _GROWTH = 1.5
+    compile_mode:
+        ``"incremental"`` (default) recompiles only DMU-dirtied rows;
+        ``"full"`` rebuilds every row (vectorized) per model version;
+        ``"full-loop"`` keeps the seed per-cell compile loop as reference.
+    synthesis_shards:
+        Live streams are split into this many slabs, each advanced by its
+        own rng on a thread pool and merged by concatenation.  ``1``
+        (default) keeps the single-threaded path, which consumes the main
+        rng exactly like earlier releases.
+    """
 
     def __init__(
         self,
@@ -72,102 +193,70 @@ class VectorizedSynthesizer:
         enable_termination: bool = True,
         rng: RngLike = None,
         initial_capacity: int = 1024,
+        compile_mode: str = "incremental",
+        synthesis_shards: int = 1,
     ) -> None:
         if lam <= 0:
             raise ConfigurationError(f"lambda must be positive, got {lam}")
+        if compile_mode not in COMPILE_MODES:
+            raise ConfigurationError(
+                f"compile_mode must be one of {COMPILE_MODES}, "
+                f"got {compile_mode!r}"
+            )
+        if synthesis_shards < 1:
+            raise ConfigurationError(
+                f"synthesis_shards must be >= 1, got {synthesis_shards}"
+            )
         self.model = model
         self.lam = float(lam)
         self.enable_termination = bool(enable_termination)
         self.rng = ensure_rng(rng)
-        self._capacity = max(16, int(initial_capacity))
-        self._horizon = 64
-        self._buf = np.full((self._capacity, self._horizon), _ABSENT, dtype=np.int32)
-        self._start = np.zeros(self._capacity, dtype=np.int64)
-        self._length = np.zeros(self._capacity, dtype=np.int64)
-        self._alive = np.zeros(self._capacity, dtype=bool)
-        self._n = 0  # total streams ever created
+        self.compile_mode = compile_mode
+        self.synthesis_shards = int(synthesis_shards)
+        self.store = TrajectoryStore(initial_capacity=max(16, int(initial_capacity)))
         self._compiled: Optional[_CompiledModel] = None
+        self._shard_rngs: Optional[list[np.random.Generator]] = None
+        if self.synthesis_shards > 1:
+            seeds = self.rng.integers(0, 2**63 - 1, size=self.synthesis_shards)
+            self._shard_rngs = [np.random.default_rng(int(s)) for s in seeds]
+        self._pool = None  # lazy ThreadPoolExecutor; never pickled
 
     # ------------------------------------------------------------------ #
     # views
     # ------------------------------------------------------------------ #
     @property
     def n_live(self) -> int:
-        return int(self._alive[: self._n].sum())
+        return self.store.n_live
 
     @property
     def live_streams(self) -> list[CellTrajectory]:
-        return [
-            self._materialise(i)
-            for i in np.flatnonzero(self._alive[: self._n])
-        ]
+        return self.store.live_views()
 
     def all_trajectories(self) -> list[CellTrajectory]:
         """Every synthetic stream ever created."""
-        return [self._materialise(i) for i in range(self._n)]
+        return self.store.all_views()
 
-    def _materialise(self, i: int) -> CellTrajectory:
-        cells = self._buf[i, : self._length[i]].tolist()
-        traj = CellTrajectory(int(self._start[i]), cells, user_id=int(i))
-        traj.terminated = not bool(self._alive[i])
-        return traj
-
-    # ------------------------------------------------------------------ #
-    # capacity management
-    # ------------------------------------------------------------------ #
-    def _ensure_capacity(self, extra_streams: int, t: int) -> None:
-        need_rows = self._n + extra_streams
-        if need_rows > self._capacity:
-            new_cap = max(need_rows, int(self._capacity * self._GROWTH))
-            grown = np.full((new_cap, self._horizon), _ABSENT, dtype=np.int32)
-            grown[: self._capacity] = self._buf
-            self._buf = grown
-            for name in ("_start", "_length"):
-                arr = getattr(self, name)
-                grown_1d = np.zeros(new_cap, dtype=arr.dtype)
-                grown_1d[: self._capacity] = arr
-                setattr(self, name, grown_1d)
-            alive = np.zeros(new_cap, dtype=bool)
-            alive[: self._capacity] = self._alive
-            self._alive = alive
-            self._capacity = new_cap
-        # Columns: longest stream length is bounded by t - min(start) + 1.
-        need_cols = int((self._length[: self._n].max(initial=0)) + 2)
-        need_cols = max(need_cols, 2)
-        if need_cols > self._horizon:
-            new_h = max(need_cols, int(self._horizon * self._GROWTH))
-            grown = np.full((self._capacity, new_h), _ABSENT, dtype=np.int32)
-            grown[:, : self._horizon] = self._buf
-            self._buf = grown
-            self._horizon = new_h
+    def live_last_cells(self) -> np.ndarray:
+        """Current cell of every live stream — no object materialisation."""
+        return self.store.last_cells(self.store.live_rows())
 
     # ------------------------------------------------------------------ #
     # stream creation
     # ------------------------------------------------------------------ #
-    def _spawn_cells(self, t: int, cells: np.ndarray) -> None:
-        count = cells.size
-        if count == 0:
-            return
-        self._ensure_capacity(count, t)
-        rows = np.arange(self._n, self._n + count)
-        self._buf[rows, 0] = cells
-        self._start[rows] = t
-        self._length[rows] = 1
-        self._alive[rows] = True
-        self._n += count
-
     def spawn_from_entering(self, t: int, count: int) -> None:
         """Fresh streams with start cells sampled from E."""
         if count <= 0:
             return
         probs = self.model.enter_distribution()
-        self._spawn_cells(t, self.rng.choice(probs.size, size=count, p=probs))
+        self.store.append_streams(
+            t, self.rng.choice(probs.size, size=count, p=probs)
+        )
 
     def spawn_uniform(self, t: int, count: int) -> None:
         """Uniformly seeded streams (NoEQ / baseline initialisation)."""
         if count <= 0:
             return
-        self._spawn_cells(
+        self.store.append_streams(
             t, self.rng.integers(0, self.model.space.n_cells, size=count)
         )
 
@@ -185,7 +274,7 @@ class VectorizedSynthesizer:
         if total <= 0:
             self.spawn_uniform(t, count)
             return
-        self._spawn_cells(
+        self.store.append_streams(
             t, self.rng.choice(probs.size, size=count, p=probs / total)
         )
 
@@ -193,8 +282,13 @@ class VectorizedSynthesizer:
     # the vectorized generative step
     # ------------------------------------------------------------------ #
     def _compile(self) -> _CompiledModel:
-        if self._compiled is None or self._compiled.version != self.model.version:
+        if self.compile_mode == "full-loop":
+            if self._compiled is None or self._compiled.version != self.model.version:
+                self._compiled = _CompiledModel.reference(self.model)
+        elif self._compiled is None:
             self._compiled = _CompiledModel(self.model)
+        else:
+            self._compiled.update(self.model, self.compile_mode)
         return self._compiled
 
     def step(self, t: int, target_size: Optional[int] = None) -> None:
@@ -203,38 +297,78 @@ class VectorizedSynthesizer:
         if target_size is not None:
             self._adjust_size(t, int(target_size))
 
-    def _generate(self, t: int) -> None:
-        rows = np.flatnonzero(self._alive[: self._n])
-        if rows.size == 0:
-            return
-        self._ensure_capacity(0, t)
-        compiled = self._compile()
-        cells = self._buf[rows, self._length[rows] - 1].astype(np.int64)
+    def _advance_slab(
+        self,
+        compiled: _CompiledModel,
+        rows: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Quit/move draws for one slab of live rows (read-only on the store).
 
+        Returns ``(quit_rows, stay_rows, new_cells)``; the caller merges
+        slabs and performs all store writes, so concurrent slabs never
+        mutate shared state.
+        """
+        cells = self.store.last_cells(rows)
         if self.enable_termination:
             quit_probs = np.minimum(
-                self._length[rows] / self.lam * compiled.quit_raw[cells], 1.0
+                self.store.lengths_of(rows) / self.lam * compiled.quit_raw[cells],
+                1.0,
             )
-            quit_mask = self.rng.random(rows.size) < quit_probs
+            quit_mask = rng.random(rows.size) < quit_probs
         else:
             quit_mask = np.zeros(rows.size, dtype=bool)
-        if quit_mask.any():
-            self._alive[rows[quit_mask]] = False
         stay_rows = rows[~quit_mask]
         if stay_rows.size == 0:
-            return
+            return rows[quit_mask], stay_rows, np.empty(0, dtype=np.int64)
         stay_cells = cells[~quit_mask]
-        draws = self.rng.random(stay_rows.size)
+        draws = rng.random(stay_rows.size)
         # Row-wise inverse-CDF: index of the first cum-prob exceeding u.
         dest_idx = (draws[:, None] > compiled.cum_probs[stay_cells]).sum(axis=1)
         new_cells = compiled.dest[stay_cells, dest_idx]
-        self._buf[stay_rows, self._length[stay_rows]] = new_cells
-        self._length[stay_rows] += 1
+        return rows[quit_mask], stay_rows, new_cells
+
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.synthesis_shards,
+                thread_name_prefix="synthesis-shard",
+            )
+        return self._pool
+
+    def _generate(self, t: int) -> None:
+        rows = self.store.live_rows()
+        if rows.size == 0:
+            return
+        compiled = self._compile()
+        use_shards = (
+            self.synthesis_shards > 1
+            and rows.size >= self.synthesis_shards * _MIN_STREAMS_PER_SHARD
+        )
+        if use_shards:
+            slabs = np.array_split(rows, self.synthesis_shards)
+            futures = [
+                self._executor().submit(self._advance_slab, compiled, slab, rng)
+                for slab, rng in zip(slabs, self._shard_rngs)
+            ]
+            parts = [f.result() for f in futures]
+            quit_rows = np.concatenate([p[0] for p in parts])
+            stay_rows = np.concatenate([p[1] for p in parts])
+            new_cells = np.concatenate([p[2] for p in parts])
+        else:
+            rng = self._shard_rngs[0] if self._shard_rngs else self.rng
+            quit_rows, stay_rows, new_cells = self._advance_slab(
+                compiled, rows, rng
+            )
+        self.store.kill(quit_rows)
+        self.store.append_cells(stay_rows, new_cells)
 
     def _adjust_size(self, t: int, target: int) -> None:
         if target < 0:
             raise ConfigurationError(f"target size must be >= 0, got {target}")
-        live_rows = np.flatnonzero(self._alive[: self._n])
+        live_rows = self.store.live_rows()
         deficit = target - live_rows.size
         if deficit > 0:
             self.spawn_from_entering(t, deficit)
@@ -243,17 +377,35 @@ class VectorizedSynthesizer:
             return
         n_drop = -deficit
         quit_dist = self.model.quit_distribution()
-        last_cells = self._buf[live_rows, self._length[live_rows] - 1]
-        weights = quit_dist[last_cells] + 1e-9
+        weights = quit_dist[self.store.last_cells(live_rows)] + 1e-9
         weights = weights / weights.sum()
         drop = self.rng.choice(live_rows.size, size=n_drop, replace=False, p=weights)
         drop_rows = live_rows[np.atleast_1d(drop)]
         # Withdraw the cell generated for t: quitting means the final
         # report was at t-1 (matches the reference synthesizer).
-        fresh = (self._start[drop_rows] + self._length[drop_rows] - 1 == t) & (
-            self._length[drop_rows] > 1
-        )
-        shrink = drop_rows[fresh]
-        self._buf[shrink, self._length[shrink] - 1] = _ABSENT
-        self._length[shrink] -= 1
-        self._alive[drop_rows] = False
+        lengths = self.store.lengths_of(drop_rows)
+        fresh = (self.store.births_of(drop_rows) + lengths - 1 == t) & (lengths > 1)
+        self.store.pop_last(drop_rows[fresh])
+        self.store.kill(drop_rows)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / pickling (checkpoints)
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the slab thread pool (rebuilt lazily if stepped again)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __getstate__(self) -> dict:
+        # The thread pool is process-local machinery; everything else —
+        # store, compiled model, shard rngs — is plain picklable state.
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        return state

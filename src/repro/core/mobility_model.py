@@ -20,12 +20,18 @@ distribution over that row's legal destinations, which keeps synthesis total.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.stream.state_space import TransitionStateSpace
+
+#: How many version bumps of dirty-row provenance are retained.  A compiled
+#: model that falls further behind than this simply rebuilds in full; DMU
+#: recompiles every round, so in practice the log holds one entry.
+_DIRTY_LOG_LIMIT = 64
 
 
 class GlobalMobilityModel:
@@ -36,6 +42,10 @@ class GlobalMobilityModel:
         self._freqs = np.zeros(space.size, dtype=float)
         self._version = 0
         self._cache: dict = {}
+        # (version, dirty-origin array | None) per bump; None = "all rows".
+        self._dirty_log: deque[tuple[int, Optional[np.ndarray]]] = deque(
+            maxlen=_DIRTY_LOG_LIMIT
+        )
 
     # ------------------------------------------------------------------ #
     # state access / update
@@ -59,6 +69,7 @@ class GlobalMobilityModel:
             )
         self._freqs = freqs.copy()
         self._invalidate()
+        self._dirty_log.append((self._version, None))
 
     def update_selected(self, indices: Sequence[int], freqs: np.ndarray) -> None:
         """Overwrite only the selected states (the DMU path, Section III-C).
@@ -76,6 +87,28 @@ class GlobalMobilityModel:
             )
         self._freqs[idx] = freqs[idx]
         self._invalidate()
+        self._dirty_log.append((self._version, self.space.origins_of_states(idx)))
+
+    def dirty_origins_since(self, version: int) -> Optional[np.ndarray]:
+        """Origin cells whose Eq. 6 row changed after ``version``.
+
+        Returns the distinct dirty origins accumulated over every bump in
+        ``(version, current]``, or ``None`` when provenance is unavailable
+        (a full :meth:`set_all` happened, or ``version`` predates the
+        bounded journal) — callers must then rebuild everything.  An
+        up-to-date ``version`` yields an empty array.
+        """
+        if version == self._version:
+            return np.empty(0, dtype=np.int64)
+        if version > self._version:
+            return None
+        entries = [(v, d) for v, d in self._dirty_log if v > version]
+        # Every bump in (version, current] must be covered by the journal.
+        if len(entries) != self._version - version:
+            return None
+        if any(d is None for _, d in entries):
+            return None
+        return np.unique(np.concatenate([d for _, d in entries]))
 
     def _invalidate(self) -> None:
         self._version += 1
@@ -87,6 +120,14 @@ class GlobalMobilityModel:
             cached = np.clip(self._freqs, 0.0, None)
             self._cache["clipped"] = cached
         return cached
+
+    def clipped_frequencies(self) -> np.ndarray:
+        """The zero-clipped frequency vector (cached; treat as read-only).
+
+        The synthesis plane's compiled-model assembly reads this directly
+        so row recompilation is pure array gathering.
+        """
+        return self._clipped()
 
     # ------------------------------------------------------------------ #
     # derived distributions (Eq. 6)
@@ -158,11 +199,25 @@ class GlobalMobilityModel:
 
         Rows are origins; each row sums to ``1 − Pr(quit | origin)`` for
         rows with mass (the missing mass is the termination probability).
+        Assembled over the space's padded row structure in one shot — no
+        per-origin loop (``tests/core/test_mobility_model.py`` pins it to
+        the :meth:`row_distribution` reference).
         """
-        n = self.space.n_cells
+        space = self.space
+        n = space.n_cells
+        out_pad, dest_pad, deg = space.padded_out_structure()
+        width = out_pad.shape[1]
+        mask = np.arange(width) < deg[:, None]
+        f = self._clipped()
+        moves = f[out_pad] * mask
+        quit_mass = f[space.quit_indices] if space.include_eq else np.zeros(n)
+        denom = moves.sum(axis=1) + quit_mass
+        has_mass = denom > 0.0
+        probs = np.where(
+            has_mass[:, None],
+            moves / np.where(has_mass, denom, 1.0)[:, None],
+            mask / deg[:, None],
+        )
         mat = np.zeros((n, n), dtype=float)
-        for origin in range(n):
-            probs, _quit = self.row_distribution(origin)
-            for dest, p in zip(self.space.out_destinations(origin), probs):
-                mat[origin, dest] = p
+        mat[np.repeat(np.arange(n), deg), dest_pad[mask]] = probs[mask]
         return mat

@@ -230,6 +230,8 @@ class OnlineRetraSyn:
                 lam=lam,
                 enable_termination=config.model_entering_quitting,
                 rng=self.rng,
+                compile_mode=getattr(config, "compile_mode", "incremental"),
+                synthesis_shards=getattr(config, "synthesis_shards", 1),
             )
         else:
             self.synthesizer = Synthesizer(
@@ -455,21 +457,35 @@ class OnlineRetraSyn:
     # outputs
     # ------------------------------------------------------------------ #
     def live_snapshot(self) -> np.ndarray:
-        """Current cells of all live synthetic streams."""
-        return np.asarray(
-            [tr.last_cell for tr in self.synthesizer.live_streams], dtype=np.int64
-        )
+        """Current cells of all live synthetic streams.
+
+        Served straight from the trajectory store's cell buffer — no
+        ``CellTrajectory`` objects are materialised.
+        """
+        return self.synthesizer.live_last_cells()
 
     def synthetic_dataset(self, n_timestamps: int, name: str = "online"):
-        """Materialise everything synthesized so far as a StreamDataset."""
+        """Materialise everything synthesized so far as a StreamDataset.
+
+        Trajectory objects are created here (the API boundary), but the
+        dataset's per-timestamp count matrix — what the streaming metrics
+        actually consume — is primed from the columnar store, so
+        evaluation never loops over trajectory objects.
+        """
         from repro.stream.stream import StreamDataset
 
-        return StreamDataset(
+        dataset = StreamDataset(
             self.grid,
             self.synthesizer.all_trajectories(),
             n_timestamps=n_timestamps,
             name=name,
         )
+        dataset.prime_cell_counts(
+            self.synthesizer.store.counts_matrix(
+                dataset.n_timestamps, self.grid.n_cells
+            )
+        )
+        return dataset
 
     def result(self, n_timestamps: int, name: str = "online", total_runtime: float = 0.0):
         """Package the curator's state as a finished SynthesisRun."""

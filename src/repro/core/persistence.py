@@ -13,7 +13,11 @@ A deployed curator needs to survive restarts.  Three artefact shapes:
   :class:`~repro.stream.slots.UserSlotTable` and the accountant's spend
   ring buffer are ordinary arrays, and pickle's reference sharing keeps
   the tracker and accountant pointing at the *same* table after a
-  restore.  A curator restored from a checkpoint continues the stream
+  restore.  The synthesis plane checkpoints the same way: the
+  :class:`~repro.core.trajectory_store.TrajectoryStore` cell buffer,
+  compiled-model arrays and per-shard generation rngs are plain state
+  (the vectorized synthesizer drops only its process-local thread pool,
+  rebuilt lazily on the next step).  A curator restored from a checkpoint continues the stream
   bit-for-bit identically to one that was never interrupted; the
   ingestion service (:mod:`repro.stream.ingest`) checkpoints on this API.
 
@@ -42,7 +46,11 @@ from repro.geo.point import BoundingBox
 from repro.stream.state_space import TransitionStateSpace
 
 _MODEL_FORMAT_VERSION = 1
-_CHECKPOINT_FORMAT_VERSION = 1
+# v2: synthesizers keep their streams in a columnar TrajectoryStore (plus
+# ordered row-id lists for the object engine) instead of CellTrajectory
+# object lists; v1 checkpoints would restore a pre-store attribute layout
+# and are refused.
+_CHECKPOINT_FORMAT_VERSION = 2
 
 
 def save_model(model: GlobalMobilityModel, path: Union[str, Path]) -> None:

@@ -60,6 +60,8 @@ class RetraSynConfig:
     p_max: float = 0.6
     oracle_mode: str = "fast"  # "fast" | "exact" (batched) | "exact-loop"
     engine: str = "object"  # "object" | "vectorized" synthesis engine
+    compile_mode: str = "incremental"  # "incremental" | "full" | "full-loop" ref
+    synthesis_shards: int = 1  # thread slabs for vectorized generation
     n_shards: int = 1  # >1 routes collection through ShardedOnlineRetraSyn
     shard_executor: str = "serial"  # "serial" | "process" shard execution
     dmu_prefilter: bool = False  # shard-local never-observed DMU prefilter
@@ -91,6 +93,15 @@ class RetraSynConfig:
             raise ConfigurationError(
                 f"oracle_mode must be 'fast', 'exact' or 'exact-loop', "
                 f"got {self.oracle_mode!r}"
+            )
+        if self.compile_mode not in ("incremental", "full", "full-loop"):
+            raise ConfigurationError(
+                f"compile_mode must be 'incremental', 'full' or 'full-loop', "
+                f"got {self.compile_mode!r}"
+            )
+        if self.synthesis_shards < 1:
+            raise ConfigurationError(
+                f"synthesis_shards must be >= 1, got {self.synthesis_shards}"
             )
         if self.n_shards < 1:
             raise ConfigurationError(

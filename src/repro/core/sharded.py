@@ -429,9 +429,12 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut down worker processes (no-op for the serial executor)."""
+        """Shut down worker processes and the synthesizer's thread slabs."""
         if self._pool is not None:
             self._pool.close()
+        closer = getattr(self.synthesizer, "close", None)
+        if closer is not None:
+            closer()
 
     def __enter__(self) -> "ShardedOnlineRetraSyn":
         return self

@@ -20,6 +20,15 @@ timestamp, performs:
 
 Every stream ever created is retained, so the synthesizer's output doubles
 as a complete historical database for trajectory-level metrics.
+
+This is the *reference* engine: its per-cell grouping logic is the
+readable statement of the algorithm, and its RNG consumption order defines
+the semantics the vectorized engine is property-tested against.  Storage,
+however, is columnar: streams live in a shared
+:class:`~repro.core.trajectory_store.TrajectoryStore` (the engine keeps
+only ordered row-id lists), and ``CellTrajectory`` objects are lazy views
+materialised at API boundaries — so metrics and snapshots can use the
+store's array accessors even against the reference engine.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.mobility_model import GlobalMobilityModel
+from repro.core.trajectory_store import TrajectoryStore
 from repro.exceptions import ConfigurationError
 from repro.geo.trajectory import CellTrajectory
 from repro.rng import RngLike, ensure_rng
@@ -64,16 +74,18 @@ class Synthesizer:
         self.lam = float(lam)
         self.enable_termination = bool(enable_termination)
         self.rng = ensure_rng(rng)
-        self._live: list[CellTrajectory] = []
-        self._finished: list[CellTrajectory] = []
-        self._next_id = 0
+        self.store = TrajectoryStore()
+        # Ordered row ids; the order defines RNG consumption (grouping) and
+        # matches the historical _live / _finished object-list semantics.
+        self._live: list[int] = []
+        self._finished: list[int] = []
 
     # ------------------------------------------------------------------ #
     # views
     # ------------------------------------------------------------------ #
     @property
     def live_streams(self) -> list[CellTrajectory]:
-        return list(self._live)
+        return self.store.views(self._live)
 
     @property
     def n_live(self) -> int:
@@ -81,32 +93,32 @@ class Synthesizer:
 
     def all_trajectories(self) -> list[CellTrajectory]:
         """Every synthetic stream ever created (finished + still live)."""
-        return self._finished + self._live
+        return self.store.views(self._finished + self._live)
+
+    def live_last_cells(self) -> np.ndarray:
+        """Current cell of every live stream — no object materialisation."""
+        return self.store.last_cells(np.asarray(self._live, dtype=np.int64))
 
     # ------------------------------------------------------------------ #
     # stream creation / termination
     # ------------------------------------------------------------------ #
-    def _new_stream(self, t: int, start_cell: int) -> None:
-        traj = CellTrajectory(t, [int(start_cell)], user_id=self._next_id)
-        self._next_id += 1
-        self._live.append(traj)
+    def _new_streams(self, t: int, start_cells) -> None:
+        self._live.extend(self.store.append_streams(t, start_cells).tolist())
 
     def spawn_from_entering(self, t: int, count: int) -> None:
         """Append ``count`` fresh streams with start cells sampled from E."""
         if count <= 0:
             return
         probs = self.model.enter_distribution()
-        cells = self.rng.choice(probs.size, size=count, p=probs)
-        for c in np.atleast_1d(cells):
-            self._new_stream(t, int(c))
+        self._new_streams(t, self.rng.choice(probs.size, size=count, p=probs))
 
     def spawn_uniform(self, t: int, count: int) -> None:
         """Seed streams uniformly at random (NoEQ / baseline initialisation)."""
         if count <= 0:
             return
-        cells = self.rng.integers(0, self.model.space.n_cells, size=count)
-        for c in cells:
-            self._new_stream(t, int(c))
+        self._new_streams(
+            t, self.rng.integers(0, self.model.space.n_cells, size=count)
+        )
 
     def spawn_from_distribution(self, t: int, count: int, probs: np.ndarray) -> None:
         """Seed streams from an explicit start-cell distribution.
@@ -126,14 +138,9 @@ class Synthesizer:
         if total <= 0:
             self.spawn_uniform(t, count)
             return
-        cells = self.rng.choice(probs.size, size=count, p=probs / total)
-        for c in np.atleast_1d(cells):
-            self._new_stream(t, int(c))
-
-    def _terminate(self, index: int) -> None:
-        traj = self._live.pop(index)
-        traj.terminate()
-        self._finished.append(traj)
+        self._new_streams(
+            t, self.rng.choice(probs.size, size=count, p=probs / total)
+        )
 
     # ------------------------------------------------------------------ #
     # the per-timestamp generative step
@@ -152,27 +159,30 @@ class Synthesizer:
         if not self._live:
             return
         space = self.model.space
-        survivors: list[CellTrajectory] = []
-        quitters: list[CellTrajectory] = []
+        survivors: list[int] = []
+        quitters: list[int] = []
         # Group live streams by current cell so each row's distribution is
         # computed once and destinations are sampled in a single draw.
-        by_cell: dict[int, list[CellTrajectory]] = {}
-        for traj in self._live:
-            by_cell.setdefault(traj.last_cell, []).append(traj)
+        live = np.asarray(self._live, dtype=np.int64)
+        last = self.store.last_cells(live)
+        by_cell: dict[int, list[int]] = {}
+        for row, cell in zip(self._live, last.tolist()):
+            by_cell.setdefault(cell, []).append(row)
 
-        for cell, trajs in by_cell.items():
+        for cell, rows in by_cell.items():
             move_probs, quit_raw = self.model.row_distribution(cell)
             destinations = space.out_destinations(cell)
-            lengths = np.asarray([len(tr) for tr in trajs], dtype=float)
+            rows_arr = np.asarray(rows, dtype=np.int64)
+            lengths = self.store.lengths_of(rows_arr).astype(float)
             if self.enable_termination and quit_raw > 0.0:
                 quit_probs = np.minimum(lengths / self.lam * quit_raw, 1.0)
             else:
-                quit_probs = np.zeros(len(trajs))
-            draws = self.rng.random(len(trajs))
+                quit_probs = np.zeros(len(rows))
+            draws = self.rng.random(len(rows))
             quit_mask = draws < quit_probs
-            stay = [tr for tr, q in zip(trajs, quit_mask) if not q]
-            quitters.extend(tr for tr, q in zip(trajs, quit_mask) if q)
-            if stay:
+            stay = rows_arr[~quit_mask]
+            quitters.extend(rows_arr[quit_mask].tolist())
+            if stay.size:
                 total = move_probs.sum()
                 if total <= 0.0:
                     # All of the row's mass sits on quitting but the stream
@@ -182,15 +192,18 @@ class Synthesizer:
                 else:
                     norm = move_probs / total
                 next_cells = self.rng.choice(
-                    len(destinations), size=len(stay), p=norm
+                    len(destinations), size=stay.size, p=norm
                 )
-                for tr, j in zip(stay, np.atleast_1d(next_cells)):
-                    tr.append(destinations[int(j)])
-                survivors.extend(stay)
+                self.store.append_cells(
+                    stay,
+                    np.asarray(destinations, dtype=np.int64)[
+                        np.atleast_1d(next_cells)
+                    ],
+                )
+                survivors.extend(stay.tolist())
 
-        for tr in quitters:
-            tr.terminate()
-            self._finished.append(tr)
+        self.store.kill(np.asarray(quitters, dtype=np.int64))
+        self._finished.extend(quitters)
         self._live = survivors
 
     def _adjust_size(self, t: int, target: int) -> None:
@@ -207,7 +220,7 @@ class Synthesizer:
         if not self.enable_termination:
             return
         quit_dist = self.model.quit_distribution()
-        weights = np.asarray([quit_dist[tr.last_cell] for tr in self._live])
+        weights = quit_dist[self.live_last_cells()]
         # Blend in a tiny uniform component so the weight vector always has
         # enough non-zero entries for replacement-free sampling.
         weights = weights + 1e-9
@@ -215,12 +228,14 @@ class Synthesizer:
         drop_idx = self.rng.choice(
             len(self._live), size=n_drop, replace=False, p=weights
         )
-        for i in sorted(np.atleast_1d(drop_idx), reverse=True):
-            traj = self._live.pop(int(i))
+        for i in sorted(np.atleast_1d(drop_idx).tolist(), reverse=True):
+            row = self._live.pop(int(i))
             # Quitting at t means the final report happened at t-1, so the
             # cell just generated for t is withdrawn; this keeps the
             # synthetic active count equal to the target at every t.
-            if traj.end_time == t and len(traj) > 1:
-                traj.cells.pop()
-            traj.terminate()
-            self._finished.append(traj)
+            row_arr = np.asarray([row], dtype=np.int64)
+            length = int(self.store.lengths_of(row_arr)[0])
+            if int(self.store.births_of(row_arr)[0]) + length - 1 == t and length > 1:
+                self.store.pop_last(row_arr)
+            self.store.kill(row_arr)
+            self._finished.append(row)

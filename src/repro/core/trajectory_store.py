@@ -1,0 +1,257 @@
+"""Columnar (struct-of-arrays) storage for synthetic trajectory streams.
+
+Both synthesis engines used to keep one Python ``CellTrajectory`` object per
+synthetic stream (the object engine in ``_live`` / ``_finished`` lists, the
+vectorized engine in private padded arrays).  At production populations the
+object churn — allocation, append, list reshuffling, and re-materialisation
+for every metrics pass — dominates the per-timestamp synthesis cost that
+Table V of the paper identifies as the bottleneck.
+
+:class:`TrajectoryStore` replaces both with one append-only columnar layout:
+
+* ``_cells`` — a flat cell buffer, laid out as ``(capacity, horizon)`` rows
+  (one row stride per stream) so per-timestamp appends are single fancy
+  writes;
+* ``_birth`` / ``_length`` / ``_alive`` — per-stream entering timestamp,
+  current length and liveness, all dense parallel arrays indexed by the
+  stream's creation-order row id.
+
+Growth is by doubling in both dimensions, so appends are amortised O(1).
+``CellTrajectory`` objects are *views*: they are materialised only when a
+caller crosses an API boundary that genuinely needs objects
+(:meth:`view` / :meth:`views`); the hot path and the evaluation plane use
+the array accessors (:meth:`cells_at`, :meth:`lengths`,
+:meth:`counts_by_cell`, :meth:`counts_matrix`) and never touch objects.
+
+The store is plain numpy state, so it pickles into curator checkpoints
+unchanged and is shared safely by the thread-sharded generation path
+(workers read disjoint row slabs; all writes happen in the merge step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.geo.trajectory import CellTrajectory
+
+#: Padding value for never-written cells of the flat buffer.
+ABSENT = -1
+
+
+class TrajectoryStore:
+    """Append-only columnar trajectory database keyed by creation order.
+
+    Parameters
+    ----------
+    initial_capacity:
+        Number of stream rows allocated up front (grown by doubling).
+    initial_horizon:
+        Cells-per-stream allocated up front (grown by doubling).
+    """
+
+    def __init__(self, initial_capacity: int = 1024, initial_horizon: int = 64) -> None:
+        if initial_capacity < 1 or initial_horizon < 1:
+            raise ConfigurationError(
+                f"store capacities must be >= 1, got "
+                f"({initial_capacity}, {initial_horizon})"
+            )
+        self._capacity = int(initial_capacity)
+        self._horizon = int(initial_horizon)
+        self._cells = np.full(
+            (self._capacity, self._horizon), ABSENT, dtype=np.int32
+        )
+        self._birth = np.zeros(self._capacity, dtype=np.int64)
+        self._length = np.zeros(self._capacity, dtype=np.int64)
+        self._alive = np.zeros(self._capacity, dtype=bool)
+        self._n = 0
+
+    # ------------------------------------------------------------------ #
+    # sizes / row sets
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_total(self) -> int:
+        """Streams ever created."""
+        return self._n
+
+    @property
+    def n_live(self) -> int:
+        return int(self._alive[: self._n].sum())
+
+    def live_rows(self) -> np.ndarray:
+        """Row ids of live streams, in creation order."""
+        return np.flatnonzero(self._alive[: self._n])
+
+    def alive_mask(self) -> np.ndarray:
+        """Boolean liveness over all created rows (read-only copy)."""
+        return self._alive[: self._n].copy()
+
+    # ------------------------------------------------------------------ #
+    # growth
+    # ------------------------------------------------------------------ #
+    def _grow_rows(self, need_rows: int) -> None:
+        if need_rows <= self._capacity:
+            return
+        new_cap = max(need_rows, 2 * self._capacity)
+        cells = np.full((new_cap, self._horizon), ABSENT, dtype=np.int32)
+        cells[: self._capacity] = self._cells
+        self._cells = cells
+        for name in ("_birth", "_length"):
+            arr = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=arr.dtype)
+            grown[: self._capacity] = arr
+            setattr(self, name, grown)
+        alive = np.zeros(new_cap, dtype=bool)
+        alive[: self._capacity] = self._alive
+        self._alive = alive
+        self._capacity = new_cap
+
+    def _grow_horizon(self, need_cols: int) -> None:
+        if need_cols <= self._horizon:
+            return
+        new_h = max(need_cols, 2 * self._horizon)
+        cells = np.full((self._capacity, new_h), ABSENT, dtype=np.int32)
+        cells[:, : self._horizon] = self._cells
+        self._cells = cells
+        self._horizon = new_h
+
+    # ------------------------------------------------------------------ #
+    # mutation (the synthesizer hot path)
+    # ------------------------------------------------------------------ #
+    def append_streams(self, t: int, cells) -> np.ndarray:
+        """Create one fresh live stream per entry of ``cells``; return rows."""
+        cells = np.atleast_1d(np.asarray(cells, dtype=np.int64))
+        count = cells.size
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        self._grow_rows(self._n + count)
+        rows = np.arange(self._n, self._n + count, dtype=np.int64)
+        self._cells[rows, 0] = cells
+        self._birth[rows] = int(t)
+        self._length[rows] = 1
+        self._alive[rows] = True
+        self._n += count
+        return rows
+
+    def append_cells(self, rows: np.ndarray, cells: np.ndarray) -> None:
+        """Extend each of ``rows`` by one cell (its next timestamp)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        lengths = self._length[rows]
+        self._grow_horizon(int(lengths.max()) + 1)
+        self._cells[rows, lengths] = cells
+        self._length[rows] = lengths + 1
+
+    def pop_last(self, rows: np.ndarray) -> None:
+        """Withdraw the most recent cell of each row (length stays >= 1)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        if (self._length[rows] <= 1).any():
+            raise DatasetError("cannot pop the only cell of a stream")
+        self._cells[rows, self._length[rows] - 1] = ABSENT
+        self._length[rows] -= 1
+
+    def kill(self, rows: np.ndarray) -> None:
+        """Terminate the given streams (idempotent)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size:
+            self._alive[rows] = False
+
+    # ------------------------------------------------------------------ #
+    # per-row array accessors
+    # ------------------------------------------------------------------ #
+    def last_cells(self, rows: np.ndarray) -> np.ndarray:
+        """Current (latest) cell of each requested row."""
+        rows = np.asarray(rows, dtype=np.int64)
+        return self._cells[rows, self._length[rows] - 1].astype(np.int64)
+
+    def lengths_of(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        return self._length[rows].copy()
+
+    def births_of(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        return self._birth[rows].copy()
+
+    # ------------------------------------------------------------------ #
+    # whole-store array accessors (the evaluation plane)
+    # ------------------------------------------------------------------ #
+    def lengths(self) -> np.ndarray:
+        """Length of every stream ever created, in creation order."""
+        return self._length[: self._n].copy()
+
+    def cells_at(self, t: int) -> np.ndarray:
+        """Cells of every stream (live or finished) active at ``t``.
+
+        Row order is creation order, matching :meth:`all views <views>`.
+        """
+        t = int(t)
+        birth = self._birth[: self._n]
+        active = (birth <= t) & (t < birth + self._length[: self._n])
+        rows = np.flatnonzero(active)
+        return self._cells[rows, t - birth[rows]].astype(np.int64)
+
+    def counts_by_cell(self, t: int, n_cells: int) -> np.ndarray:
+        """Histogram of :meth:`cells_at` over ``[0, n_cells)``."""
+        return np.bincount(self.cells_at(t), minlength=int(n_cells))
+
+    def counts_matrix(self, n_timestamps: int, n_cells: int) -> np.ndarray:
+        """``(n_timestamps, n_cells)`` point-count matrix over all streams.
+
+        Vectorized twin of ``StreamDataset.cell_counts_matrix``'s
+        per-trajectory loop: one masked gather over the flat cell buffer
+        plus a single ``bincount``.  Points outside ``[0, n_timestamps)``
+        are clipped, matching the object implementation.
+        """
+        n_timestamps = int(n_timestamps)
+        n_cells = int(n_cells)
+        n = self._n
+        if n == 0 or n_timestamps == 0:
+            return np.zeros((n_timestamps, n_cells), dtype=np.int64)
+        width = int(self._length[:n].max(initial=0))
+        if width == 0:
+            return np.zeros((n_timestamps, n_cells), dtype=np.int64)
+        col = np.arange(width, dtype=np.int64)
+        ts = self._birth[:n, None] + col[None, :]
+        valid = (col[None, :] < self._length[:n, None]) & (ts >= 0) & (
+            ts < n_timestamps
+        )
+        flat = ts[valid] * n_cells + self._cells[:n, :width][valid]
+        counts = np.bincount(flat, minlength=n_timestamps * n_cells)
+        return counts.reshape(n_timestamps, n_cells).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # object views (API boundaries only)
+    # ------------------------------------------------------------------ #
+    def view(self, row: int) -> CellTrajectory:
+        """Materialise one stream as a :class:`CellTrajectory`.
+
+        ``user_id`` is the creation-order row id; ``terminated`` mirrors
+        the store's liveness bit.  The view owns its cell list — mutating
+        it does not write back into the store.
+        """
+        row = int(row)
+        if not 0 <= row < self._n:
+            raise DatasetError(f"stream row {row} outside [0, {self._n})")
+        traj = CellTrajectory(
+            int(self._birth[row]),
+            self._cells[row, : self._length[row]].tolist(),
+            user_id=row,
+        )
+        traj.terminated = not bool(self._alive[row])
+        return traj
+
+    def views(self, rows) -> list[CellTrajectory]:
+        return [self.view(int(r)) for r in rows]
+
+    def live_views(self) -> list[CellTrajectory]:
+        return self.views(self.live_rows())
+
+    def all_views(self) -> list[CellTrajectory]:
+        """Every stream ever created, in creation order."""
+        return self.views(range(self._n))

@@ -314,8 +314,14 @@ class ColumnarPrivacyAccountant:
             )
         slots = self._slots.intern(ids)
         self._ensure()
+        # One stable sort serves the whole round: duplicate-occurrence
+        # numbering here, and the touched-slot set _record needs (the
+        # ROADMAP follow-up — previously each did its own argsort).
+        order = np.argsort(slots, kind="stable")
+        sorted_slots = slots[order]
+        firsts = np.r_[True, sorted_slots[1:] != sorted_slots[:-1]]
         totals = self._window_totals(slots, timestamp)
-        totals += (self._occurrences(slots) + 1) * epsilon
+        totals += (self._occurrences(slots, order, firsts) + 1) * epsilon
         over = totals > self.epsilon + _EPS_TOL
         n_record = ids.size
         offender = -1
@@ -331,7 +337,10 @@ class ColumnarPrivacyAccountant:
                         (int(ids[i]), timestamp, float(totals[i]))
                     )
         if n_record:
-            self._record(slots[:n_record], timestamp, epsilon)
+            # The sorted unique set only describes the full batch; a strict
+            # refusal truncates it, so _record falls back to its own sort.
+            touched = sorted_slots[firsts] if n_record == ids.size else None
+            self._record(slots[:n_record], timestamp, epsilon, touched=touched)
         if offender >= 0:
             raise PrivacyBudgetError(
                 f"user {int(ids[offender])} would spend "
@@ -339,7 +348,15 @@ class ColumnarPrivacyAccountant:
                 f"in window ending at t={timestamp}"
             )
 
-    def _record(self, slots: np.ndarray, t: int, epsilon: float) -> None:
+    def _record(
+        self,
+        slots: np.ndarray,
+        t: int,
+        epsilon: float,
+        touched: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply a validated batch; ``touched`` is the pre-sorted distinct
+        slot set when the caller already paid for the sort."""
         col = t % self.w
         stale = self._ring_t[slots, col] != t
         if stale.any():
@@ -348,7 +365,8 @@ class ColumnarPrivacyAccountant:
             self._ring_t[recycled, col] = t
         np.add.at(self._ring, (slots, col), epsilon)
         np.add.at(self._total, slots, epsilon)
-        touched = np.unique(slots)
+        if touched is None:
+            touched = np.unique(slots)
         new_totals = self._window_totals(touched, t)
         if new_totals.size:
             self._max_window = max(self._max_window, float(new_totals.max()))
@@ -464,12 +482,24 @@ class ColumnarPrivacyAccountant:
         return (self._ring[slots] * valid).sum(axis=1)
 
     @staticmethod
-    def _occurrences(slots: np.ndarray) -> np.ndarray:
-        """For each row, how many earlier rows in the batch share its slot."""
-        order = np.argsort(slots, kind="stable")
+    def _occurrences(
+        slots: np.ndarray,
+        order: Optional[np.ndarray] = None,
+        firsts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """For each row, how many earlier rows in the batch share its slot.
+
+        ``order`` (a stable argsort of ``slots``) and ``firsts`` (the
+        group-start mask over the sorted array) may be supplied by a caller
+        that already sorted the batch; omitted, they are computed here.
+        """
+        if order is None:
+            order = np.argsort(slots, kind="stable")
         s = slots[order]
         n = s.size
-        starts = np.flatnonzero(np.r_[True, s[1:] != s[:-1]])
+        if firsts is None:
+            firsts = np.r_[True, s[1:] != s[:-1]]
+        starts = np.flatnonzero(firsts)
         lengths = np.diff(np.r_[starts, n])
         idx = np.arange(n, dtype=np.int64)
         occ_sorted = idx - np.repeat(idx[starts], lengths)

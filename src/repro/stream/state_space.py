@@ -70,6 +70,12 @@ class TransitionStateSpace:
                 flat[origin * self.n_cells + dest] = i
             self._flat_move_lookup = flat
 
+        # Origin cell of every movement state (move_pairs is origin-ordered).
+        self.move_origins = np.asarray(
+            [o for o, _ in self._move_pairs], dtype=np.int64
+        )
+        self._padded_out: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
     # ------------------------------------------------------------------ #
     # state -> index
     # ------------------------------------------------------------------ #
@@ -164,6 +170,59 @@ class TransitionStateSpace:
         """Destination cells reachable from ``origin``, index-aligned with
         :meth:`out_move_indices`."""
         return self.grid.neighbor_lists[origin]
+
+    def padded_out_structure(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Static padded row structure for vectorized Eq. 6 assembly.
+
+        Returns ``(out_state_pad, dest_pad, degrees)`` where
+
+        * ``out_state_pad`` is ``(n_cells, width)`` movement-state indices
+          (row ``i`` holds :meth:`out_move_indices`, zero-padded — callers
+          mask by ``degrees``);
+        * ``dest_pad`` is the matching destination-cell matrix, padded by
+          repeating the row's last legal destination so an inverse-CDF
+          lookup can never step off the row;
+        * ``degrees`` is the per-origin legal-destination count.
+
+        Built once per space and cached; all three arrays are shared
+        read-only by compiled mobility models and the matrix views.
+        """
+        if self._padded_out is None:
+            degrees = np.asarray(
+                [len(self.grid.neighbor_lists[c]) for c in range(self.n_cells)],
+                dtype=np.int64,
+            )
+            width = int(degrees.max(initial=1))
+            out_pad = np.zeros((self.n_cells, width), dtype=np.int64)
+            dest_pad = np.zeros((self.n_cells, width), dtype=np.int64)
+            for c in range(self.n_cells):
+                idx = self._out_move_indices[c]
+                dests = self.grid.neighbor_lists[c]
+                out_pad[c, : idx.size] = idx
+                dest_pad[c, : len(dests)] = dests
+                dest_pad[c, len(dests):] = dests[-1]
+            self._padded_out = (out_pad, dest_pad, degrees)
+        return self._padded_out
+
+    def origins_of_states(self, indices) -> np.ndarray:
+        """Distinct origin cells whose Eq. 6 row depends on the given states.
+
+        Movement states dirty their origin's row; quit states dirty their
+        cell's row (the quit mass sits in the row denominator); entering
+        states touch no row — they only feed the entering distribution.
+        Used by the synthesis plane to recompile exactly the rows a DMU
+        round changed.
+        """
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if idx.min() < 0 or idx.max() >= self.size:
+            raise DomainError(f"state indices outside [0, {self.size})")
+        parts = [self.move_origins[idx[idx < self.n_move]]]
+        if self.include_eq:
+            quits = idx[idx >= self._quit_offset]
+            parts.append(quits - self._quit_offset)
+        return np.unique(np.concatenate(parts))
 
     @property
     def enter_indices(self) -> np.ndarray:

@@ -152,6 +152,24 @@ class StreamDataset:
             self._cell_counts = counts
         return self._cell_counts
 
+    def prime_cell_counts(self, counts: np.ndarray) -> None:
+        """Install a precomputed count matrix (e.g. from a TrajectoryStore).
+
+        The synthesis plane computes the same ``(n_timestamps, n_cells)``
+        matrix columnar-side (one bincount over the flat cell buffer); this
+        hook lets it seed the cache so streaming metrics never run the
+        per-trajectory loop above.  The matrix must match what the loop
+        would produce — shape-checked here, value-pinned by
+        ``tests/core/test_trajectory_store.py``.
+        """
+        counts = np.asarray(counts)
+        expected = (self.n_timestamps, self.grid.n_cells)
+        if counts.shape != expected:
+            raise DatasetError(
+                f"count matrix shape {counts.shape} does not match {expected}"
+            )
+        self._cell_counts = counts
+
     def transitions_at(self, t: int) -> list[tuple[int, int]]:
         """All real movement pairs ``(c_{t-1}, c_t)`` landing at ``t``."""
         if self._transitions_by_t is None:

@@ -8,7 +8,7 @@ generative distribution, materially faster on large populations.
 import numpy as np
 import pytest
 
-from repro.core.fast_synthesis import VectorizedSynthesizer
+from repro.core.fast_synthesis import COMPILE_MODES, VectorizedSynthesizer, _CompiledModel
 from repro.core.mobility_model import GlobalMobilityModel
 from repro.core.retrasyn import RetraSyn, RetraSynConfig
 from repro.core.synthesis import Synthesizer
@@ -78,8 +78,217 @@ class TestInterfaceParity:
             syn.spawn_from_entering(t, 10)
             if t > 0:
                 syn.step(t)
-        assert syn._n == 300
+        assert syn.store.n_total == 300
         assert all(len(tr) >= 1 for tr in syn.all_trajectories())
+
+
+def _compiled_equal(a, b):
+    np.testing.assert_array_equal(np.asarray(a.dest), np.asarray(b.dest))
+    np.testing.assert_allclose(a.cum_probs, b.cum_probs, rtol=0, atol=1e-12)
+    np.testing.assert_allclose(a.quit_raw, b.quit_raw, rtol=0, atol=1e-12)
+    assert a.version == b.version
+
+
+class TestCompiledModel:
+    """Incremental recompile ≡ vectorized full rebuild ≡ seed loop."""
+
+    def _random_update(self, model, rng):
+        """One random model mutation in the shapes DMU / AllUpdate produce."""
+        fresh = rng.normal(0.3, 1.0, size=model.space.size)
+        kind = rng.random()
+        if kind < 0.15:
+            model.set_all(fresh)
+        elif kind < 0.3:
+            # Boundary case: an empty selection bumps nothing.
+            model.update_selected(np.empty(0, dtype=np.int64), fresh)
+        else:
+            n_sel = int(rng.integers(1, model.space.size // 2))
+            idx = rng.choice(model.space.size, size=n_sel, replace=False)
+            model.update_selected(idx, fresh)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_incremental_equals_full_after_arbitrary_updates(self, space4, rng, seed):
+        del rng
+        rng = np.random.default_rng(seed)
+        model = GlobalMobilityModel(space4)
+        model.set_all(rng.random(space4.size))
+        incremental = _CompiledModel(model)
+        for _ in range(12):
+            self._random_update(model, rng)
+            incremental.update(model, "incremental")
+            _compiled_equal(incremental, _CompiledModel(model))
+            _compiled_equal(incremental, _CompiledModel.reference(model))
+
+    def test_vectorized_assembly_matches_reference_loop(self, space4):
+        rng = np.random.default_rng(3)
+        model = GlobalMobilityModel(space4)
+        # Stress the fallbacks: negatives, zero rows, quit-only rows.
+        f = rng.normal(0.0, 1.0, size=space4.size)
+        f[space4.out_move_indices(5)] = 0.0
+        f[space4.index_of_quit(5)] = 2.0
+        f[space4.out_move_indices(9)] = 0.0
+        f[space4.index_of_quit(9)] = 0.0
+        model.set_all(f)
+        _compiled_equal(_CompiledModel(model), _CompiledModel.reference(model))
+
+    def test_no_eq_space(self, space4_noeq):
+        rng = np.random.default_rng(4)
+        model = GlobalMobilityModel(space4_noeq)
+        model.set_all(rng.random(space4_noeq.size))
+        _compiled_equal(_CompiledModel(model), _CompiledModel.reference(model))
+
+    def test_full_mode_ignores_journal(self, space4):
+        rng = np.random.default_rng(5)
+        model = GlobalMobilityModel(space4)
+        model.set_all(rng.random(space4.size))
+        compiled = _CompiledModel(model)
+        model.update_selected([0], rng.random(space4.size))
+        compiled.update(model, "full")
+        _compiled_equal(compiled, _CompiledModel(model))
+
+
+class TestCompileModes:
+    """All compile modes must yield bit-identical synthetic streams."""
+
+    def _run(self, space, mode, seed=0):
+        rng = np.random.default_rng(11)
+        model = GlobalMobilityModel(space)
+        model.set_all(rng.random(space.size))
+        syn = VectorizedSynthesizer(model, lam=8.0, rng=seed, compile_mode=mode)
+        syn.spawn_from_entering(0, 200)
+        for t in range(1, 10):
+            # Mutate the model mid-run the way DMU rounds do.
+            idx = rng.choice(space.size, size=space.size // 4, replace=False)
+            model.update_selected(idx, rng.random(space.size))
+            syn.step(t, target_size=200 - 5 * t)
+        return [(tr.start_time, tr.cells, tr.terminated) for tr in syn.all_trajectories()]
+
+    def test_all_modes_bit_identical(self, space4):
+        runs = {mode: self._run(space4, mode) for mode in COMPILE_MODES}
+        assert runs["incremental"] == runs["full"] == runs["full-loop"]
+
+    def test_invalid_compile_mode(self, space4):
+        with pytest.raises(ConfigurationError):
+            VectorizedSynthesizer(
+                GlobalMobilityModel(space4), lam=1.0, compile_mode="jit"
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetraSynConfig(compile_mode="jit")
+        with pytest.raises(ConfigurationError):
+            RetraSynConfig(synthesis_shards=0)
+
+
+class TestShardParallelGeneration:
+    def _run_sharded(self, space, shards, seed=0, n=600, steps=10, threshold=1):
+        import repro.core.fast_synthesis as fs
+
+        rng = np.random.default_rng(7)
+        model = GlobalMobilityModel(space)
+        model.set_all(rng.random(space.size))
+        old = fs._MIN_STREAMS_PER_SHARD
+        fs._MIN_STREAMS_PER_SHARD = threshold  # force the threaded path
+        try:
+            syn = VectorizedSynthesizer(
+                model, lam=8.0, rng=seed, synthesis_shards=shards
+            )
+            syn.spawn_from_entering(0, n)
+            for t in range(1, steps):
+                syn.step(t, target_size=n)
+            return syn
+        finally:
+            fs._MIN_STREAMS_PER_SHARD = old
+
+    def test_deterministic_for_fixed_seed_and_shards(self, space4):
+        prints = []
+        for _ in range(2):
+            syn = self._run_sharded(space4, shards=3, seed=5)
+            prints.append(
+                [(tr.start_time, tr.cells) for tr in syn.all_trajectories()]
+            )
+        assert prints[0] == prints[1]
+
+    def test_shard_counts_distribution_equivalent(self, space4):
+        """Sharded generation draws from the same generative law."""
+        from collections import Counter
+
+        totals = {}
+        for shards in (1, 4):
+            trans = Counter()
+            lengths = []
+            for seed in range(3):
+                syn = self._run_sharded(space4, shards=shards, seed=seed)
+                for tr in syn.all_trajectories():
+                    trans.update(tr.transitions())
+                    lengths.append(len(tr))
+            totals[shards] = (trans, np.mean(lengths))
+        t1, len1 = totals[1]
+        t4, len4 = totals[4]
+        assert len1 == pytest.approx(len4, rel=0.1)
+        n1, n4 = sum(t1.values()), sum(t4.values())
+        for key in set(t1) | set(t4):
+            assert abs(t1[key] / n1 - t4[key] / n4) < 0.02, key
+
+    def test_small_populations_stay_single_threaded(self, space4):
+        """Below the slab threshold no pool is spun up."""
+        rng = np.random.default_rng(0)
+        model = GlobalMobilityModel(space4)
+        model.set_all(rng.random(space4.size))
+        syn = VectorizedSynthesizer(model, lam=8.0, rng=0, synthesis_shards=4)
+        syn.spawn_from_entering(0, 50)
+        for t in range(1, 5):
+            syn.step(t, target_size=50)
+        assert syn._pool is None
+        assert syn.n_live == 50
+
+    def test_close_releases_pool_and_allows_restart(self, space4):
+        syn = self._run_sharded(space4, shards=2)
+        assert syn._pool is not None
+        syn.close()
+        assert syn._pool is None
+        syn.close()  # idempotent
+        # Stepping again lazily rebuilds the pool.
+        import repro.core.fast_synthesis as fs
+
+        old = fs._MIN_STREAMS_PER_SHARD
+        fs._MIN_STREAMS_PER_SHARD = 1
+        try:
+            syn.step(10, target_size=100)
+        finally:
+            fs._MIN_STREAMS_PER_SHARD = old
+        assert syn._pool is not None
+        assert syn.n_live == 100
+
+    def test_sharded_curator_close_shuts_synthesis_pool(self, walk_data):
+        from repro.core.sharded import ShardedOnlineRetraSyn
+
+        cfg = RetraSynConfig(
+            epsilon=1.0, w=5, engine="vectorized", synthesis_shards=2,
+            n_shards=2, seed=0,
+        )
+        curator = ShardedOnlineRetraSyn(walk_data.grid, cfg, lam=5.0)
+        curator.synthesizer._executor()  # force pool creation
+        curator.close()
+        assert curator.synthesizer._pool is None
+
+    def test_pickles_without_thread_pool(self, space4):
+        import pickle
+
+        syn = self._run_sharded(space4, shards=2)
+        assert syn._pool is not None
+        clone = pickle.loads(pickle.dumps(syn))
+        assert clone._pool is None
+        assert clone.store.n_total == syn.store.n_total
+        # The clone keeps working (pool is rebuilt lazily on demand).
+        clone.step(10, target_size=100)
+        assert clone.n_live == 100
+
+    def test_invalid_shards(self, space4):
+        with pytest.raises(ConfigurationError):
+            VectorizedSynthesizer(
+                GlobalMobilityModel(space4), lam=1.0, synthesis_shards=0
+            )
 
 
 class TestDistributionEquivalence:
@@ -164,6 +373,34 @@ class TestPipelineIntegration:
     def test_invalid_engine(self):
         with pytest.raises(ConfigurationError):
             RetraSynConfig(engine="gpu")
+
+    def test_pipeline_compile_modes_bit_identical(self, walk_data):
+        prints = {}
+        for compile_mode in COMPILE_MODES:
+            run = RetraSyn(
+                RetraSynConfig(
+                    epsilon=1.0, w=5, engine="vectorized", seed=0,
+                    compile_mode=compile_mode,
+                )
+            ).run(walk_data)
+            assert run.accountant.verify()
+            prints[compile_mode] = [
+                (tr.start_time, list(tr.cells))
+                for tr in run.synthetic.trajectories
+            ]
+        assert prints["incremental"] == prints["full"] == prints["full-loop"]
+
+    def test_pipeline_synthesis_shards(self, walk_data):
+        run = RetraSyn(
+            RetraSynConfig(
+                epsilon=1.0, w=5, engine="vectorized", seed=0,
+                synthesis_shards=2,
+            )
+        ).run(walk_data)
+        assert run.accountant.verify()
+        assert np.array_equal(
+            walk_data.active_counts(), run.synthetic.active_counts()
+        )
 
     def test_utility_comparable_between_engines(self, walk_data):
         from repro.metrics.registry import evaluate_all

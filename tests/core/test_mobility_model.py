@@ -162,6 +162,94 @@ class TestTransitionMatrix:
             assert mat[origin].sum() == pytest.approx(1.0 - quit)
 
 
+class TestTransitionMatrixVectorized:
+    """The padded assembly must match a per-origin row_distribution loop."""
+
+    def _reference(self, model):
+        n = model.space.n_cells
+        mat = np.zeros((n, n))
+        for origin in range(n):
+            probs, _quit = model.row_distribution(origin)
+            for dest, p in zip(model.space.out_destinations(origin), probs):
+                mat[origin, dest] = p
+        return mat
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_row_distribution_loop(self, space4, seed):
+        model = GlobalMobilityModel(space4)
+        rng = np.random.default_rng(seed)
+        # Include negative estimates and exact zeros.
+        model.set_all(rng.normal(0.2, 1.0, size=space4.size))
+        np.testing.assert_allclose(
+            model.transition_matrix(), self._reference(model)
+        )
+
+    def test_massless_and_quit_only_rows(self, space4):
+        model = GlobalMobilityModel(space4)
+        f = np.zeros(space4.size)
+        f[space4.index_of_quit(5)] = 1.0  # row 5: all mass on quitting
+        model.set_all(f)  # every other row: massless -> uniform
+        np.testing.assert_allclose(
+            model.transition_matrix(), self._reference(model)
+        )
+
+    def test_no_eq_space(self, space4_noeq):
+        model = GlobalMobilityModel(space4_noeq)
+        rng = np.random.default_rng(1)
+        model.set_all(rng.random(space4_noeq.size))
+        np.testing.assert_allclose(
+            model.transition_matrix(), self._reference(model)
+        )
+
+
+class TestDirtyJournal:
+    def test_up_to_date_version_is_clean(self, model4):
+        assert model4.dirty_origins_since(model4.version).size == 0
+
+    def test_set_all_invalidates_everything(self, model4, space4):
+        v = model4.version
+        model4.set_all(np.ones(space4.size))
+        assert model4.dirty_origins_since(v) is None
+
+    def test_update_selected_names_origin_rows(self, model4, space4):
+        model4.set_all(np.ones(space4.size))
+        v = model4.version
+        idx = [space4.index_of_move(5, 6), space4.index_of_quit(9)]
+        model4.update_selected(idx, np.full(space4.size, 2.0))
+        assert model4.dirty_origins_since(v).tolist() == [5, 9]
+
+    def test_enter_states_dirty_no_rows(self, model4, space4):
+        model4.set_all(np.ones(space4.size))
+        v = model4.version
+        model4.update_selected(
+            [space4.index_of_enter(3)], np.full(space4.size, 2.0)
+        )
+        assert model4.dirty_origins_since(v).size == 0
+
+    def test_dirty_sets_accumulate_across_bumps(self, model4, space4):
+        model4.set_all(np.ones(space4.size))
+        v = model4.version
+        f = np.full(space4.size, 2.0)
+        model4.update_selected([space4.index_of_move(1, 2)], f)
+        model4.update_selected([space4.index_of_move(2, 1)], f)
+        assert model4.dirty_origins_since(v).tolist() == [1, 2]
+
+    def test_future_version_unknown(self, model4):
+        assert model4.dirty_origins_since(model4.version + 1) is None
+
+    def test_journal_overrun_degrades_to_full(self, model4, space4):
+        from repro.core.mobility_model import _DIRTY_LOG_LIMIT
+
+        model4.set_all(np.ones(space4.size))
+        v = model4.version
+        f = np.full(space4.size, 2.0)
+        for _ in range(_DIRTY_LOG_LIMIT + 1):
+            model4.update_selected([space4.index_of_move(0, 1)], f)
+        assert model4.dirty_origins_since(v) is None
+        # A recent enough baseline is still answerable.
+        assert model4.dirty_origins_since(model4.version - 1).tolist() == [0]
+
+
 class TestModelRecovery:
     def test_learns_lane_transitions_from_clean_counts(self, lane_data):
         """Feeding true frequencies must recover the deterministic lane."""

@@ -1,0 +1,212 @@
+"""Tests for the columnar trajectory store.
+
+The store must round-trip bit-identical ``CellTrajectory`` views against a
+plain object reference driven by the same operation sequence, grow
+transparently in both dimensions, and serve array accessors that agree
+with object-side computations.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.synthesis import Synthesizer
+from repro.core.trajectory_store import TrajectoryStore
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.geo.trajectory import CellTrajectory
+
+
+class _ObjectReference:
+    """List-of-objects twin driven by the same operations as the store."""
+
+    def __init__(self):
+        self.trajs: list[CellTrajectory] = []
+
+    def append_streams(self, t, cells):
+        rows = []
+        for c in np.atleast_1d(cells):
+            rows.append(len(self.trajs))
+            self.trajs.append(
+                CellTrajectory(int(t), [int(c)], user_id=len(self.trajs))
+            )
+        return rows
+
+    def append_cells(self, rows, cells):
+        for r, c in zip(rows, cells):
+            self.trajs[r].cells.append(int(c))
+
+    def pop_last(self, rows):
+        for r in rows:
+            self.trajs[r].cells.pop()
+
+    def kill(self, rows):
+        for r in rows:
+            self.trajs[r].terminated = True
+
+
+def _random_walk(seed, n_rounds=40, n_cells=25):
+    """Drive store and reference through one random operation sequence."""
+    rng = np.random.default_rng(seed)
+    store = TrajectoryStore(initial_capacity=4, initial_horizon=2)
+    ref = _ObjectReference()
+    live: list[int] = []
+    for t in range(n_rounds):
+        n_new = int(rng.integers(0, 6))
+        cells = rng.integers(0, n_cells, size=n_new)
+        rows = store.append_streams(t, cells)
+        assert ref.append_streams(t, cells) == rows.tolist()
+        live.extend(rows.tolist())
+        if live:
+            advance = np.asarray(
+                [r for r in live if rng.random() < 0.8], dtype=np.int64
+            )
+            new_cells = rng.integers(0, n_cells, size=advance.size)
+            store.append_cells(advance, new_cells)
+            ref.append_cells(advance, new_cells)
+            lengths = store.lengths_of(np.asarray(live, dtype=np.int64))
+            droppable = [
+                r for r, ln in zip(live, lengths) if ln > 1 and rng.random() < 0.1
+            ]
+            store.pop_last(np.asarray(droppable, dtype=np.int64))
+            ref.pop_last(droppable)
+            dead = [r for r in live if rng.random() < 0.15]
+            store.kill(np.asarray(dead, dtype=np.int64))
+            ref.kill(dead)
+            live = [r for r in live if r not in set(dead)]
+    return store, ref
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_views_bit_identical_to_object_reference(self, seed):
+        store, ref = _random_walk(seed)
+        assert store.n_total == len(ref.trajs)
+        for row, expected in enumerate(ref.trajs):
+            view = store.view(row)
+            assert view.start_time == expected.start_time
+            assert view.cells == expected.cells
+            assert view.user_id == expected.user_id
+            assert view.terminated == expected.terminated
+
+    def test_views_do_not_alias_the_buffer(self):
+        store = TrajectoryStore()
+        store.append_streams(0, [3])
+        view = store.view(0)
+        view.cells.append(99)
+        assert store.view(0).cells == [3]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_array_accessors_match_object_computation(self, seed):
+        store, ref = _random_walk(seed)
+        horizon = max(tr.end_time for tr in ref.trajs) + 1
+        assert store.lengths().tolist() == [len(tr) for tr in ref.trajs]
+        for t in range(horizon):
+            expected = [tr.cell_at(t) for tr in ref.trajs if tr.active_at(t)]
+            assert store.cells_at(t).tolist() == expected
+            counts = np.bincount(expected, minlength=25)
+            np.testing.assert_array_equal(store.counts_by_cell(t, 25), counts)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_counts_matrix_matches_stream_dataset_loop(self, seed):
+        from repro.geo.grid import unit_grid
+        from repro.stream.stream import StreamDataset
+
+        store, ref = _random_walk(seed)
+        grid = unit_grid(5)  # 25 cells, matching _random_walk's domain
+        data = StreamDataset(grid, ref.trajs, name="ref")
+        np.testing.assert_array_equal(
+            store.counts_matrix(data.n_timestamps, grid.n_cells),
+            data.cell_counts_matrix(),
+        )
+        # Clipping: a shorter horizon drops the tail identically.
+        short = StreamDataset(
+            grid,
+            [CellTrajectory(t.start_time, list(t.cells)) for t in ref.trajs],
+            n_timestamps=max(1, data.n_timestamps // 2),
+            name="short",
+        )
+        np.testing.assert_array_equal(
+            store.counts_matrix(short.n_timestamps, grid.n_cells),
+            short.cell_counts_matrix(),
+        )
+
+
+class TestGrowthAndGuards:
+    def test_row_and_horizon_doubling(self):
+        store = TrajectoryStore(initial_capacity=2, initial_horizon=2)
+        rows = store.append_streams(0, np.zeros(9, dtype=np.int64))
+        for _ in range(10):
+            store.append_cells(rows, np.ones(rows.size, dtype=np.int64))
+        assert store.n_total == 9
+        assert (store.lengths() == 11).all()
+        assert store.view(4).cells == [0] + [1] * 10
+
+    def test_pop_last_refuses_single_cell_streams(self):
+        store = TrajectoryStore()
+        rows = store.append_streams(0, [1, 2])
+        with pytest.raises(DatasetError):
+            store.pop_last(rows)
+
+    def test_view_bounds(self):
+        store = TrajectoryStore()
+        with pytest.raises(DatasetError):
+            store.view(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TrajectoryStore(initial_capacity=0)
+
+    def test_kill_is_idempotent(self):
+        store = TrajectoryStore()
+        rows = store.append_streams(0, [1])
+        store.kill(rows)
+        store.kill(rows)
+        assert store.n_live == 0
+        assert store.view(0).terminated
+
+    def test_empty_store_accessors(self):
+        store = TrajectoryStore()
+        assert store.n_live == 0
+        assert store.live_rows().size == 0
+        assert store.cells_at(0).size == 0
+        assert store.counts_matrix(5, 3).shape == (5, 3)
+        assert store.all_views() == []
+
+
+class TestPickling:
+    def test_pickle_round_trip(self):
+        store, ref = _random_walk(7)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.n_total == store.n_total
+        for row in range(store.n_total):
+            a, b = store.view(row), clone.view(row)
+            assert (a.start_time, a.cells, a.terminated) == (
+                b.start_time,
+                b.cells,
+                b.terminated,
+            )
+
+
+class TestEngineIntegration:
+    def test_object_engine_store_views_match_live_lists(self, space4, rng):
+        from repro.core.mobility_model import GlobalMobilityModel
+
+        model = GlobalMobilityModel(space4)
+        model.set_all(rng.random(space4.size))
+        syn = Synthesizer(model, lam=8.0, rng=0)
+        syn.spawn_from_entering(0, 50)
+        for t in range(1, 10):
+            syn.step(t, target_size=50 - t)
+        # The engine's ordered object views and the store's creation-order
+        # views describe the same database.
+        by_id = {tr.user_id: tr for tr in syn.all_trajectories()}
+        assert sorted(by_id) == list(range(syn.store.n_total))
+        for row in range(syn.store.n_total):
+            view = syn.store.view(row)
+            assert view.cells == by_id[row].cells
+            assert view.start_time == by_id[row].start_time
+        np.testing.assert_array_equal(
+            syn.live_last_cells(),
+            np.asarray([tr.last_cell for tr in syn.live_streams]),
+        )

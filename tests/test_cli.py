@@ -58,6 +58,18 @@ class TestRunEvaluate:
         assert out.exists()
         assert "satisfied': True" in capsys.readouterr().out
 
+    def test_run_synthesis_plane_flags(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "syn.npz"
+        code = main([
+            "run", "--method", "RetraSyn_p", "--input", str(dataset_file),
+            "--epsilon", "1.0", "--w", "5", "--out", str(out),
+            "--engine", "vectorized", "--compile-mode", "full-loop",
+            "--synthesis-shards", "2",
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "satisfied': True" in capsys.readouterr().out
+
     def test_run_baseline(self, dataset_file, tmp_path):
         out = tmp_path / "syn.npz"
         code = main([
