@@ -20,6 +20,7 @@ DOCS = [
     ROOT / "README.md",
     ROOT / "docs" / "ARCHITECTURE.md",
     ROOT / "docs" / "STREAMING.md",
+    ROOT / "docs" / "API.md",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#]+)\)")

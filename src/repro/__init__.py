@@ -13,9 +13,31 @@ Quickstart::
     run = RetraSyn(RetraSynConfig(epsilon=1.0, w=20, seed=0)).run(data)
     assert run.accountant.verify()          # w-event ε-LDP held
     scores = evaluate_all(data, run.synthetic, phi=10, rng=0)
+
+Session API (engine-agnostic; see ``docs/API.md``)::
+
+    from repro import SessionSpec, create_session
+
+    spec = SessionSpec.from_flat(epsilon=1.0, w=20, seed=0, n_shards=4)
+    session = create_session(spec, data.grid, lam=14.0)
 """
 
 from repro.analysis import FlowAnalyzer, TrajectoryAnalyzer, fidelity_report
+from repro.api.client import Client
+from repro.api.session import (
+    CuratorSession,
+    DirectSession,
+    IngestSession,
+    create_session,
+    load_session,
+)
+from repro.api.specs import (
+    EngineSpec,
+    PrivacySpec,
+    ServiceSpec,
+    SessionSpec,
+    ShardingSpec,
+)
 from repro.core import (
     GlobalMobilityModel,
     OnlineRetraSyn,
@@ -45,6 +67,17 @@ from repro.stream import StreamDataset, TransitionStateSpace
 __version__ = "1.0.0"
 
 __all__ = [
+    "PrivacySpec",
+    "EngineSpec",
+    "ShardingSpec",
+    "ServiceSpec",
+    "SessionSpec",
+    "CuratorSession",
+    "DirectSession",
+    "IngestSession",
+    "create_session",
+    "load_session",
+    "Client",
     "RetraSyn",
     "RetraSynConfig",
     "OnlineRetraSyn",

@@ -1,0 +1,144 @@
+"""Remote curator client: the wire twin of an in-process session.
+
+:class:`Client` speaks the versioned schema of :mod:`repro.api.schema`
+over the HTTP ingress (:mod:`repro.api.http`), exposing the same verbs a
+local :class:`~repro.api.session.CuratorSession` has — ``submit_batch``,
+``snapshot``, ``stats``, ``checkpoint``, ``close`` and ``result`` — so
+moving a workload across the network is a one-line change::
+
+    client = Client("127.0.0.1", 8731)
+    hello = client.hello()                  # negotiate + grid geometry
+    for t in range(T):
+        client.submit_batch(t, view.batch_at(t),
+                            newly_entered=view.newly_entered_at(t),
+                            quitted=view.quitted_at(t),
+                            n_real_active=view.n_active_at(t))
+    client.close()
+    synthetic = client.result()             # a StreamDataset, bit-identical
+                                            # to the in-process run
+
+Only the Python standard library is used (``http.client``); each request
+opens a fresh connection because the server closes after responding.
+"""
+
+from __future__ import annotations
+
+import http.client
+from typing import Optional
+
+import numpy as np
+
+from repro.api import schema
+
+
+class Client:
+    """Synchronous client for one curator session behind an HTTP ingress."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.schema_version: int = schema.SCHEMA_VERSION
+        self._hello: Optional[dict] = None
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, msg: Optional[dict] = None,
+                 expect: Optional[str] = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = schema.dumps(msg) if msg is not None else b""
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = response.read()
+        finally:
+            conn.close()
+        # loads() raises SchemaError for error envelopes whenever a type is
+        # expected, so callers never see an "error" message object.
+        return schema.loads(payload, expect=expect)
+
+    # ------------------------------------------------------------------ #
+    # protocol verbs
+    # ------------------------------------------------------------------ #
+    def hello(self) -> dict:
+        """Negotiate the schema version and fetch the server identity."""
+        versions = ",".join(str(v) for v in schema.SUPPORTED_VERSIONS)
+        msg = self._request(
+            "GET", f"/v1/hello?versions={versions}", expect="hello"
+        )
+        self.schema_version = int(msg["schema"])
+        self._hello = msg
+        return msg
+
+    def grid(self):
+        """The server's discretisation grid (from the hello handshake)."""
+        from repro.geo.grid import Grid
+        from repro.geo.point import BoundingBox
+
+        info = (self._hello or self.hello())["grid"]
+        bx = info["bbox"]
+        return Grid(BoundingBox(bx[0], bx[1], bx[2], bx[3]), int(info["k"]))
+
+    def submit_batch(
+        self, t: int, batch, newly_entered=(), quitted=(),
+        n_real_active: int = 0,
+    ) -> dict:
+        """Submit one timestamp's candidate reports; returns the ack."""
+        msg = schema.report_batch_message(
+            t, batch, newly_entered, quitted, n_real_active,
+            version=self.schema_version,
+        )
+        return self._request("POST", "/v1/batch", msg, expect="ack")
+
+    def snapshot(self) -> np.ndarray:
+        """Current cells of the server's live synthetic streams."""
+        msg = self._request("GET", "/v1/snapshot", expect="snapshot")
+        return schema.parse_snapshot(msg)
+
+    def stats(self) -> dict:
+        """The server session's monitoring counters."""
+        return self._request("GET", "/v1/stats", expect="stats")["stats"]
+
+    def checkpoint(self) -> Optional[str]:
+        """Ask the server to write its configured checkpoint; returns the path."""
+        msg = self._request("POST", "/v1/checkpoint", expect="checkpoint")
+        return msg.get("path")
+
+    def close(self) -> None:
+        """End of stream: the server flushes and finalises the session."""
+        self._request("POST", "/v1/close", expect="ack")
+
+    def result(self, name: Optional[str] = None):
+        """Fetch the synthetic database as a :class:`StreamDataset`."""
+        from repro.geo.trajectory import CellTrajectory
+        from repro.stream.stream import StreamDataset
+
+        msg = self._request("GET", "/v1/result", expect="result")
+        births, lengths, flat, n_timestamps, remote_name, user_ids = (
+            schema.parse_result(msg)
+        )
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        trajectories = [
+            CellTrajectory(
+                int(births[i]),
+                flat[offsets[i]:offsets[i + 1]].tolist(),
+                user_id=int(user_ids[i]),
+            )
+            for i in range(lengths.size)
+        ]
+        return StreamDataset(
+            self.grid(),
+            trajectories,
+            n_timestamps=n_timestamps,
+            name=name or remote_name,
+        )
+
+    def shutdown_server(self) -> None:
+        """Close the remote session and stop the ingress loop."""
+        self._request("POST", "/v1/shutdown", expect="ack")

@@ -1,0 +1,310 @@
+"""Asyncio HTTP ingress: a :class:`CuratorSession` served over the wire.
+
+``repro serve --http PORT`` binds this server in front of a session
+created by :func:`~repro.api.session.create_session`; remote clients
+(:class:`~repro.api.client.Client`) then drive the same
+``submit_batch / advance / snapshot / result`` protocol that in-process
+callers use, speaking the versioned wire schema of
+:mod:`repro.api.schema`.  Because the schema round-trips report batches
+losslessly and the server processes them in submission order, a remote
+replay produces *bit-identical* synthetic streams to an in-process
+session with the same spec and seed (pinned by
+``tests/api/test_http_ingress.py``).
+
+The server is deliberately dependency-free: a small HTTP/1.1 handler on
+``asyncio.start_server`` (one request per connection, bounded header and
+body sizes), because the container ships no web framework and the
+protocol needs only these routes:
+
+==========================  ==========================================
+``GET  /v1/hello``          Version negotiation + grid geometry.
+``POST /v1/batch``          Submit one timestamp's reports; advances.
+``GET  /v1/snapshot``       Live synthetic cells.
+``GET  /v1/stats``          Monitoring counters.
+``POST /v1/checkpoint``     Write the configured checkpoint.
+``POST /v1/close``          End of stream: flush + final checkpoint.
+``GET  /v1/result``         The synthetic database, columnar.
+``POST /v1/shutdown``       Close the session and stop the server.
+==========================  ==========================================
+
+Session calls are serialized behind an :class:`asyncio.Lock`, so
+concurrent clients cannot interleave a curator round.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import numpy as np
+
+from repro.api import schema
+from repro.api.schema import SchemaError
+from repro.exceptions import ReproError
+
+#: Bounds on what a peer may send (headers / body, bytes).
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpIngress:
+    """One session behind an HTTP front door.
+
+    Parameters
+    ----------
+    session:
+        Any :class:`~repro.api.session.CuratorSession`.  The ingest
+        transport is the natural fit (out-of-order tolerance), but the
+        direct one works identically for in-order replays.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port, exposed as
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, session, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.session = session
+        self.host = host
+        self.port = int(port)
+        self._server: asyncio.AbstractServer | None = None
+        self._lock = asyncio.Lock()
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        # limit bounds readuntil() for the header; the body is read with
+        # readexactly(), which the limit does not apply to.
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=_MAX_HEADER_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a client posts ``/v1/shutdown``, then stop."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def aclose(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------ #
+    # http plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, msg = await self._route(method, path, body)
+        except SchemaError as exc:
+            status, msg = 400, schema.error_message(exc)
+        except ReproError as exc:
+            status, msg = 400, schema.error_message(exc)
+        except Exception as exc:  # noqa: BLE001 - the envelope reports it
+            status, msg = 500, schema.error_message(exc)
+        try:
+            payload = schema.dumps(msg)
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer went away mid-response; nothing to report to
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        try:
+            header = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            # Connection closed before a full request arrived (port scans,
+            # TCP health checks): not an error, just nothing to answer.
+            return None
+        except asyncio.LimitOverrunError:
+            raise SchemaError("request header too large") from None
+        lines = header.decode("latin-1").split("\r\n")
+        try:
+            method, target, _proto = lines[0].split(" ", 2)
+        except ValueError as exc:
+            raise SchemaError(f"malformed request line {lines[0]!r}") from exc
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise SchemaError(
+                        f"unparseable Content-Length {value.strip()!r}"
+                    ) from None
+        if not 0 <= length <= _MAX_BODY_BYTES:
+            raise SchemaError(f"request body of {length} bytes exceeds the bound")
+        try:
+            body = await reader.readexactly(length) if length else b""
+        except asyncio.IncompleteReadError:
+            return None  # peer closed mid-body; nothing to answer
+        return method.upper(), target, body
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+    async def _route(self, method: str, target: str, body: bytes):
+        path, _, query = target.partition("?")
+        handlers = {
+            ("GET", "/v1/hello"): self._hello,
+            ("POST", "/v1/batch"): self._batch,
+            ("GET", "/v1/snapshot"): self._snapshot,
+            ("GET", "/v1/stats"): self._stats,
+            ("POST", "/v1/checkpoint"): self._checkpoint,
+            ("POST", "/v1/close"): self._close,
+            ("GET", "/v1/result"): self._result,
+            ("POST", "/v1/shutdown"): self._shutdown_route,
+        }
+        handler = handlers.get((method, path))
+        if handler is None:
+            known_paths = {p for _, p in handlers}
+            if path in known_paths:
+                return 405, schema.error_message(
+                    SchemaError(f"method {method} not allowed for {path}")
+                )
+            return 404, schema.error_message(SchemaError(f"unknown route {path}"))
+        return await handler(query, body)
+
+    async def _hello(self, query: str, body: bytes):
+        versions = schema.SUPPORTED_VERSIONS
+        for part in query.split("&"):
+            name, _, value = part.partition("=")
+            if name == "versions" and value:
+                versions = [v for v in value.split(",") if v]
+        negotiated = schema.negotiate(versions)
+        curator = self.session.curator
+        msg = schema.hello_message(
+            curator.grid,
+            include_eq=curator.space.include_eq,
+            label=curator.config.label,
+            lam=curator.lam,
+        )
+        msg["schema"] = negotiated
+        return 200, msg
+
+    async def _batch(self, query: str, body: bytes):
+        msg = schema.loads(body, expect="report-batch")
+        t, batch, entered, quitted, n_active = schema.parse_report_batch(msg)
+        async with self._lock:
+            self.session.submit_batch(
+                t, batch,
+                newly_entered=entered, quitted=quitted, n_real_active=n_active,
+            )
+            results = self.session.advance()
+        return 200, schema.message(
+            "ack", t=t, n=len(batch), n_rounds_processed=len(results)
+        )
+
+    async def _snapshot(self, query: str, body: bytes):
+        async with self._lock:
+            cells = self.session.snapshot()
+        return 200, schema.snapshot_message(cells)
+
+    async def _stats(self, query: str, body: bytes):
+        async with self._lock:
+            stats = self.session.stats()
+        return 200, schema.stats_message(stats)
+
+    async def _checkpoint(self, query: str, body: bytes):
+        # Only the server-configured path is writable: remote peers must
+        # not choose filesystem locations.
+        async with self._lock:
+            self.session.checkpoint()
+        return 200, schema.message(
+            "checkpoint", path=self.session.spec.service.checkpoint_path
+        )
+
+    async def _close(self, query: str, body: bytes):
+        async with self._lock:
+            self.session.close()
+        return 200, schema.message("ack", t=-1, n=0, n_rounds_processed=0)
+
+    async def _result(self, query: str, body: bytes):
+        from repro.core.trajectory_store import StoreTrajectories
+
+        async with self._lock:
+            run = self.session.result()
+        synthetic = run.synthetic
+        trajectories = synthetic.trajectories
+        if isinstance(trajectories, StoreTrajectories):
+            # Store-backed datasets ship straight from the columnar
+            # arrays — no CellTrajectory is materialised for the wire.
+            store, rows = trajectories.store, trajectories.rows
+            births = store.births_of(rows)
+            lengths = store.lengths_of(rows)
+            flat = store.flat_cells(rows)
+            user_ids = rows
+        else:
+            births = np.asarray(
+                [t.start_time for t in trajectories], dtype=np.int64
+            )
+            lengths = np.asarray([len(t) for t in trajectories], dtype=np.int64)
+            flat = (
+                np.concatenate(
+                    [np.asarray(t.cells, dtype=np.int64) for t in trajectories]
+                )
+                if len(trajectories)
+                else np.zeros(0, dtype=np.int64)
+            )
+            user_ids = np.asarray(
+                [t.user_id for t in trajectories], dtype=np.int64
+            )
+        return 200, schema.result_message(
+            births, lengths, flat, synthetic.n_timestamps, synthetic.name,
+            user_ids,
+        )
+
+    async def _shutdown_route(self, query: str, body: bytes):
+        async with self._lock:
+            self.session.close()
+        self._shutdown.set()
+        return 200, schema.message("ack", t=-1, n=0, n_rounds_processed=0)
+
+
+def serve_http(session, host: str = "127.0.0.1", port: int = 0, on_ready=None):
+    """Run an ingress for ``session`` until a client posts ``/v1/shutdown``.
+
+    ``on_ready(ingress)`` fires once the socket is bound — the CLI prints
+    the listening address from it, and tests grab the ephemeral port.
+    Returns the :class:`HttpIngress` (its session holds the final state).
+    """
+
+    async def _run() -> HttpIngress:
+        ingress = HttpIngress(session, host=host, port=port)
+        await ingress.start()
+        if on_ready is not None:
+            on_ready(ingress)
+        await ingress.serve_until_shutdown()
+        return ingress
+
+    return asyncio.run(_run())

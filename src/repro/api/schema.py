@@ -1,0 +1,319 @@
+"""Versioned request/response wire schema of the curator API.
+
+Every message a session exchanges with a remote peer — and, identically,
+what in-process callers see when they serialize sessions' inputs and
+outputs — is a JSON envelope::
+
+    {"schema": 1, "type": "<message type>", ...payload...}
+
+Arrays travel in the :class:`~repro.stream.reports.ReportBatch` columnar
+format: raw little-endian buffers, base64-encoded, with the dtype pinned
+by this module (int64 ids/indices, int8 kind codes) — no pickling, no
+object graphs, so the wire format is language-agnostic and safe to parse
+from untrusted peers.
+
+Message types (v1):
+
+==================  ====================================================
+``hello``           Server identity: supported schema versions, grid
+                    geometry, state-space flags, session label.
+``report-batch``    One timestamp's candidate reports plus the derived
+                    enter/quit/active columns (client → server).
+``ack``             Submission acknowledged; carries the rounds processed
+                    so far.
+``snapshot``        Live synthetic stream cells (server → client).
+``stats``           The session's monitoring counters.
+``checkpoint``      Request / confirm a curator checkpoint.
+``result``          The finished synthetic stream database, columnar:
+                    births, lengths and the flattened cell buffer.
+``error``           Failure envelope: error class name + message.
+==================  ====================================================
+
+Version negotiation: the client sends the versions it speaks (the
+``versions`` query parameter / ``hello`` request field); the server
+answers with :func:`negotiate`'s pick — the highest version both sides
+support — and every subsequent message carries that version in its
+``schema`` field.  Unknown versions or types raise :class:`SchemaError`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.stream.reports import ReportBatch
+
+#: Schema versions this build can speak, ascending.
+SUPPORTED_VERSIONS = (1,)
+#: The version this build prefers (and the default for new messages).
+SCHEMA_VERSION = SUPPORTED_VERSIONS[-1]
+
+#: Message types defined by v1.
+MESSAGE_TYPES = (
+    "hello",
+    "report-batch",
+    "ack",
+    "snapshot",
+    "stats",
+    "checkpoint",
+    "result",
+    "error",
+)
+
+#: Wire dtypes by column name; everything else is rejected.
+_COLUMN_DTYPES = {
+    "user_ids": np.int64,
+    "state_idx": np.int64,
+    "kinds": np.int8,
+    "newly_entered": np.int64,
+    "quitted": np.int64,
+    "cells": np.int64,
+    "births": np.int64,
+    "lengths": np.int64,
+    "flat_cells": np.int64,
+    "rows": np.int64,
+}
+
+
+class SchemaError(ReproError):
+    """A wire message violated the schema (bad version, type or payload)."""
+
+
+def negotiate(client_versions: Iterable[int]) -> int:
+    """Highest schema version both peers speak.
+
+    Raises :class:`SchemaError` when the intersection is empty — the
+    caller should surface the server's :data:`SUPPORTED_VERSIONS` so the
+    client can report something actionable.
+    """
+    try:
+        offered = {int(v) for v in client_versions}
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"unparseable schema versions: {client_versions!r}") from exc
+    usable = offered & set(SUPPORTED_VERSIONS)
+    if not usable:
+        raise SchemaError(
+            f"no common schema version: client speaks {sorted(offered)}, "
+            f"server speaks {list(SUPPORTED_VERSIONS)}"
+        )
+    return max(usable)
+
+
+# ---------------------------------------------------------------------- #
+# array codec
+# ---------------------------------------------------------------------- #
+def encode_array(name: str, values) -> str:
+    """Base64 of the little-endian raw buffer, dtype pinned per column."""
+    dtype = _COLUMN_DTYPES.get(name)
+    if dtype is None:
+        raise SchemaError(f"unknown wire column {name!r}")
+    arr = np.ascontiguousarray(np.asarray(values, dtype=dtype))
+    if arr.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
+def decode_array(name: str, data: str) -> np.ndarray:
+    """Inverse of :func:`encode_array` (shape is always one-dimensional)."""
+    dtype = _COLUMN_DTYPES.get(name)
+    if dtype is None:
+        raise SchemaError(f"unknown wire column {name!r}")
+    try:
+        raw = base64.b64decode(data.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise SchemaError(f"column {name!r} is not valid base64") from exc
+    width = np.dtype(dtype).itemsize
+    if len(raw) % width:
+        raise SchemaError(
+            f"column {name!r}: buffer of {len(raw)} bytes is not a "
+            f"multiple of the {width}-byte element size"
+        )
+    return np.frombuffer(raw, dtype=np.dtype(dtype).newbyteorder("<")).astype(
+        dtype, copy=True
+    )
+
+
+# ---------------------------------------------------------------------- #
+# envelopes
+# ---------------------------------------------------------------------- #
+def message(type_: str, version: int = SCHEMA_VERSION, **payload) -> dict:
+    """A schema-stamped message envelope."""
+    if type_ not in MESSAGE_TYPES:
+        raise SchemaError(f"unknown message type {type_!r}")
+    if version not in SUPPORTED_VERSIONS:
+        raise SchemaError(f"unsupported schema version {version}")
+    return {"schema": int(version), "type": type_, **payload}
+
+
+def dumps(msg: dict) -> bytes:
+    """Serialize an envelope to UTF-8 JSON bytes."""
+    return json.dumps(msg, separators=(",", ":")).encode("utf-8")
+
+
+def loads(data: bytes, expect: Optional[str] = None) -> dict:
+    """Parse and validate an envelope; optionally pin its type."""
+    try:
+        msg = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"unparseable wire message: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise SchemaError(f"wire message must be a JSON object, got {type(msg)}")
+    version = msg.get("schema")
+    if version not in SUPPORTED_VERSIONS:
+        raise SchemaError(f"unsupported schema version {version!r}")
+    type_ = msg.get("type")
+    if type_ not in MESSAGE_TYPES:
+        raise SchemaError(f"unknown message type {type_!r}")
+    if expect is not None and type_ != expect:
+        if type_ == "error":
+            raise SchemaError(
+                f"peer reported {msg.get('error', 'error')}: "
+                f"{msg.get('detail', '')}"
+            )
+        raise SchemaError(f"expected a {expect!r} message, got {type_!r}")
+    return msg
+
+
+# ---------------------------------------------------------------------- #
+# v1 message builders / parsers
+# ---------------------------------------------------------------------- #
+def hello_message(grid, include_eq: bool, label: str, lam: float) -> dict:
+    """Server identity: enough for a client to encode reports correctly."""
+    bbox = grid.bbox
+    return message(
+        "hello",
+        versions=list(SUPPORTED_VERSIONS),
+        grid={
+            "k": int(grid.k),
+            "bbox": [
+                float(bbox.min_x), float(bbox.min_y),
+                float(bbox.max_x), float(bbox.max_y),
+            ],
+        },
+        include_eq=bool(include_eq),
+        label=str(label),
+        lam=float(lam),
+    )
+
+
+def report_batch_message(
+    t: int,
+    batch: ReportBatch,
+    newly_entered,
+    quitted,
+    n_real_active: int,
+    version: int = SCHEMA_VERSION,
+) -> dict:
+    """One timestamp's candidate reports, columnar."""
+    return message(
+        "report-batch",
+        version=version,
+        t=int(t),
+        n=len(batch),
+        user_ids=encode_array("user_ids", batch.user_ids),
+        state_idx=encode_array("state_idx", batch.state_idx),
+        kinds=encode_array("kinds", batch.kinds),
+        newly_entered=encode_array("newly_entered", newly_entered),
+        quitted=encode_array("quitted", quitted),
+        n_real_active=int(n_real_active),
+    )
+
+
+def parse_report_batch(msg: dict) -> tuple[int, ReportBatch, np.ndarray, np.ndarray, int]:
+    """Inverse of :func:`report_batch_message`."""
+    try:
+        t = int(msg["t"])
+        batch = ReportBatch(
+            decode_array("user_ids", msg["user_ids"]),
+            decode_array("state_idx", msg["state_idx"]),
+            decode_array("kinds", msg["kinds"]),
+        )
+        entered = decode_array("newly_entered", msg["newly_entered"])
+        quitted = decode_array("quitted", msg["quitted"])
+        n_active = int(msg["n_real_active"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed report-batch message: {exc}") from exc
+    if len(batch) != int(msg.get("n", len(batch))):
+        raise SchemaError(
+            f"report-batch length {len(batch)} disagrees with n={msg.get('n')}"
+        )
+    return t, batch, entered, quitted, n_active
+
+
+def snapshot_message(cells: np.ndarray, version: int = SCHEMA_VERSION) -> dict:
+    """Live synthetic stream cells."""
+    return message(
+        "snapshot", version=version,
+        n=int(np.asarray(cells).size), cells=encode_array("cells", cells),
+    )
+
+
+def parse_snapshot(msg: dict) -> np.ndarray:
+    return decode_array("cells", msg["cells"])
+
+
+def stats_message(stats: dict, version: int = SCHEMA_VERSION) -> dict:
+    return message("stats", version=version, stats=stats)
+
+
+def result_message(
+    births: np.ndarray,
+    lengths: np.ndarray,
+    flat_cells: np.ndarray,
+    n_timestamps: int,
+    name: str,
+    user_ids: np.ndarray,
+    version: int = SCHEMA_VERSION,
+) -> dict:
+    """The finished synthetic stream database, columnar.
+
+    ``flat_cells`` is the concatenation of every stream's cells in
+    sequence order; ``lengths`` recovers the per-stream slices — the same
+    layout the dataset npz format and the trajectory store use.
+    ``user_ids`` carries the streams' ids so a remote reconstruction and
+    the server-side dataset agree on ``trajectory(uid)`` lookups.
+    """
+    return message(
+        "result",
+        version=version,
+        n_streams=int(np.asarray(lengths).size),
+        n_timestamps=int(n_timestamps),
+        name=str(name),
+        births=encode_array("births", births),
+        lengths=encode_array("lengths", lengths),
+        flat_cells=encode_array("flat_cells", flat_cells),
+        user_ids=encode_array("user_ids", user_ids),
+    )
+
+
+def parse_result(
+    msg: dict,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, str, np.ndarray]:
+    try:
+        births = decode_array("births", msg["births"])
+        lengths = decode_array("lengths", msg["lengths"])
+        flat_cells = decode_array("flat_cells", msg["flat_cells"])
+        user_ids = decode_array("user_ids", msg["user_ids"])
+        n_timestamps = int(msg["n_timestamps"])
+        name = str(msg.get("name", "remote"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed result message: {exc}") from exc
+    if births.size != lengths.size or births.size != user_ids.size:
+        raise SchemaError(
+            "result births/lengths/user_ids columns disagree on length"
+        )
+    if int(lengths.sum()) != flat_cells.size:
+        raise SchemaError("result flat_cells length disagrees with lengths")
+    return births, lengths, flat_cells, n_timestamps, name, user_ids
+
+
+def error_message(exc: BaseException, version: int = SCHEMA_VERSION) -> dict:
+    """Failure envelope (class name + message, never a traceback)."""
+    return message(
+        "error", version=version,
+        error=type(exc).__name__, detail=str(exc),
+    )

@@ -42,6 +42,53 @@ def _add_datasets_parser(sub) -> None:
     del listing  # no extra arguments
 
 
+def _flag_dest(flag: str) -> str:
+    """argparse destination of a ``--flag-name`` (its default derivation)."""
+    return flag.lstrip("-").replace("-", "_")
+
+
+def _add_spec_flag_group(parser, spec_classes=None, defaults=None) -> None:
+    """One shared engine/service flag block, generated from the specs.
+
+    Every flag is derived from the ``metadata["cli"]`` entry of a spec
+    field in :mod:`repro.api.specs`, so ``repro run`` and ``repro serve``
+    expose the *same* block and a new config field cannot silently miss
+    (or drift from) its CLI flag.  ``defaults`` overrides per-command
+    defaults (e.g. serve prefers the vectorized engine).
+    """
+    from repro.api.specs import iter_cli_fields
+
+    defaults = defaults or {}
+    group = parser.add_argument_group(
+        "session configuration (generated from repro.api.specs)"
+    )
+    kwargs = {"spec_classes": spec_classes} if spec_classes is not None else {}
+    for _cls, f in iter_cli_fields(**kwargs):
+        meta = f.metadata["cli"]
+        default = defaults.get(f.name, f.default)
+        if meta["store_true"]:
+            group.add_argument(meta["flag"], action="store_true",
+                               help=meta["help"])
+            continue
+        add_kwargs = {"default": default, "help": meta["help"]}
+        if meta["choices"] is not None:
+            add_kwargs["choices"] = meta["choices"]
+        if meta["type"] is not None:
+            add_kwargs["type"] = meta["type"]
+        group.add_argument(meta["flag"], **add_kwargs)
+
+
+def _spec_kwargs_from_args(args, spec_classes=None) -> dict:
+    """Flat spec-field dict collected from a parsed spec flag group."""
+    from repro.api.specs import iter_cli_fields
+
+    kwargs = {"spec_classes": spec_classes} if spec_classes is not None else {}
+    return {
+        f.name: getattr(args, _flag_dest(f.metadata["cli"]["flag"]))
+        for _cls, f in iter_cli_fields(**kwargs)
+    }
+
+
 def _add_run_parser(sub) -> None:
     p = sub.add_parser("run", help="run a synthesis method over a dataset")
     p.add_argument(
@@ -53,37 +100,7 @@ def _add_run_parser(sub) -> None:
     src.add_argument("--input", help="dataset .npz path")
     src.add_argument("--dataset", choices=available_datasets(), help="generate fresh")
     p.add_argument("--scale", type=float, default=0.05, help="with --dataset")
-    p.add_argument("--epsilon", type=float, default=1.0)
-    p.add_argument("--w", type=int, default=20)
-    p.add_argument("--allocator", default="adaptive",
-                   choices=("adaptive", "uniform", "sample", "random"))
-    p.add_argument("--engine", default="object",
-                   choices=("object", "vectorized"),
-                   help="synthesis engine (RetraSyn variants only)")
-    p.add_argument("--compile-mode", default="incremental",
-                   choices=("incremental", "full", "full-loop"),
-                   help="vectorized-engine model compilation: dirty-row "
-                        "recompile, vectorized full rebuild, or the "
-                        "per-cell reference loop")
-    p.add_argument("--synthesis-shards", type=int, default=1,
-                   help="thread slabs advancing live synthetic streams in "
-                        "parallel (vectorized engine only)")
-    p.add_argument("--shards", type=int, default=1,
-                   help="collection shards; >1 enables the sharded engine "
-                        "(RetraSyn variants only)")
-    p.add_argument("--shard-executor", default="serial",
-                   choices=("serial", "process"),
-                   help="run shards in-process or one worker process each")
-    p.add_argument("--oracle-mode", default="fast",
-                   choices=("fast", "exact", "exact-loop"),
-                   help="OUE execution: binomial shortcut, batched literal "
-                        "protocol, or per-user reference loop")
-    p.add_argument("--dmu-prefilter", action="store_true",
-                   help="shard-local never-observed DMU candidate pruning")
-    p.add_argument("--accountant-mode", default="columnar",
-                   choices=("columnar", "object"),
-                   help="privacy-ledger engine: vectorized ring-buffer "
-                        "ledger or the per-uid dict reference")
+    _add_spec_flag_group(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True, help="synthetic output .npz path")
     p.add_argument("--no-audit", action="store_true",
@@ -91,49 +108,35 @@ def _add_run_parser(sub) -> None:
 
 
 def _add_serve_parser(sub) -> None:
+    from repro.api.specs import ServiceSpec
+
     p = sub.add_parser(
         "serve",
         help="replay a dataset through the async ingestion service "
-             "(bounded queue, watermarks, checkpoints)",
+             "(bounded queue, watermarks, checkpoints), or — with --http — "
+             "listen for remote repro.api.Client submissions",
     )
     src = p.add_mutually_exclusive_group(required=True)
     src.add_argument("--input", help="dataset .npz path")
     src.add_argument("--dataset", choices=available_datasets(), help="generate fresh")
     p.add_argument("--scale", type=float, default=0.05, help="with --dataset")
-    p.add_argument("--epsilon", type=float, default=1.0)
-    p.add_argument("--w", type=int, default=20)
-    p.add_argument("--allocator", default="adaptive",
-                   choices=("adaptive", "uniform", "sample", "random"))
-    p.add_argument("--engine", default="vectorized",
-                   choices=("object", "vectorized"))
-    p.add_argument("--compile-mode", default="incremental",
-                   choices=("incremental", "full", "full-loop"),
-                   help="vectorized-engine model compilation (see `repro run`)")
-    p.add_argument("--synthesis-shards", type=int, default=1,
-                   help="thread slabs for parallel stream generation")
-    p.add_argument("--shards", type=int, default=1)
-    p.add_argument("--shard-executor", default="serial",
-                   choices=("serial", "process"))
-    p.add_argument("--oracle-mode", default="fast",
-                   choices=("fast", "exact", "exact-loop"))
-    p.add_argument("--dmu-prefilter", action="store_true",
-                   help="shard-local never-observed DMU candidate pruning")
-    p.add_argument("--accountant-mode", default="columnar",
-                   choices=("columnar", "object"),
-                   help="privacy-ledger engine (see `repro run`)")
+    p.add_argument("--division", default="population",
+                   choices=("population", "budget"),
+                   help="privacy division style (run derives this from "
+                        "--method; serve takes it directly)")
+    _add_spec_flag_group(p, defaults={"engine": "vectorized"})
+    _add_spec_flag_group(p, spec_classes=(ServiceSpec,))
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--queue-size", type=int, default=10_000,
-                   help="ingress queue bound (backpressure threshold)")
-    p.add_argument("--lateness", type=int, default=0,
-                   help="watermark slack: timestamps a report may trail")
     p.add_argument("--shuffle", action="store_true",
                    help="shuffle arrival order inside the lateness window")
-    p.add_argument("--checkpoint", default=None,
-                   help="checkpoint file to write (and resume from)")
-    p.add_argument("--checkpoint-every", type=int, default=0,
-                   help="timestamps between checkpoints (0 = only at end)")
     p.add_argument("--resume", action="store_true",
                    help="resume from --checkpoint instead of starting fresh")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="serve the versioned HTTP ingress on PORT "
+                        "(0 = ephemeral) instead of replaying the dataset; "
+                        "drive it with repro.api.Client")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --http")
     p.add_argument("--out", default=None, help="synthetic output .npz path")
     p.add_argument("--no-audit", action="store_true")
 
@@ -217,67 +220,55 @@ def _cmd_run(args) -> int:
         data = load_stream_dataset(args.input)
     else:
         data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    flat = _spec_kwargs_from_args(args)
+    epsilon, w = flat.pop("epsilon"), flat.pop("w")
+    allocator = flat.pop("allocator")
     overrides = {"track_privacy": not args.no_audit}
     if args.method.lower() not in ("lbd", "lba", "lpd", "lpa"):
-        overrides["engine"] = args.engine
-        overrides["compile_mode"] = args.compile_mode
-        overrides["synthesis_shards"] = args.synthesis_shards
-        overrides["n_shards"] = args.shards
-        overrides["shard_executor"] = args.shard_executor
-        overrides["oracle_mode"] = args.oracle_mode
-        overrides["dmu_prefilter"] = args.dmu_prefilter
-        overrides["accountant_mode"] = args.accountant_mode
+        # Baselines take only the shared privacy knobs; engine-layer flags
+        # apply to the RetraSyn variants.
+        overrides.update(flat)
     algo = make_method(
         args.method,
-        epsilon=args.epsilon,
-        w=args.w,
+        epsilon=epsilon,
+        w=w,
         seed=args.seed,
-        allocator=args.allocator,
+        allocator=allocator,
         **overrides,
     )
     run = algo.run(data)
     save_stream_dataset(run.synthetic, args.out)
     print(f"wrote {args.out}: {run.synthetic.stats()}")
-    if run.accountant is not None:
-        summary = run.accountant.summary()
-        print(f"privacy audit: {summary}")
-        if not summary["satisfied"]:
-            print("ERROR: w-event LDP guarantee violated", file=sys.stderr)
-            return 1
-    return 0
+    return _audit_exit_code(run)
 
 
 def _cmd_serve(args) -> int:
-    from repro.core.retrasyn import RetraSynConfig
+    from repro.api.specs import ServiceSpec, SessionSpec
     from repro.serve import ServeSettings, serve_dataset
 
     if args.input:
         data = load_stream_dataset(args.input)
     else:
         data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    cfg = RetraSynConfig(
-        epsilon=args.epsilon,
-        w=args.w,
-        allocator=args.allocator,
-        engine=args.engine,
-        compile_mode=args.compile_mode,
-        synthesis_shards=args.synthesis_shards,
-        n_shards=args.shards,
-        shard_executor=args.shard_executor,
-        oracle_mode=args.oracle_mode,
-        dmu_prefilter=args.dmu_prefilter,
-        accountant_mode=args.accountant_mode,
+    service = _spec_kwargs_from_args(args, spec_classes=(ServiceSpec,))
+    spec = SessionSpec.from_flat(
+        **_spec_kwargs_from_args(args),
+        **service,
+        division=args.division,
         track_privacy=not args.no_audit,
         seed=args.seed,
+        transport="ingest",
     )
+    if args.http is not None:
+        return _serve_http(args, data, spec)
     settings = ServeSettings(
-        config=cfg,
-        queue_size=args.queue_size,
-        max_lateness=args.lateness,
+        config=spec.to_config(),
+        queue_size=spec.service.queue_size,
+        max_lateness=spec.service.max_lateness,
         shuffle=args.shuffle,
         shuffle_seed=args.seed,
-        checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=spec.service.checkpoint_path,
+        checkpoint_every=spec.service.checkpoint_every,
         resume=args.resume,
     )
     outcome = serve_dataset(data, settings)
@@ -286,8 +277,75 @@ def _cmd_serve(args) -> int:
     if args.out:
         save_stream_dataset(outcome.run.synthetic, args.out)
         print(f"wrote {args.out}: {outcome.run.synthetic.stats()}")
-    if outcome.run.accountant is not None:
-        summary = outcome.run.accountant.summary()
+    return _audit_exit_code(outcome.run)
+
+
+def _serve_http(args, data, spec) -> int:
+    """`repro serve --http PORT`: the network ingress in front of a session.
+
+    The dataset supplies the grid geometry and the λ estimate; the stream
+    itself comes from remote :class:`repro.api.Client` submissions.  Runs
+    until a client posts ``/v1/shutdown``, then reports and (optionally)
+    writes the synthetic output.
+    """
+    import dataclasses
+    from pathlib import Path
+
+    from repro.api.http import serve_http
+    from repro.api.session import create_session, load_session
+    from repro.geo.trajectory import average_length
+
+    spec = dataclasses.replace(
+        spec,
+        service=dataclasses.replace(
+            spec.service, http_host=args.host, http_port=args.http
+        ),
+    )
+    lam = spec.engine.lam or max(1.0, average_length(data.trajectories))
+    if args.resume:
+        if not spec.service.checkpoint_path:
+            raise ValueError("--resume requires --checkpoint")
+        if not Path(spec.service.checkpoint_path).exists():
+            raise FileNotFoundError(
+                f"no checkpoint to resume from: {spec.service.checkpoint_path}"
+            )
+        # Engine + privacy layers come from the checkpoint's stored spec
+        # (the flags of *this* invocation may be defaults that misdescribe
+        # the restored engine); only the service shape — lateness,
+        # cadence, binding — follows the current flags.
+        session = load_session(
+            spec.service.checkpoint_path, service=spec.service
+        )
+        last_t = session.curator._last_t
+        print(f"resumed at t={0 if last_t is None else last_t + 1}", flush=True)
+    else:
+        session = create_session(spec, data.grid, lam=lam)
+    ingress = serve_http(
+        session,
+        host=spec.service.http_host,
+        port=spec.service.http_port,
+        on_ready=lambda s: print(
+            f"listening on http://{s.host}:{s.port} (schema v1); "
+            f"POST /v1/shutdown to stop", flush=True,
+        ),
+    )
+    session = ingress.session
+    run = session.result(name=f"{session.curator.config.label}(http:{data.name})")
+    stats = session.stats()
+    print(f"timestamps processed   {stats['n_timestamps']}")
+    if "ingest" in stats:
+        print(f"reports ingested       {stats['ingest']['n_submitted']}")
+        print(f"late reports dropped   {stats['ingest']['n_late_dropped']}")
+    if args.out:
+        save_stream_dataset(run.synthetic, args.out)
+        print(f"wrote {args.out}: {run.synthetic.stats()}")
+    return _audit_exit_code(run)
+
+
+def _audit_exit_code(run) -> int:
+    """Shared privacy-audit epilogue of run/serve."""
+    if run.accountant is not None:
+        summary = run.accountant.summary()
         print(f"privacy audit: {summary}")
         if not summary["satisfied"]:
             print("ERROR: w-event LDP guarantee violated", file=sys.stderr)

@@ -22,10 +22,11 @@ from repro.core.mobility_model import GlobalMobilityModel
 from repro.core.dmu import DMUSelector
 from repro.core.synthesis import Synthesizer
 from repro.core.fast_synthesis import VectorizedSynthesizer
-from repro.core.trajectory_store import TrajectoryStore
+from repro.core.trajectory_store import StoreTrajectories, TrajectoryStore
 from repro.core.allocation import (
     AdaptiveBudgetAllocator,
     AdaptivePopulationAllocator,
+    AdaptiveUserBudgetAllocator,
     AllocationContext,
     BudgetAllocator,
     PopulationAllocator,
@@ -40,6 +41,7 @@ from repro.core.persistence import (
     load_checkpoint,
     load_config,
     load_model,
+    peek_checkpoint_spec,
     save_checkpoint,
     save_config,
     save_model,
@@ -53,10 +55,12 @@ __all__ = [
     "Synthesizer",
     "VectorizedSynthesizer",
     "TrajectoryStore",
+    "StoreTrajectories",
     "AllocationContext",
     "BudgetAllocator",
     "PopulationAllocator",
     "AdaptiveBudgetAllocator",
+    "AdaptiveUserBudgetAllocator",
     "AdaptivePopulationAllocator",
     "UniformBudgetAllocator",
     "UniformPopulationAllocator",
@@ -76,6 +80,7 @@ __all__ = [
     "load_config",
     "save_checkpoint",
     "load_checkpoint",
+    "peek_checkpoint_spec",
     "make_retrasyn",
     "make_all_update",
     "make_no_eq",

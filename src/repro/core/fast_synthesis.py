@@ -236,6 +236,10 @@ class VectorizedSynthesizer:
         """Every synthetic stream ever created."""
         return self.store.all_views()
 
+    def all_rows(self) -> np.ndarray:
+        """Store rows of every stream, in creation order."""
+        return np.arange(self.store.n_total, dtype=np.int64)
+
     def live_last_cells(self) -> np.ndarray:
         """Current cell of every live stream — no object materialisation."""
         return self.store.last_cells(self.store.live_rows())

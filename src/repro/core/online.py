@@ -369,13 +369,29 @@ class OnlineRetraSyn:
             )
             return batch.take(rows), cfg.epsilon
 
-        eps_t = self._budget_alloc.propose(t, self.context)
+        eps_t = self._propose_budget(t, batch)
         if eps_t < _MIN_EPSILON:
             chosen, eps_used = ReportBatch.empty(), 0.0
         else:
             chosen, eps_used = batch, eps_t
         self._budget_alloc.commit(eps_used)
         return chosen, eps_used
+
+    def _propose_budget(self, t, batch: ReportBatch) -> float:
+        """The round's ε_t under budget division.
+
+        Per-user allocators (``allocator="adaptive-user"``) additionally
+        receive the candidate batch's remaining window budgets from the
+        privacy ledger, so spends adapt to the tightest participant rather
+        than the schedule-level worst case.
+        """
+        alloc = self._budget_alloc
+        if getattr(alloc, "consults_users", False):
+            remaining = None
+            if self.accountant is not None and len(batch):
+                remaining = self.accountant.remaining_many(batch.user_ids, t)
+            return alloc.propose_for(t, self.context, remaining)
+        return alloc.propose(t, self.context)
 
     def _collect(self, t, chosen: ReportBatch, eps_used):
         if len(chosen) == 0:
@@ -465,18 +481,20 @@ class OnlineRetraSyn:
         return self.synthesizer.live_last_cells()
 
     def synthetic_dataset(self, n_timestamps: int, name: str = "online"):
-        """Materialise everything synthesized so far as a StreamDataset.
+        """Everything synthesized so far, as a store-backed StreamDataset.
 
-        Trajectory objects are created here (the API boundary), but the
-        dataset's per-timestamp count matrix — what the streaming metrics
-        actually consume — is primed from the columnar store, so
-        evaluation never loops over trajectory objects.
+        No ``CellTrajectory`` objects are materialised here: the dataset's
+        trajectory sequence is a lazy view over the columnar store (built
+        per stream only if a consumer indexes it), and the per-timestamp
+        count matrix — what the streaming metrics actually consume — is
+        primed from the store arrays directly.
         """
         from repro.stream.stream import StreamDataset
 
-        dataset = StreamDataset(
+        dataset = StreamDataset.from_store(
             self.grid,
-            self.synthesizer.all_trajectories(),
+            self.synthesizer.store,
+            rows=self.synthesizer.all_rows(),
             n_timestamps=n_timestamps,
             name=name,
         )

@@ -33,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pickle
+import warnings
 from pathlib import Path
 from typing import Union
 
@@ -50,7 +51,14 @@ _MODEL_FORMAT_VERSION = 1
 # ordered row-id lists for the object engine) instead of CellTrajectory
 # object lists; v1 checkpoints would restore a pre-store attribute layout
 # and are refused.
-_CHECKPOINT_FORMAT_VERSION = 2
+# v3: the payload additionally carries the layered SessionSpec (the
+# canonical config surface since the unified curator API), so a resumed
+# service restores its deployment shape — transport, lateness bound,
+# checkpoint cadence — not just the engine state.  v2 checkpoints load
+# through a migration shim (the spec is lifted from the stored flat
+# config) and emit a DeprecationWarning; re-saving writes v3.
+_CHECKPOINT_FORMAT_VERSION = 3
+_MIGRATABLE_CHECKPOINT_VERSIONS = (2,)
 
 
 def save_model(model: GlobalMobilityModel, path: Union[str, Path]) -> None:
@@ -118,7 +126,7 @@ def config_from_dict(data: dict) -> RetraSynConfig:
     return RetraSynConfig(**data)
 
 
-def save_checkpoint(curator, path: Union[str, Path]) -> None:
+def save_checkpoint(curator, path: Union[str, Path], spec=None) -> None:
     """Freeze a running curator (online or sharded) to ``path``.
 
     Captures everything :meth:`~repro.core.online.OnlineRetraSyn
@@ -126,6 +134,10 @@ def save_checkpoint(curator, path: Union[str, Path]) -> None:
     rebuild the curator object itself.  For the process shard executor the
     per-shard states are fetched from the worker processes first, so the
     checkpoint is complete even though the workers hold the trackers.
+
+    ``spec`` is the session's :class:`~repro.api.specs.SessionSpec`; when
+    omitted it is lifted from the curator's flat config (losing only the
+    service layer, which defaults).
     """
     from repro.core.sharded import ShardedOnlineRetraSyn
 
@@ -136,6 +148,7 @@ def save_checkpoint(curator, path: Union[str, Path]) -> None:
         ),
         "grid": curator.grid,
         "config": curator.config,
+        "spec": spec if spec is not None else curator.config.to_spec(),
         "lam": curator.lam,
         "state": curator.checkpoint_state(),
     }
@@ -145,33 +158,73 @@ def save_checkpoint(curator, path: Union[str, Path]) -> None:
     tmp.replace(Path(path))  # atomic: a crash mid-write never corrupts
 
 
-def load_checkpoint(path: Union[str, Path]):
-    """Rebuild the curator saved by :func:`save_checkpoint`.
-
-    Returns an :class:`~repro.core.online.OnlineRetraSyn` or
-    :class:`~repro.core.sharded.ShardedOnlineRetraSyn` whose next
-    ``process_timestep`` continues exactly where the saved one stopped
-    (``curator._last_t + 1``).  Only load checkpoints you wrote: the
-    format is pickle.
-    """
-    from repro.core.online import OnlineRetraSyn
-    from repro.core.sharded import ShardedOnlineRetraSyn
-
+def _read_checkpoint_payload(path: Union[str, Path]) -> dict:
+    """Load and version-check a checkpoint payload (v2 migrates, warns)."""
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"checkpoint file not found: {path}")
     with open(path, "rb") as fh:
         payload = pickle.load(fh)
     version = int(payload.get("version", -1))
-    if version != _CHECKPOINT_FORMAT_VERSION:
+    if version in _MIGRATABLE_CHECKPOINT_VERSIONS:
+        warnings.warn(
+            f"checkpoint format v{version} is deprecated; it loads through "
+            f"a migration shim (session spec lifted from the stored flat "
+            f"config) — re-save to write "
+            f"v{_CHECKPOINT_FORMAT_VERSION}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        payload = dict(payload)
+        payload["spec"] = None  # derived lazily from the flat config
+        payload["version"] = _CHECKPOINT_FORMAT_VERSION
+    elif version != _CHECKPOINT_FORMAT_VERSION:
         raise DatasetError(
             f"unsupported checkpoint format version {version} "
             f"(expected {_CHECKPOINT_FORMAT_VERSION})"
         )
+    return payload
+
+
+def load_checkpoint(path: Union[str, Path]):
+    """Rebuild the curator saved by :func:`save_checkpoint`.
+
+    Returns an :class:`~repro.core.online.OnlineRetraSyn` or
+    :class:`~repro.core.sharded.ShardedOnlineRetraSyn` whose next
+    ``process_timestep`` continues exactly where the saved one stopped
+    (``curator._last_t + 1``).  v2 checkpoints migrate transparently (with
+    a :class:`DeprecationWarning`); resume stays bit-for-bit identical
+    because the migration touches only metadata, never engine state.
+    Only load checkpoints you wrote: the format is pickle.
+    """
+    return load_checkpoint_with_spec(path)[0]
+
+
+def load_checkpoint_with_spec(path: Union[str, Path]):
+    """One-read variant of :func:`load_checkpoint` + :func:`peek_checkpoint_spec`.
+
+    Returns ``(curator, spec)``; ``spec`` is ``None`` for migrated v2
+    checkpoints, which predate the layered specs.  Session resume
+    (:func:`repro.api.session.load_session`) uses this so large payloads
+    — the full trajectory store, model and ledgers — are unpickled once.
+    """
+    from repro.core.online import OnlineRetraSyn
+    from repro.core.sharded import ShardedOnlineRetraSyn
+
+    payload = _read_checkpoint_payload(path)
     cls = ShardedOnlineRetraSyn if payload["kind"] == "sharded" else OnlineRetraSyn
     curator = cls(payload["grid"], payload["config"], lam=payload["lam"])
     curator.restore_state(payload["state"])
-    return curator
+    return curator, payload["spec"]
+
+
+def peek_checkpoint_spec(path: Union[str, Path]):
+    """The :class:`~repro.api.specs.SessionSpec` stored in a checkpoint.
+
+    Returns ``None`` for migrated v2 checkpoints (which predate specs);
+    callers fall back to lifting the flat config of the loaded curator.
+    """
+    return _read_checkpoint_payload(path)["spec"]
 
 
 def save_config(config: RetraSynConfig, path: Union[str, Path]) -> None:

@@ -35,23 +35,28 @@ from typing import Optional
 
 from repro.exceptions import ConfigurationError
 from repro.geo.trajectory import average_length
-from repro.ldp.accountant import (
-    ACCOUNTANT_MODES,
-    ColumnarPrivacyAccountant,
-    PrivacyAccountant,
-)
+from repro.ldp.accountant import ColumnarPrivacyAccountant, PrivacyAccountant
 from repro.rng import RngLike
 from repro.stream.stream import StreamDataset
 
 
 @dataclass
 class RetraSynConfig:
-    """All tunables of the pipeline; defaults follow Table II / Section V-A."""
+    """Flat compatibility façade over the layered session specs.
+
+    All tunables of the pipeline; defaults follow Table II / Section V-A.
+    The canonical, layered configuration model lives in
+    :mod:`repro.api.specs` (``PrivacySpec`` / ``EngineSpec`` /
+    ``ShardingSpec`` composed into ``SessionSpec``); this dataclass keeps
+    the historical flat keyword surface, and every validation rule is
+    enforced by lifting into a :class:`~repro.api.specs.SessionSpec` at
+    construction time — so the two surfaces cannot disagree.
+    """
 
     epsilon: float = 1.0
     w: int = 20
     division: str = "population"  # "population" (RetraSyn_p) | "budget" (RetraSyn_b)
-    allocator: str = "adaptive"  # "adaptive" | "uniform" | "sample" | "random"
+    allocator: str = "adaptive"  # "adaptive(-user)" | "uniform" | "sample" | "random"
     update_strategy: str = "dmu"  # "dmu" | "all"  ("all" = AllUpdate variant)
     model_entering_quitting: bool = True  # False = NoEQ variant
     lam: Optional[float] = None  # λ of Eq. 8; None => dataset average length
@@ -70,57 +75,15 @@ class RetraSynConfig:
     seed: RngLike = None
 
     def __post_init__(self) -> None:
-        if self.division not in ("population", "budget"):
-            raise ConfigurationError(
-                f"division must be 'population' or 'budget', got {self.division!r}"
-            )
-        if self.allocator not in ("adaptive", "uniform", "sample", "random"):
-            raise ConfigurationError(f"unknown allocator {self.allocator!r}")
-        if self.allocator == "random" and self.division != "population":
-            raise ConfigurationError(
-                "the 'random' strategy is user-driven and only defined for "
-                "population division (paper Section III-E)"
-            )
-        if self.update_strategy not in ("dmu", "all"):
-            raise ConfigurationError(
-                f"update_strategy must be 'dmu' or 'all', got {self.update_strategy!r}"
-            )
-        if self.engine not in ("object", "vectorized"):
-            raise ConfigurationError(
-                f"engine must be 'object' or 'vectorized', got {self.engine!r}"
-            )
-        if self.oracle_mode not in ("fast", "exact", "exact-loop"):
-            raise ConfigurationError(
-                f"oracle_mode must be 'fast', 'exact' or 'exact-loop', "
-                f"got {self.oracle_mode!r}"
-            )
-        if self.compile_mode not in ("incremental", "full", "full-loop"):
-            raise ConfigurationError(
-                f"compile_mode must be 'incremental', 'full' or 'full-loop', "
-                f"got {self.compile_mode!r}"
-            )
-        if self.synthesis_shards < 1:
-            raise ConfigurationError(
-                f"synthesis_shards must be >= 1, got {self.synthesis_shards}"
-            )
-        if self.n_shards < 1:
-            raise ConfigurationError(
-                f"n_shards must be >= 1, got {self.n_shards}"
-            )
-        if self.shard_executor not in ("serial", "process"):
-            raise ConfigurationError(
-                f"shard_executor must be 'serial' or 'process', "
-                f"got {self.shard_executor!r}"
-            )
-        if self.accountant_mode not in ACCOUNTANT_MODES:
-            raise ConfigurationError(
-                f"accountant_mode must be one of {ACCOUNTANT_MODES}, "
-                f"got {self.accountant_mode!r}"
-            )
-        if self.epsilon <= 0:
-            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
-        if self.w < 1:
-            raise ConfigurationError(f"w must be >= 1, got {self.w}")
+        # Validation lives in the layered spec model: lifting raises
+        # ConfigurationError for any bad field or combination.
+        self.to_spec()
+
+    def to_spec(self):
+        """Lift to the canonical :class:`~repro.api.specs.SessionSpec`."""
+        from repro.api.specs import SessionSpec
+
+        return SessionSpec.from_config(self)
 
     @property
     def label(self) -> str:

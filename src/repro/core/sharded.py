@@ -350,7 +350,7 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             if cfg.allocator != "random":
                 rate = self._pop_alloc.propose(t, self.context)
         else:
-            eps_t = self._budget_alloc.propose(t, self.context)
+            eps_t = self._propose_budget(t, batch)
             if eps_t < _MIN_EPSILON:
                 eps_t = 0.0
             self._budget_alloc.commit(eps_t)

@@ -95,6 +95,10 @@ class Synthesizer:
         """Every synthetic stream ever created (finished + still live)."""
         return self.store.views(self._finished + self._live)
 
+    def all_rows(self) -> np.ndarray:
+        """Store rows of every stream, in the historical output order."""
+        return np.asarray(self._finished + self._live, dtype=np.int64)
+
     def live_last_cells(self) -> np.ndarray:
         """Current cell of every live stream — no object materialisation."""
         return self.store.last_cells(np.asarray(self._live, dtype=np.int64))

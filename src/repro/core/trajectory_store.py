@@ -178,6 +178,22 @@ class TrajectoryStore:
         rows = np.asarray(rows, dtype=np.int64)
         return self._birth[rows].copy()
 
+    def flat_cells(self, rows) -> np.ndarray:
+        """The requested rows' cells concatenated in row order.
+
+        The wire format of result messages (and the dataset npz layout):
+        one masked gather over the padded cell buffer, no per-stream
+        object or list construction.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        lengths = self._length[rows]
+        width = int(lengths.max())
+        block = self._cells[rows][:, :width]
+        mask = np.arange(width)[None, :] < lengths[:, None]
+        return block[mask].astype(np.int64)
+
     # ------------------------------------------------------------------ #
     # whole-store array accessors (the evaluation plane)
     # ------------------------------------------------------------------ #
@@ -255,3 +271,84 @@ class TrajectoryStore:
     def all_views(self) -> list[CellTrajectory]:
         """Every stream ever created, in creation order."""
         return self.views(range(self._n))
+
+
+class StoreTrajectories:
+    """A lazy, read-only trajectory sequence backed by a :class:`TrajectoryStore`.
+
+    Looks like the ``list[CellTrajectory]`` a
+    :class:`~repro.stream.stream.StreamDataset` holds, but materialises a
+    :class:`CellTrajectory` view only when a caller actually indexes or
+    iterates — so the batch-pipeline boundary
+    (``OnlineRetraSyn.synthetic_dataset``) hands evaluation a dataset
+    without building one object per synthetic stream up front.  Count-based
+    metrics (primed via ``StreamDataset.prime_cell_counts``) never touch
+    objects at all; object-consuming metrics pay only for what they read,
+    and materialised views are cached for reuse.
+
+    ``rows`` fixes both the sequence order and each view's ``user_id``
+    (the store row id), so engines can preserve their historical trajectory
+    ordering (e.g. finished-then-live for the object synthesizer).
+    """
+
+    def __init__(self, store: TrajectoryStore, rows) -> None:
+        self._store = store
+        self._rows = np.asarray(rows, dtype=np.int64)
+        if self._rows.size != np.unique(self._rows).size:
+            raise DatasetError("duplicate store rows in trajectory sequence")
+        self._cache: dict[int, CellTrajectory] = {}
+
+    # ------------------------------------------------------------------ #
+    # sequence protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self._rows.size)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(index)
+        if i not in self._cache:
+            self._cache[i] = self._store.view(int(self._rows[i]))
+        return self._cache[i]
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    # ------------------------------------------------------------------ #
+    # array-side accessors (no object materialisation)
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> TrajectoryStore:
+        return self._store
+
+    @property
+    def rows(self) -> np.ndarray:
+        return self._rows
+
+    def user_ids(self) -> list[int]:
+        """The views' user ids (= store row ids), without materialising."""
+        return self._rows.tolist()
+
+    def index_of_user(self, user_id: int) -> int:
+        """Sequence position of the stream with ``user_id`` (a row id)."""
+        hits = np.flatnonzero(self._rows == int(user_id))
+        if hits.size == 0:
+            raise DatasetError(f"unknown user_id {user_id}")
+        return int(hits[0])
+
+    def horizon(self) -> int:
+        """``max(end_time) + 2`` over the sequence — the stream horizon
+        including each stream's quit-report timestamp (matches
+        ``StreamDataset``'s derivation from object lists)."""
+        if self._rows.size == 0:
+            return 0
+        ends = self._store.births_of(self._rows) + self._store.lengths_of(
+            self._rows
+        )
+        return int(ends.max()) + 1

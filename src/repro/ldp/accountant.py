@@ -552,11 +552,17 @@ class SlidingBudgetTracker:
         """Budget still available for the next timestamp's report."""
         return max(0.0, self.epsilon - sum(list(self._window)[1:]))
 
-    def commit(self, epsilon_t: float) -> None:
-        """Record the budget used at the current timestamp and advance."""
+    def commit(self, epsilon_t: float, checked: bool = True) -> None:
+        """Record the budget used at the current timestamp and advance.
+
+        ``checked=False`` skips the schedule-level window bound — used by
+        per-user allocators (``allocator="adaptive-user"``) whose safety
+        invariant is enforced against each participant's own ledger row
+        rather than the curator's global schedule.
+        """
         if epsilon_t < 0:
             raise ConfigurationError(f"cannot commit negative budget: {epsilon_t}")
-        if epsilon_t > self.remaining + _EPS_TOL:
+        if checked and epsilon_t > self.remaining + _EPS_TOL:
             raise PrivacyBudgetError(
                 f"committing {epsilon_t:.6f} exceeds remaining window budget "
                 f"{self.remaining:.6f}"

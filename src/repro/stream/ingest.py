@@ -155,6 +155,30 @@ class TimestampAssembler:
         if t > self._max_seen:
             self._max_seen = t
 
+    def add_batch(self, t: int, batch: ReportBatch) -> int:
+        """Buffer one timestamp's pre-encoded reports in one call.
+
+        The columnar twin of per-report :meth:`add`: rows land in the same
+        buffer (and are re-sorted canonically at close), so mixing batch
+        and loose submissions is fine.  Returns the number of rows
+        buffered (0 when the whole batch is late).
+        """
+        t = int(t)
+        if t < self._next_t:
+            self.n_late_dropped += len(batch)
+            return 0
+        rows = self._buffers.setdefault(t, [])
+        rows.extend(
+            zip(
+                batch.user_ids.tolist(),
+                batch.state_idx.tolist(),
+                batch.kinds.tolist(),
+            )
+        )
+        if t > self._max_seen:
+            self._max_seen = t
+        return len(batch)
+
     # ------------------------------------------------------------------ #
     # closing
     # ------------------------------------------------------------------ #
@@ -217,6 +241,12 @@ class TimestampAssembler:
 class IngestionService:
     """Bounded-queue asyncio service driving a curator from raw reports.
 
+    The ordering/processing core is an
+    :class:`~repro.api.session.IngestSession` — the same object the
+    unified curator API and the HTTP ingress drive — so the asyncio shell
+    here adds exactly one thing: a bounded ingress queue whose ``submit``
+    suspends producers when the curator falls behind (backpressure).
+
     Parameters
     ----------
     curator:
@@ -244,25 +274,38 @@ class IngestionService:
         checkpoint_path=None,
         checkpoint_every: int = 0,
     ) -> None:
+        from repro.api.session import IngestSession
+        from repro.api.specs import ServiceSpec, SessionSpec
+
         if queue_size < 1:
             raise ConfigurationError(
                 f"queue_size must be >= 1, got {queue_size}"
             )
-        if checkpoint_every < 0:
-            raise ConfigurationError(
-                f"checkpoint_every must be >= 0, got {checkpoint_every}"
-            )
         self.curator = curator
-        last_t = getattr(curator, "_last_t", None)
-        start_t = 0 if last_t is None else last_t + 1
-        self.assembler = TimestampAssembler(
-            curator.space, start_t=start_t, max_lateness=max_lateness
+        self.session = IngestSession(
+            curator,
+            SessionSpec.from_config(
+                curator.config,
+                service=ServiceSpec(
+                    transport="ingest",
+                    queue_size=queue_size,
+                    max_lateness=max_lateness,
+                    checkpoint_path=(
+                        None if checkpoint_path is None else str(checkpoint_path)
+                    ),
+                    checkpoint_every=checkpoint_every,
+                ),
+            ),
         )
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
-        self.checkpoint_path = checkpoint_path
-        self.checkpoint_every = int(checkpoint_every)
-        self.stats = IngestStats()
-        self._since_checkpoint = 0
+
+    @property
+    def assembler(self) -> TimestampAssembler:
+        return self.session.assembler
+
+    @property
+    def stats(self) -> IngestStats:
+        return self.session.ingest_stats
 
     # ------------------------------------------------------------------ #
     # producer side
@@ -286,43 +329,13 @@ class IngestionService:
         while True:
             report = await self.queue.get()
             if report is self._SENTINEL:
-                for closed in self.assembler.flush():
-                    self._process(closed)
-                self.stats.n_late_dropped = self.assembler.n_late_dropped
-                if self.checkpoint_path is not None:
-                    self._checkpoint()
+                self.session.close()
                 return self.stats
-            self.assembler.add(report)
-            ready = self.assembler.pop_ready()
-            for closed in ready:
-                self._process(closed)
-            if ready:
+            self.session.assembler.add(report)
+            if self.session.advance():
                 # Yield so suspended producers resume promptly after a
                 # CPU-heavy curator round.
                 await asyncio.sleep(0)
-            self.stats.n_late_dropped = self.assembler.n_late_dropped
-
-    def _process(self, closed: ClosedTimestamp) -> None:
-        self.curator.process_timestep(
-            closed.t,
-            participants=closed.batch,
-            newly_entered=closed.newly_entered,
-            quitted=closed.quitted,
-            n_real_active=closed.n_active,
-        )
-        self.stats.n_timestamps += 1
-        self.stats.n_reports_processed += len(closed.batch)
-        if self.checkpoint_path is not None and self.checkpoint_every:
-            self._since_checkpoint += 1
-            if self._since_checkpoint >= self.checkpoint_every:
-                self._checkpoint()
-
-    def _checkpoint(self) -> None:
-        from repro.core.persistence import save_checkpoint
-
-        save_checkpoint(self.curator, self.checkpoint_path)
-        self.stats.checkpoints_written += 1
-        self._since_checkpoint = 0
 
 
 async def _drive(

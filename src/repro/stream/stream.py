@@ -51,19 +51,57 @@ class StreamDataset:
     name: str = "unnamed"
 
     def __post_init__(self) -> None:
-        for i, traj in enumerate(self.trajectories):
-            if traj.user_id is None:
-                traj.user_id = i
-        if self.n_timestamps is None:
-            # Include the quit-report timestamp (end_time + 1).
-            self.n_timestamps = (
-                max((t.end_time + 2 for t in self.trajectories), default=0)
-            )
-        self._by_user = {t.user_id: t for t in self.trajectories}
-        if len(self._by_user) != len(self.trajectories):
-            raise DatasetError("duplicate user_id among trajectories")
+        from repro.core.trajectory_store import StoreTrajectories
+
+        if isinstance(self.trajectories, StoreTrajectories):
+            # Store-backed lazy sequence: ids are the (unique) store rows
+            # and the horizon comes from the store arrays, so nothing here
+            # materialises a CellTrajectory object.
+            if self.n_timestamps is None:
+                self.n_timestamps = self.trajectories.horizon()
+            self._by_user = None
+        else:
+            for i, traj in enumerate(self.trajectories):
+                if traj.user_id is None:
+                    traj.user_id = i
+            if self.n_timestamps is None:
+                # Include the quit-report timestamp (end_time + 1).
+                self.n_timestamps = (
+                    max((t.end_time + 2 for t in self.trajectories), default=0)
+                )
+            self._by_user = {t.user_id: t for t in self.trajectories}
+            if len(self._by_user) != len(self.trajectories):
+                raise DatasetError("duplicate user_id among trajectories")
         self._cell_counts: Optional[np.ndarray] = None
         self._transitions_by_t: Optional[list] = None
+
+    @classmethod
+    def from_store(
+        cls,
+        grid: Grid,
+        store,
+        rows=None,
+        n_timestamps: Optional[int] = None,
+        name: str = "store",
+    ) -> "StreamDataset":
+        """Dataset over a :class:`~repro.core.trajectory_store.TrajectoryStore`.
+
+        Trajectory objects are materialised lazily, per stream, the first
+        time a caller indexes or iterates them; array-side consumers (the
+        primed count matrix, ``user_ids``, ``stats``'s point totals) never
+        build objects.  ``rows`` selects and orders the streams (default:
+        every stream in creation order).
+        """
+        from repro.core.trajectory_store import StoreTrajectories
+
+        if rows is None:
+            rows = np.arange(store.n_total, dtype=np.int64)
+        return cls(
+            grid,
+            StoreTrajectories(store, rows),
+            n_timestamps=n_timestamps,
+            name=name,
+        )
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -75,12 +113,16 @@ class StreamDataset:
         return iter(self.trajectories)
 
     def trajectory(self, user_id: int) -> CellTrajectory:
+        if self._by_user is None:
+            return self.trajectories[self.trajectories.index_of_user(user_id)]
         if user_id not in self._by_user:
             raise DatasetError(f"unknown user_id {user_id}")
         return self._by_user[user_id]
 
     @property
     def user_ids(self) -> list[int]:
+        if self._by_user is None:
+            return self.trajectories.user_ids()
         return [t.user_id for t in self.trajectories]
 
     # ------------------------------------------------------------------ #
@@ -193,11 +235,22 @@ class StreamDataset:
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
         """Dataset statistics in the shape of the paper's Table I."""
+        if self._by_user is None:
+            # Store-backed: point totals come from the store's length
+            # column, so printing stats never materialises trajectories.
+            trajs = self.trajectories
+            n_points = int(trajs.store.lengths_of(trajs.rows).sum())
+            n = len(trajs)
+            avg = n_points / n if n else 0.0
+        else:
+            n = len(self.trajectories)
+            n_points = total_points(self.trajectories)
+            avg = average_length(self.trajectories)
         return {
             "name": self.name,
-            "size": len(self.trajectories),
-            "n_points": total_points(self.trajectories),
-            "average_length": average_length(self.trajectories),
+            "size": n,
+            "n_points": n_points,
+            "average_length": avg,
             "timestamps": self.n_timestamps,
             "grid_k": self.grid.k,
         }

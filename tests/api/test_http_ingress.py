@@ -1,0 +1,264 @@
+"""The HTTP ingress and Client: remote round trips must be bit-identical
+to in-process sessions (the acceptance bar of the unified API)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.client import Client
+from repro.api.http import HttpIngress
+from repro.api.schema import SchemaError
+from repro.api.session import create_session
+from repro.api.specs import SessionSpec
+from repro.core.retrasyn import RetraSyn, RetraSynConfig
+from repro.geo.trajectory import average_length
+from repro.stream.reports import ColumnarStreamView
+from repro.stream.state_space import TransitionStateSpace
+
+
+class _Server:
+    """An ingress running on a background thread's event loop."""
+
+    def __init__(self, session):
+        self.ingress = HttpIngress(session)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(10):  # pragma: no cover - diagnostics
+            raise RuntimeError("ingress did not come up")
+
+    def _run(self):
+        async def main():
+            await self.ingress.start()
+            self._ready.set()
+            await self.ingress.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    @property
+    def port(self) -> int:
+        return self.ingress.port
+
+    def join(self):
+        self._thread.join(10)
+
+
+@pytest.fixture
+def served(walk_data):
+    """A live ingress over an ingest session, plus a connected client."""
+    spec = SessionSpec.from_flat(epsilon=1.0, w=10, seed=21, transport="ingest")
+    lam = max(1.0, average_length(walk_data.trajectories))
+    server = _Server(create_session(spec, walk_data.grid, lam=lam))
+    client = Client("127.0.0.1", server.port)
+    yield server, client
+    try:
+        client.shutdown_server()
+    except Exception:
+        pass
+    server.join()
+
+
+def _replay(client, data, space):
+    view = ColumnarStreamView(data, space)
+    for t in range(data.n_timestamps):
+        client.submit_batch(
+            t,
+            view.batch_at(t),
+            newly_entered=view.newly_entered_at(t),
+            quitted=view.quitted_at(t),
+            n_real_active=view.n_active_at(t),
+        )
+
+
+def _streams(dataset):
+    return [(t.start_time, list(t.cells)) for t in dataset]
+
+
+class TestRemoteRoundTrip:
+    def test_hello_negotiates_and_describes_the_grid(self, served, walk_data):
+        _server, client = served
+        hello = client.hello()
+        assert hello["schema"] == 1
+        assert hello["grid"]["k"] == walk_data.grid.k
+        assert hello["include_eq"] is True
+        assert client.grid().n_cells == walk_data.grid.n_cells
+
+    def test_remote_replay_is_bit_identical_to_in_process(
+        self, served, walk_data
+    ):
+        server, client = served
+        hello = client.hello()
+        space = TransitionStateSpace(
+            client.grid(), include_entering_quitting=hello["include_eq"]
+        )
+        _replay(client, walk_data, space)
+        client.close()
+        remote = client.result()
+
+        reference = RetraSyn(
+            RetraSynConfig(epsilon=1.0, w=10, seed=21)
+        ).run(walk_data)
+        assert _streams(remote) == _streams(reference.synthetic)
+        assert remote.n_timestamps == reference.synthetic.n_timestamps
+        # and the server session agrees with what it shipped — including
+        # stream identities, so trajectory(uid) lookups match both sides
+        local = server.ingress.session.result(walk_data.n_timestamps)
+        assert _streams(remote) == _streams(local.synthetic)
+        assert remote.user_ids == local.synthetic.user_ids
+
+    def test_snapshot_and_stats_midstream(self, served, walk_data):
+        _server, client = served
+        space = TransitionStateSpace(walk_data.grid)
+        view = ColumnarStreamView(walk_data, space)
+        for t in range(5):
+            client.submit_batch(
+                t, view.batch_at(t),
+                newly_entered=view.newly_entered_at(t),
+                quitted=view.quitted_at(t),
+                n_real_active=view.n_active_at(t),
+            )
+        snap = client.snapshot()
+        assert isinstance(snap, np.ndarray)
+        stats = client.stats()
+        assert stats["ingest"]["n_submitted"] > 0
+        assert stats["n_timestamps"] >= 4  # lateness 0: t=4 still open
+
+
+class TestIngressErrors:
+    def _raw(self, port, method, path, body=b""):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_unknown_route_is_404(self, served):
+        server, _client = served
+        status, msg = self._raw(server.port, "GET", "/v1/teleport")
+        assert status == 404 and msg["type"] == "error"
+
+    def test_wrong_method_is_405(self, served):
+        server, _client = served
+        status, msg = self._raw(server.port, "GET", "/v1/batch")
+        assert status == 405 and msg["type"] == "error"
+
+    def test_malformed_body_is_400(self, served):
+        server, _client = served
+        status, msg = self._raw(server.port, "POST", "/v1/batch", b"not json")
+        assert status == 400 and msg["type"] == "error"
+
+    def test_version_mismatch_is_reported(self, served):
+        server, _client = served
+        status, msg = self._raw(server.port, "GET", "/v1/hello?versions=99")
+        assert status == 400
+        assert "no common schema version" in msg["detail"]
+
+    def test_checkpoint_without_configured_path_is_rejected(self, served):
+        server, _client = served
+        status, msg = self._raw(server.port, "POST", "/v1/checkpoint")
+        assert status == 400 and msg["error"] == "ConfigurationError"
+
+    def test_client_surfaces_server_errors(self, served):
+        _server, client = served
+        with pytest.raises(SchemaError, match="ConfigurationError"):
+            client.checkpoint()
+
+
+class TestServeHttpResume:
+    def test_cli_http_resume_loads_the_checkpoint(
+        self, walk_data, tmp_path, monkeypatch
+    ):
+        """`repro serve --http --resume` must restore the saved curator
+        instead of silently starting fresh."""
+        import argparse
+
+        import repro.api.http as http_mod
+        from repro.cli import _serve_http
+
+        path = str(tmp_path / "serve.ckpt")
+        spec = SessionSpec.from_flat(
+            epsilon=1.0, w=10, seed=1, transport="ingest", checkpoint_path=path
+        )
+        session = create_session(
+            spec, walk_data.grid, lam=max(1.0, average_length(walk_data.trajectories))
+        )
+        view = ColumnarStreamView(walk_data, session.curator.space)
+        for t in range(7):
+            session.submit_batch(
+                t, view.batch_at(t),
+                newly_entered=view.newly_entered_at(t),
+                quitted=view.quitted_at(t),
+                n_real_active=view.n_active_at(t),
+            )
+        session.advance()
+        session.checkpoint()
+        last_t = session.curator._last_t
+
+        served = {}
+
+        def fake_serve_http(session, host, port, on_ready=None):
+            served["session"] = session
+            ingress = http_mod.HttpIngress(session, host=host, port=port)
+            return ingress
+
+        monkeypatch.setattr(http_mod, "serve_http", fake_serve_http)
+        args = argparse.Namespace(
+            resume=True, host="127.0.0.1", http=0, out=None
+        )
+        assert _serve_http(args, walk_data, spec) == 0
+        resumed = served["session"]
+        assert resumed.curator._last_t == last_t
+        assert resumed.spec.service.checkpoint_path == path
+
+    def test_cli_http_resume_requires_a_checkpoint(self, walk_data):
+        import argparse
+
+        from repro.cli import _serve_http
+
+        spec = SessionSpec.from_flat(epsilon=1.0, w=10, transport="ingest")
+        args = argparse.Namespace(resume=True, host="127.0.0.1", http=0, out=None)
+        with pytest.raises(ValueError, match="--resume requires"):
+            _serve_http(args, walk_data, spec)
+        spec = spec.replace(checkpoint_path="/nonexistent/x.ckpt")
+        with pytest.raises(FileNotFoundError):
+            _serve_http(args, walk_data, spec)
+
+
+class TestIngressCheckpointing:
+    def test_remote_checkpoint_writes_the_configured_path(
+        self, walk_data, tmp_path
+    ):
+        path = str(tmp_path / "remote.ckpt")
+        spec = SessionSpec.from_flat(
+            epsilon=1.0, w=10, seed=2, transport="ingest", checkpoint_path=path
+        )
+        lam = max(1.0, average_length(walk_data.trajectories))
+        server = _Server(create_session(spec, walk_data.grid, lam=lam))
+        client = Client("127.0.0.1", server.port)
+        try:
+            space = TransitionStateSpace(walk_data.grid)
+            view = ColumnarStreamView(walk_data, space)
+            for t in range(6):
+                client.submit_batch(
+                    t, view.batch_at(t),
+                    newly_entered=view.newly_entered_at(t),
+                    quitted=view.quitted_at(t),
+                    n_real_active=view.n_active_at(t),
+                )
+            assert client.checkpoint() == path
+            from repro.api.session import load_session
+
+            resumed = load_session(path)
+            assert resumed.spec == spec
+        finally:
+            client.shutdown_server()
+            server.join()

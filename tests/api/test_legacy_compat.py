@@ -1,0 +1,198 @@
+"""Legacy-surface compatibility: flat config kwargs, v2 checkpoints, and
+the historical ``from repro import ...`` names all keep working."""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.api.session import create_session
+from repro.api.specs import SessionSpec
+from repro.core.online import OnlineRetraSyn
+from repro.core.persistence import (
+    load_checkpoint,
+    peek_checkpoint_spec,
+    save_checkpoint,
+)
+from repro.core.retrasyn import RetraSyn, RetraSynConfig
+from repro.exceptions import DatasetError
+from repro.geo.trajectory import average_length
+from repro.stream.reports import ColumnarStreamView
+
+#: The public names importable from `repro` before the unified API landed.
+#: Removing any of these is a breaking change — this list is the contract.
+LEGACY_EXPORTS = (
+    "RetraSyn", "RetraSynConfig", "OnlineRetraSyn", "ShardedOnlineRetraSyn",
+    "SynthesisRun", "Synthesizer", "VectorizedSynthesizer",
+    "GlobalMobilityModel", "TrajectoryAnalyzer", "FlowAnalyzer",
+    "fidelity_report", "make_retrasyn", "make_all_update", "make_no_eq",
+    "LBD", "LBA", "LPD", "LPA", "make_baseline",
+    "load_dataset", "make_tdrive", "make_oldenburg", "make_sanjoaquin",
+    "Grid", "Point", "BoundingBox", "Trajectory", "CellTrajectory",
+    "OptimizedUnaryEncoding", "PrivacyAccountant",
+    "ALL_METRICS", "evaluate_all",
+    "DeploymentPlan", "plan_report", "recommend_k",
+    "StreamDataset", "TransitionStateSpace",
+)
+
+#: Every historical RetraSynConfig keyword, exactly as callers wrote them.
+LEGACY_CONFIG_KWARGS = dict(
+    epsilon=1.0, w=20, division="population", allocator="adaptive",
+    update_strategy="dmu", model_entering_quitting=True, lam=None,
+    alpha=8.0, kappa=5, p_max=0.6, oracle_mode="fast", engine="object",
+    compile_mode="incremental", synthesis_shards=1, n_shards=1,
+    shard_executor="serial", dmu_prefilter=False, track_privacy=True,
+    accountant_mode="columnar", seed=0,
+)
+
+
+class TestLegacyImports:
+    def test_api_package_exports_its_whole_surface(self):
+        import repro.api
+
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_every_legacy_name_still_importable(self):
+        import repro
+
+        for name in LEGACY_EXPORTS:
+            assert hasattr(repro, name), f"legacy export {name} vanished"
+            assert name in repro.__all__
+
+    def test_legacy_imports_emit_no_warnings(self):
+        import repro
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for name in LEGACY_EXPORTS:
+                getattr(repro, name)
+
+
+class TestLegacyConfigKwargs:
+    def test_full_legacy_kwargs_construct_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = RetraSynConfig(**LEGACY_CONFIG_KWARGS)
+        for name, value in LEGACY_CONFIG_KWARGS.items():
+            assert getattr(config, name) == value
+
+    def test_legacy_config_round_trips_through_spec(self):
+        config = RetraSynConfig(**LEGACY_CONFIG_KWARGS)
+        assert config.to_spec().to_config() == config
+
+    def test_legacy_config_pickles(self):
+        config = RetraSynConfig(**LEGACY_CONFIG_KWARGS)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_flat_config_into_factory_warns_once(self, walk_data):
+        config = RetraSynConfig(epsilon=1.0, w=10, seed=0)
+        with pytest.warns(DeprecationWarning):
+            session = create_session(config, walk_data.grid, lam=4.0)
+        session.close()
+
+
+def _rewrite_as_v2(path):
+    """Turn a fresh v3 checkpoint into the exact v2 on-disk layout."""
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    assert payload["version"] == 3
+    payload["version"] = 2
+    del payload["spec"]  # v2 predates the layered specs
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class TestV2CheckpointMigration:
+    def _half_run_curator(self, data, seed=3):
+        config = RetraSynConfig(epsilon=1.0, w=10, seed=seed)
+        curator = OnlineRetraSyn(
+            data.grid, config, lam=max(1.0, average_length(data.trajectories))
+        )
+        view = ColumnarStreamView(data, curator.space)
+        for t in range(data.n_timestamps // 2):
+            curator.process_timestep(
+                t,
+                participants=view.batch_at(t),
+                newly_entered=view.newly_entered_at(t),
+                quitted=view.quitted_at(t),
+                n_real_active=view.n_active_at(t),
+            )
+        return curator, view
+
+    def test_v2_checkpoint_loads_with_deprecation_warning(
+        self, walk_data, tmp_path
+    ):
+        curator, _ = self._half_run_curator(walk_data)
+        path = tmp_path / "legacy.ckpt"
+        save_checkpoint(curator, path)
+        _rewrite_as_v2(path)
+        with pytest.warns(DeprecationWarning, match="checkpoint format v2"):
+            restored = load_checkpoint(path)
+        assert restored._last_t == curator._last_t
+
+    def test_v2_resume_stays_bitwise(self, walk_data, tmp_path):
+        reference = RetraSyn(RetraSynConfig(epsilon=1.0, w=10, seed=3)).run(
+            walk_data
+        )
+        curator, view = self._half_run_curator(walk_data)
+        path = tmp_path / "legacy.ckpt"
+        save_checkpoint(curator, path)
+        _rewrite_as_v2(path)
+        with pytest.warns(DeprecationWarning):
+            resumed = load_checkpoint(path)
+        for t in range(walk_data.n_timestamps // 2, walk_data.n_timestamps):
+            resumed.process_timestep(
+                t,
+                participants=view.batch_at(t),
+                newly_entered=view.newly_entered_at(t),
+                quitted=view.quitted_at(t),
+                n_real_active=view.n_active_at(t),
+            )
+        run = resumed.result(walk_data.n_timestamps)
+        assert (
+            [(t.start_time, list(t.cells)) for t in run.synthetic]
+            == [(t.start_time, list(t.cells)) for t in reference.synthetic]
+        )
+
+    def test_v2_spec_peek_returns_none(self, walk_data, tmp_path):
+        curator, _ = self._half_run_curator(walk_data)
+        path = tmp_path / "legacy.ckpt"
+        save_checkpoint(curator, path)
+        _rewrite_as_v2(path)
+        with pytest.warns(DeprecationWarning):
+            assert peek_checkpoint_spec(path) is None
+
+    def test_resave_migrates_to_v3(self, walk_data, tmp_path):
+        curator, _ = self._half_run_curator(walk_data)
+        path = tmp_path / "legacy.ckpt"
+        save_checkpoint(curator, path)
+        _rewrite_as_v2(path)
+        with pytest.warns(DeprecationWarning):
+            restored = load_checkpoint(path)
+        save_checkpoint(restored, path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no warning: it is v3 now
+            spec = peek_checkpoint_spec(path)
+        assert isinstance(spec, SessionSpec)
+
+    def test_v3_checkpoint_carries_the_spec(self, walk_data, tmp_path):
+        curator, _ = self._half_run_curator(walk_data)
+        path = tmp_path / "current.ckpt"
+        save_checkpoint(curator, path)
+        spec = peek_checkpoint_spec(path)
+        assert spec == curator.config.to_spec()
+
+    def test_v1_is_still_refused(self, walk_data, tmp_path):
+        curator, _ = self._half_run_curator(walk_data)
+        path = tmp_path / "ancient.ckpt"
+        save_checkpoint(curator, path)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["version"] = 1
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        with pytest.raises(DatasetError, match="unsupported checkpoint"):
+            load_checkpoint(path)

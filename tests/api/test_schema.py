@@ -1,0 +1,169 @@
+"""Wire-schema round trips, version negotiation and rejection paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import schema
+from repro.api.schema import SchemaError
+from repro.stream.reports import ReportBatch
+
+
+def _batch(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return ReportBatch.from_arrays(
+        rng.integers(0, 1_000_000, size=n),
+        rng.integers(-1, 500, size=n),
+        rng.integers(0, 3, size=n),
+    )
+
+
+class TestNegotiation:
+    def test_picks_highest_common(self):
+        assert schema.negotiate([1]) == 1
+        assert schema.negotiate([1, 99]) == 1
+        assert schema.negotiate(["1"]) == 1
+
+    def test_no_common_version(self):
+        with pytest.raises(SchemaError, match="no common schema version"):
+            schema.negotiate([99])
+
+    def test_unparseable_versions(self):
+        with pytest.raises(SchemaError):
+            schema.negotiate(["one"])
+
+
+class TestArrayCodec:
+    def test_round_trip_is_lossless(self):
+        values = np.asarray([0, 1, -1, 2**62, -(2**62)], dtype=np.int64)
+        decoded = schema.decode_array(
+            "user_ids", schema.encode_array("user_ids", values)
+        )
+        assert decoded.dtype == np.int64
+        np.testing.assert_array_equal(decoded, values)
+
+    def test_kinds_are_int8(self):
+        decoded = schema.decode_array(
+            "kinds", schema.encode_array("kinds", [0, 1, 2])
+        )
+        assert decoded.dtype == np.int8
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            schema.encode_array("payload", [1])
+        with pytest.raises(SchemaError):
+            schema.decode_array("payload", "AA==")
+
+    def test_bad_base64(self):
+        with pytest.raises(SchemaError):
+            schema.decode_array("user_ids", "!!not-base64!!")
+
+    def test_misaligned_buffer(self):
+        import base64
+
+        data = base64.b64encode(b"\x00" * 7).decode()
+        with pytest.raises(SchemaError, match="multiple"):
+            schema.decode_array("user_ids", data)
+
+
+class TestEnvelopes:
+    def test_loads_rejects_bad_version(self):
+        msg = schema.message("ack")
+        msg["schema"] = 99
+        with pytest.raises(SchemaError, match="unsupported schema version"):
+            schema.loads(schema.dumps(msg))
+
+    def test_loads_rejects_unknown_type(self):
+        raw = b'{"schema": 1, "type": "teleport"}'
+        with pytest.raises(SchemaError, match="unknown message type"):
+            schema.loads(raw)
+
+    def test_loads_rejects_non_object(self):
+        with pytest.raises(SchemaError):
+            schema.loads(b"[1, 2]")
+        with pytest.raises(SchemaError):
+            schema.loads(b"\xff\xfe")
+
+    def test_expect_mismatch(self):
+        with pytest.raises(SchemaError, match="expected"):
+            schema.loads(schema.dumps(schema.message("ack")), expect="stats")
+
+    def test_expect_surfaces_error_messages(self):
+        err = schema.error_message(ValueError("boom"))
+        with pytest.raises(SchemaError, match="boom"):
+            schema.loads(schema.dumps(err), expect="stats")
+
+    def test_message_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            schema.message("telemetry")
+
+
+class TestReportBatchMessage:
+    def test_round_trip(self):
+        batch = _batch(7)
+        msg = schema.report_batch_message(
+            3, batch, [10, 11], [12], n_real_active=6
+        )
+        parsed = schema.loads(schema.dumps(msg), expect="report-batch")
+        t, decoded, entered, quitted, n_active = schema.parse_report_batch(parsed)
+        assert t == 3 and n_active == 6
+        np.testing.assert_array_equal(decoded.user_ids, batch.user_ids)
+        np.testing.assert_array_equal(decoded.state_idx, batch.state_idx)
+        np.testing.assert_array_equal(decoded.kinds, batch.kinds)
+        np.testing.assert_array_equal(entered, [10, 11])
+        np.testing.assert_array_equal(quitted, [12])
+
+    def test_empty_batch(self):
+        msg = schema.report_batch_message(0, ReportBatch.empty(), [], [], 0)
+        _t, decoded, entered, quitted, _n = schema.parse_report_batch(msg)
+        assert len(decoded) == 0 and entered.size == 0 and quitted.size == 0
+
+    def test_length_disagreement(self):
+        msg = schema.report_batch_message(0, _batch(4), [], [], 4)
+        msg["n"] = 5
+        with pytest.raises(SchemaError, match="disagrees"):
+            schema.parse_report_batch(msg)
+
+    def test_missing_column(self):
+        msg = schema.report_batch_message(0, _batch(4), [], [], 4)
+        del msg["state_idx"]
+        with pytest.raises(SchemaError, match="malformed"):
+            schema.parse_report_batch(msg)
+
+
+class TestResultMessage:
+    def test_round_trip(self):
+        births = np.asarray([0, 2, 5])
+        lengths = np.asarray([3, 1, 2])
+        flat = np.asarray([4, 5, 6, 7, 8, 9])
+        uids = np.asarray([7, 0, 3])
+        msg = schema.result_message(births, lengths, flat, 10, "syn", uids)
+        b, le, f, n_t, name, u = schema.parse_result(
+            schema.loads(schema.dumps(msg), expect="result")
+        )
+        np.testing.assert_array_equal(b, births)
+        np.testing.assert_array_equal(le, lengths)
+        np.testing.assert_array_equal(f, flat)
+        np.testing.assert_array_equal(u, uids)
+        assert n_t == 10 and name == "syn"
+
+    def test_inconsistent_lengths(self):
+        msg = schema.result_message([0], [2], [1, 2], 5, "x", [0])
+        msg["flat_cells"] = schema.encode_array("flat_cells", [1])
+        with pytest.raises(SchemaError, match="disagrees"):
+            schema.parse_result(msg)
+
+    def test_inconsistent_user_ids(self):
+        msg = schema.result_message([0], [2], [1, 2], 5, "x", [0])
+        msg["user_ids"] = schema.encode_array("user_ids", [0, 1])
+        with pytest.raises(SchemaError, match="disagree"):
+            schema.parse_result(msg)
+
+    def test_snapshot_round_trip(self):
+        cells = np.asarray([3, 1, 4, 1, 5])
+        out = schema.parse_snapshot(
+            schema.loads(schema.dumps(schema.snapshot_message(cells)),
+                         expect="snapshot")
+        )
+        np.testing.assert_array_equal(out, cells)

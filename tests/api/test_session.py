@@ -1,0 +1,263 @@
+"""The CuratorSession protocol, the create_session factory, and
+session/batch-pipeline equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.session import (
+    CuratorSession,
+    DirectSession,
+    IngestSession,
+    create_session,
+    load_session,
+)
+from repro.api.specs import SessionSpec
+from repro.core.online import OnlineRetraSyn
+from repro.core.retrasyn import RetraSyn, RetraSynConfig
+from repro.core.sharded import ShardedOnlineRetraSyn
+from repro.exceptions import ConfigurationError
+from repro.geo.trajectory import average_length
+from repro.stream.reports import ColumnarStreamView
+
+
+def _lam(data):
+    return max(1.0, average_length(data.trajectories))
+
+
+def _drive(session, data, close=True):
+    """Replay ``data`` through a session, timestamp by timestamp."""
+    view = ColumnarStreamView(data, session.curator.space)
+    for t in range(data.n_timestamps):
+        session.submit_batch(
+            t,
+            view.batch_at(t),
+            newly_entered=view.newly_entered_at(t),
+            quitted=view.quitted_at(t),
+            n_real_active=view.n_active_at(t),
+        )
+        session.advance()
+    if close:
+        session.close()
+    return session.result(data.n_timestamps)
+
+
+def _streams(dataset):
+    return [(t.start_time, list(t.cells)) for t in dataset]
+
+
+class TestFactory:
+    def test_three_engine_families_one_protocol(self, walk_data):
+        spec = SessionSpec.from_flat(epsilon=1.0, w=10, seed=0)
+        cases = [
+            (spec, DirectSession, OnlineRetraSyn),
+            (spec.replace(n_shards=3), DirectSession, ShardedOnlineRetraSyn),
+            (spec.replace(transport="ingest"), IngestSession, OnlineRetraSyn),
+            (
+                spec.replace(transport="ingest", n_shards=2),
+                IngestSession,
+                ShardedOnlineRetraSyn,
+            ),
+        ]
+        for s, session_cls, curator_cls in cases:
+            session = create_session(s, walk_data.grid, lam=_lam(walk_data))
+            try:
+                assert isinstance(session, CuratorSession)
+                assert isinstance(session, session_cls)
+                assert isinstance(session.curator, curator_cls)
+                assert session.spec == s
+            finally:
+                session.close()
+
+    def test_lam_is_required(self, walk_data):
+        with pytest.raises(ConfigurationError, match="lambda"):
+            create_session(SessionSpec(), walk_data.grid)
+
+    def test_lam_from_engine_spec(self, walk_data):
+        spec = SessionSpec.from_flat(lam=7.0)
+        session = create_session(spec, walk_data.grid)
+        assert session.curator.lam == 7.0
+
+    def test_flat_config_is_deprecated_but_works(self, walk_data):
+        config = RetraSynConfig(epsilon=1.0, w=10, seed=0)
+        with pytest.warns(DeprecationWarning, match="SessionSpec"):
+            session = create_session(config, walk_data.grid, lam=5.0)
+        assert isinstance(session, DirectSession)
+
+
+class TestEquivalence:
+    """Sessions must be bit-identical to the batch pipeline for a fixed
+    seed — they are the same engines behind a different surface."""
+
+    @pytest.mark.parametrize("transport", ["direct", "ingest"])
+    def test_session_matches_batch_pipeline(self, walk_data, transport):
+        config = RetraSynConfig(epsilon=1.0, w=10, seed=123)
+        batch_run = RetraSyn(config).run(walk_data)
+        spec = config.to_spec().replace(transport=transport)
+        session = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        run = _drive(session, walk_data)
+        assert _streams(run.synthetic) == _streams(batch_run.synthetic)
+
+    def test_sharded_session_matches_sharded_batch(self, walk_data):
+        config = RetraSynConfig(epsilon=1.0, w=10, seed=9, n_shards=3)
+        batch_run = RetraSyn(config).run(walk_data)
+        session = create_session(
+            config.to_spec(), walk_data.grid, lam=_lam(walk_data)
+        )
+        run = _drive(session, walk_data)
+        assert _streams(run.synthetic) == _streams(batch_run.synthetic)
+
+    def test_ingest_session_reorders_late_reports(self, walk_data):
+        """Out-of-order submission within the lateness bound is invisible."""
+        from repro.stream.ingest import UserReport
+
+        config = RetraSynConfig(epsilon=1.0, w=10, seed=5)
+        reference = RetraSyn(config).run(walk_data)
+
+        spec = config.to_spec().replace(transport="ingest", max_lateness=1)
+        session = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        view = ColumnarStreamView(walk_data, session.curator.space)
+        rng = np.random.default_rng(0)
+        for t0 in range(0, walk_data.n_timestamps, 2):
+            rows = []
+            for t in range(t0, min(t0 + 2, walk_data.n_timestamps)):
+                b = view.batch_at(t)
+                rows.extend(
+                    UserReport.encoded(uid, t, idx, kind)
+                    for uid, idx, kind in zip(
+                        b.user_ids.tolist(), b.state_idx.tolist(),
+                        b.kinds.tolist(),
+                    )
+                )
+            for i in rng.permutation(len(rows)):
+                session.submit_report(rows[int(i)])
+            session.advance()
+        session.close()
+        run = session.result(walk_data.n_timestamps)
+        assert _streams(run.synthetic) == _streams(reference.synthetic)
+
+
+class TestSessionSurface:
+    def test_snapshot_and_stats(self, walk_data):
+        spec = SessionSpec.from_flat(epsilon=1.0, w=10, seed=0)
+        session = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        _drive(session, walk_data, close=False)
+        snap = session.snapshot()
+        assert isinstance(snap, np.ndarray)
+        assert snap.size == session.curator.synthesizer.n_live
+        stats = session.stats()
+        assert stats["n_timestamps"] == walk_data.n_timestamps
+        assert stats["last_t"] == walk_data.n_timestamps - 1
+        assert stats["privacy"]["satisfied"] is True
+        session.close()
+
+    def test_ingest_stats_section(self, walk_data):
+        spec = SessionSpec.from_flat(epsilon=1.0, w=10, seed=0, transport="ingest")
+        session = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        _drive(session, walk_data, close=False)
+        stats = session.stats()
+        assert stats["ingest"]["n_submitted"] > 0
+        session.close()
+        assert session.stats()["n_timestamps"] == walk_data.n_timestamps
+
+    def test_result_defaults_to_processed_horizon(self, walk_data):
+        spec = SessionSpec.from_flat(epsilon=1.0, w=10, seed=0)
+        session = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        view = ColumnarStreamView(walk_data, session.curator.space)
+        for t in range(4):
+            session.submit_batch(
+                t, view.batch_at(t),
+                newly_entered=view.newly_entered_at(t),
+                quitted=view.quitted_at(t),
+                n_real_active=view.n_active_at(t),
+            )
+        session.advance()
+        run = session.result()
+        assert run.synthetic.n_timestamps == 4
+        assert "RetraSyn_p" in run.synthetic.name
+
+    def test_direct_close_drains_staged_batches(self, walk_data):
+        """close() is end-of-stream for every transport: staged-but-not-
+        advanced batches must be processed, like the ingest flush."""
+        spec = SessionSpec.from_flat(epsilon=1.0, w=10, seed=0)
+        session = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        view = ColumnarStreamView(walk_data, session.curator.space)
+        for t in range(walk_data.n_timestamps):
+            session.submit_batch(
+                t, view.batch_at(t),
+                newly_entered=view.newly_entered_at(t),
+                quitted=view.quitted_at(t),
+                n_real_active=view.n_active_at(t),
+            )
+        session.close()  # no explicit advance()
+        assert session.stats()["n_timestamps"] == walk_data.n_timestamps
+
+    def test_close_is_idempotent(self, walk_data):
+        spec = SessionSpec.from_flat(epsilon=1.0, w=10, seed=0)
+        session = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        session.close()
+        session.close()
+
+    def test_checkpoint_without_path_raises(self, walk_data):
+        session = create_session(
+            SessionSpec.from_flat(seed=0), walk_data.grid, lam=5.0
+        )
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            session.checkpoint()
+
+
+class TestSessionCheckpointing:
+    @pytest.mark.parametrize("transport", ["direct", "ingest"])
+    def test_resume_is_bitwise(self, walk_data, tmp_path, transport):
+        path = str(tmp_path / "session.ckpt")
+        spec = SessionSpec.from_flat(
+            epsilon=1.0, w=10, seed=7, transport=transport, checkpoint_path=path
+        )
+        uninterrupted = create_session(
+            spec, walk_data.grid, lam=_lam(walk_data)
+        )
+        reference = _drive(uninterrupted, walk_data)
+
+        first = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        view = ColumnarStreamView(walk_data, first.curator.space)
+        cut = walk_data.n_timestamps // 2
+        for t in range(cut):
+            first.submit_batch(
+                t, view.batch_at(t),
+                newly_entered=view.newly_entered_at(t),
+                quitted=view.quitted_at(t),
+                n_real_active=view.n_active_at(t),
+            )
+            first.advance()
+        first.checkpoint()
+
+        resumed = load_session(path)
+        assert resumed.spec == spec
+        view2 = ColumnarStreamView(walk_data, resumed.curator.space)
+        # Replay from the curator's frontier: with the ingest transport the
+        # assembler may have held back still-open timestamps at checkpoint
+        # time (watermarking), and producers resend from _last_t + 1.
+        for t in range(resumed.curator._last_t + 1, walk_data.n_timestamps):
+            resumed.submit_batch(
+                t, view2.batch_at(t),
+                newly_entered=view2.newly_entered_at(t),
+                quitted=view2.quitted_at(t),
+                n_real_active=view2.n_active_at(t),
+            )
+            resumed.advance()
+        resumed.close()
+        run = resumed.result(walk_data.n_timestamps)
+        assert _streams(run.synthetic) == _streams(reference.synthetic)
+
+    def test_periodic_checkpoints_written(self, walk_data, tmp_path):
+        path = str(tmp_path / "cadence.ckpt")
+        spec = SessionSpec.from_flat(
+            epsilon=1.0, w=10, seed=0, transport="ingest",
+            checkpoint_path=path, checkpoint_every=5,
+        )
+        session = create_session(spec, walk_data.grid, lam=_lam(walk_data))
+        _drive(session, walk_data)
+        # periodic ones plus the final close() checkpoint
+        expected = walk_data.n_timestamps // 5 + 1
+        assert session.ingest_stats.checkpoints_written == expected
