@@ -1,0 +1,42 @@
+"""Saturating load through the serve/HTTP ingress (ISSUE 6 acceptance).
+
+One shared synthetic workload — hundreds of thousands of users emitting
+enter/move/quit reports over a fixed horizon — is replayed against every
+system boundary the curator exposes:
+
+* ``inproc``     — straight into an ``IngestSession`` (no transport);
+* ``http_v1``    — HTTP ingress, JSON v1 reference encoding;
+* ``http_v2``    — HTTP ingress, binary frames + pipelining;
+* ``ingest_v*``  — same two encodings with closes deferred, isolating
+  the transport plane from the (shared) synthesis cost;
+* ``subprocess`` — a real ``repro serve --http`` server process.
+
+Gates at full scale (100k users):
+
+* binary frames >= 2x JSON v1 sustained reports/sec on the transport
+  plane (``binary_speedup_vs_json_v1``);
+* every boundary's synthetic output bit-identical to the in-process
+  reference (``remote_bit_identical``).
+
+``--quick`` shrinks to 5k users and only requires bit-identical replay
+(the CI ``serve-load-smoke`` gate).  The measured numbers are persisted
+machine-readable as ``results/BENCH_serve.json``.
+"""
+
+from _util import run_once
+
+from repro.bench.load import format_bench_serve, run_bench_serve
+
+
+def test_serve_load(benchmark, quick_mode, save_artifact, save_json_artifact):
+    out = run_once(benchmark, run_bench_serve, quick=quick_mode)
+
+    save_artifact("serve_load", "\n".join(format_bench_serve(out)))
+    save_json_artifact("BENCH_serve", out)
+
+    assert out["remote_bit_identical"], out
+    expected = {"inproc", "http_v1", "http_v2", "ingest_v1", "ingest_v2",
+                "subprocess"}
+    assert set(out["results"]) == expected, out
+    if not quick_mode:
+        assert out["binary_speedup_vs_json_v1"] >= 2.0, out

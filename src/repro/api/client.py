@@ -17,14 +17,20 @@ moving a workload across the network is a one-line change::
     synthetic = client.result()             # a StreamDataset, bit-identical
                                             # to the in-process run
 
-Only the Python standard library is used (``http.client``); each request
-opens a fresh connection because the server closes after responding.
+Only the Python standard library is used (``http.client``).  The client
+holds ONE persistent keep-alive connection and reconnects transparently
+when the server (or an idle timeout) drops it; after :meth:`hello`
+negotiates schema v2, report batches travel as binary frames and
+:meth:`submit_batches` pipelines several timestamps into a single
+request body (the frames concatenate because each is length-prefixed).
+Against a v1-only server everything silently stays base64 JSON, one
+batch per request.
 """
 
 from __future__ import annotations
 
 import http.client
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -40,28 +46,67 @@ class Client:
         self.timeout = float(timeout)
         self.schema_version: int = schema.SCHEMA_VERSION
         self._hello: Optional[dict] = None
+        self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+            self._conn = None
+
+    def _send(self, method: str, path: str, body: bytes) -> bytes:
+        """One request over the persistent connection.
+
+        A dead keep-alive socket (server restarted, idle drop) surfaces as
+        ``RemoteDisconnected`` / a broken pipe before the server has read
+        the request, so one reconnect-and-retry is safe; anything after
+        the first response byte propagates to the caller.
+        """
+        ctype = (
+            schema.CONTENT_TYPE_FRAME
+            if schema.is_frame(body)
+            else schema.CONTENT_TYPE_JSON
+        )
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(
+                    method, path, body=body, headers={"Content-Type": ctype}
+                )
+                response = self._conn.getresponse()
+                payload = response.read()
+            except (
+                http.client.RemoteDisconnected,
+                BrokenPipeError,
+                ConnectionResetError,
+            ):
+                self._drop_connection()
+                if attempt:
+                    raise
+                continue
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._drop_connection()
+                raise
+            if response.will_close:
+                self._drop_connection()
+            return payload
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _request(self, method: str, path: str, msg: Optional[dict] = None,
                  expect: Optional[str] = None) -> dict:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            body = schema.dumps(msg) if msg is not None else b""
-            conn.request(
-                method, path, body=body,
-                headers={"Content-Type": "application/json"},
-            )
-            response = conn.getresponse()
-            payload = response.read()
-        finally:
-            conn.close()
-        # loads() raises SchemaError for error envelopes whenever a type is
-        # expected, so callers never see an "error" message object.
-        return schema.loads(payload, expect=expect)
+        body = schema.dumps_any(msg) if msg is not None else b""
+        payload = self._send(method, path, body)
+        # loads_any() raises SchemaError for error envelopes whenever a
+        # type is expected, so callers never see an "error" message object.
+        return schema.loads_any(payload, expect=expect)
 
     # ------------------------------------------------------------------ #
     # protocol verbs
@@ -96,9 +141,43 @@ class Client:
         )
         return self._request("POST", "/v1/batch", msg, expect="ack")
 
+    def submit_batches(self, items: Sequence[tuple]) -> dict:
+        """Pipeline several timestamps' batches in one request.
+
+        ``items`` holds ``(t, batch, newly_entered, quitted,
+        n_real_active)`` tuples in submission order.  On a v2 connection
+        the frames concatenate into one POST body, which the server
+        submits in order under a single session-lock acquisition; on a v1
+        connection this degrades to one request per batch.  Returns the
+        final ack either way.
+        """
+        if not items:
+            raise ValueError("submit_batches needs at least one batch")
+        if self.schema_version not in schema.FRAME_VERSIONS:
+            ack = None
+            for t, batch, entered, quitted, n_active in items:
+                ack = self.submit_batch(
+                    t, batch, entered, quitted, n_real_active=n_active
+                )
+            return ack
+        body = b"".join(
+            schema.dump_frame(
+                schema.report_batch_message(
+                    t, batch, entered, quitted, n_active,
+                    version=self.schema_version,
+                )
+            )
+            for t, batch, entered, quitted, n_active in items
+        )
+        return schema.loads_any(
+            self._send("POST", "/v1/batch", body), expect="ack"
+        )
+
     def snapshot(self) -> np.ndarray:
         """Current cells of the server's live synthetic streams."""
-        msg = self._request("GET", "/v1/snapshot", expect="snapshot")
+        msg = self._request(
+            "GET", f"/v1/snapshot?v={self.schema_version}", expect="snapshot"
+        )
         return schema.parse_snapshot(msg)
 
     def stats(self) -> dict:
@@ -119,7 +198,9 @@ class Client:
         from repro.geo.trajectory import CellTrajectory
         from repro.stream.stream import StreamDataset
 
-        msg = self._request("GET", "/v1/result", expect="result")
+        msg = self._request(
+            "GET", f"/v1/result?v={self.schema_version}", expect="result"
+        )
         births, lengths, flat, n_timestamps, remote_name, user_ids = (
             schema.parse_result(msg)
         )
@@ -142,3 +223,8 @@ class Client:
     def shutdown_server(self) -> None:
         """Close the remote session and stop the ingress loop."""
         self._request("POST", "/v1/shutdown", expect="ack")
+        self._drop_connection()
+
+    def disconnect(self) -> None:
+        """Drop the persistent connection (the session stays alive)."""
+        self._drop_connection()

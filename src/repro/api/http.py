@@ -12,7 +12,7 @@ session with the same spec and seed (pinned by
 ``tests/api/test_http_ingress.py``).
 
 The server is deliberately dependency-free: a small HTTP/1.1 handler on
-``asyncio.start_server`` (one request per connection, bounded header and
+``asyncio.start_server`` (persistent connections, bounded header and
 body sizes), because the container ships no web framework and the
 protocol needs only these routes:
 
@@ -29,6 +29,25 @@ protocol needs only these routes:
 
 Session calls are serialized behind an :class:`asyncio.Lock`, so
 concurrent clients cannot interleave a curator round.
+
+Transport fast paths (schema v2):
+
+* connections are **keep-alive** by default (HTTP/1.1 semantics): a
+  client replaying a stream reuses one socket for the whole run instead
+  of a connect/close cycle per timestamp;
+* ``POST /v1/batch`` accepts either a JSON v1 envelope or one-or-more
+  concatenated **binary frames** (sniffed by the ``RSF2`` magic).  A
+  multi-frame body is the client-side pipelining path: every batch is
+  submitted in frame order under one session-lock acquisition and one
+  ``advance()`` sweep, and the ack reports how many batches landed;
+* ``GET /v1/snapshot?v=2`` / ``GET /v1/result?v=2`` answer with a binary
+  frame instead of base64 JSON (``v`` defaults to 1, the reference
+  encoding, so v1-only clients never see a frame).
+
+Responses pick their encoding by content: messages carrying raw array
+columns go out as frames (``application/x-retrasyn-frame``), everything
+else — hello, acks, stats, errors — stays JSON, so the bootstrap and
+failure paths are always readable to any peer.
 """
 
 from __future__ import annotations
@@ -107,27 +126,38 @@ class HttpIngress:
     # ------------------------------------------------------------------ #
     async def _handle_connection(self, reader, writer) -> None:
         try:
-            request = await self._read_request(reader)
-            if request is None:
-                return
-            method, path, body = request
-            status, msg = await self._route(method, path, body)
-        except SchemaError as exc:
-            status, msg = 400, schema.error_message(exc)
-        except ReproError as exc:
-            status, msg = 400, schema.error_message(exc)
-        except Exception as exc:  # noqa: BLE001 - the envelope reports it
-            status, msg = 500, schema.error_message(exc)
-        try:
-            payload = schema.dumps(msg)
-            head = (
-                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                f"Connection: close\r\n\r\n"
-            ).encode("ascii")
-            writer.write(head + payload)
-            await writer.drain()
+            while True:
+                keep_alive = False
+                try:
+                    request = await self._read_request(reader)
+                    if request is None:
+                        return
+                    method, path, body, keep_alive = request
+                    status, msg = await self._route(method, path, body)
+                except SchemaError as exc:
+                    status, msg = 400, schema.error_message(exc)
+                except ReproError as exc:
+                    status, msg = 400, schema.error_message(exc)
+                except Exception as exc:  # noqa: BLE001 - envelope reports it
+                    status, msg = 500, schema.error_message(exc)
+                # Errors and shutdown close the connection: a peer whose
+                # request failed mid-pipeline must not keep streaming into
+                # a session whose round state it has lost track of.
+                keep_alive = (
+                    keep_alive and status < 400 and not self._shutdown.is_set()
+                )
+                payload, ctype = self._encode_response(msg)
+                head = (
+                    f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                    "\r\n\r\n"
+                ).encode("ascii")
+                writer.write(head + payload)
+                await writer.drain()
+                if not keep_alive:
+                    return
         except (ConnectionError, OSError):
             pass  # peer went away mid-response; nothing to report to
         finally:
@@ -138,12 +168,20 @@ class HttpIngress:
                 pass
 
     @staticmethod
+    def _encode_response(msg: dict):
+        """Frame when the message carries raw arrays, JSON otherwise."""
+        if any(isinstance(v, np.ndarray) for v in msg.values()):
+            return schema.dump_frame(msg), schema.CONTENT_TYPE_FRAME
+        return schema.dumps(msg), schema.CONTENT_TYPE_JSON
+
+    @staticmethod
     async def _read_request(reader):
         try:
             header = await reader.readuntil(b"\r\n\r\n")
         except asyncio.IncompleteReadError:
             # Connection closed before a full request arrived (port scans,
-            # TCP health checks): not an error, just nothing to answer.
+            # TCP health checks, keep-alive peers hanging up): not an
+            # error, just nothing to answer.
             return None
         except asyncio.LimitOverrunError:
             raise SchemaError("request header too large") from None
@@ -153,22 +191,26 @@ class HttpIngress:
         except ValueError as exc:
             raise SchemaError(f"malformed request line {lines[0]!r}") from exc
         length = 0
+        keep_alive = True  # HTTP/1.1 default
         for line in lines[1:]:
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     length = int(value.strip())
                 except ValueError:
                     raise SchemaError(
                         f"unparseable Content-Length {value.strip()!r}"
                     ) from None
+            elif name == "connection":
+                keep_alive = value.strip().lower() != "close"
         if not 0 <= length <= _MAX_BODY_BYTES:
             raise SchemaError(f"request body of {length} bytes exceeds the bound")
         try:
             body = await reader.readexactly(length) if length else b""
         except asyncio.IncompleteReadError:
             return None  # peer closed mid-body; nothing to answer
-        return method.upper(), target, body
+        return method.upper(), target, body, keep_alive
 
     # ------------------------------------------------------------------ #
     # routes
@@ -212,23 +254,60 @@ class HttpIngress:
         msg["schema"] = negotiated
         return 200, msg
 
+    @staticmethod
+    def _query_version(query: str) -> int:
+        """Response schema version from the ``v`` query parameter.
+
+        Defaults to 1 — the JSON reference encoding — so peers that never
+        negotiated see exactly the wire format v1 defined.
+        """
+        for part in query.split("&"):
+            name, _, value = part.partition("=")
+            if name == "v" and value:
+                try:
+                    version = int(value)
+                except ValueError:
+                    raise SchemaError(
+                        f"unparseable schema version {value!r}"
+                    ) from None
+                if version not in schema.SUPPORTED_VERSIONS:
+                    raise SchemaError(f"unsupported schema version {version}")
+                return version
+        return 1
+
     async def _batch(self, query: str, body: bytes):
-        msg = schema.loads(body, expect="report-batch")
-        t, batch, entered, quitted, n_active = schema.parse_report_batch(msg)
+        if schema.is_frame(body):
+            # The pipelined fast path: a body may concatenate several
+            # frames; all are submitted under ONE lock acquisition and one
+            # advance() sweep, in frame order (order is what keeps remote
+            # replays bit-identical to in-process sessions).
+            msgs = list(schema.iter_frames(body, expect="report-batch"))
+        else:
+            msgs = [schema.loads(body, expect="report-batch")]
+        if not msgs:
+            raise SchemaError("empty batch body")
+        parsed = [schema.parse_report_batch(m) for m in msgs]
         async with self._lock:
-            self.session.submit_batch(
-                t, batch,
-                newly_entered=entered, quitted=quitted, n_real_active=n_active,
-            )
+            for t, batch, entered, quitted, n_active in parsed:
+                self.session.submit_batch(
+                    t, batch,
+                    newly_entered=entered, quitted=quitted,
+                    n_real_active=n_active,
+                )
             results = self.session.advance()
         return 200, schema.message(
-            "ack", t=t, n=len(batch), n_rounds_processed=len(results)
+            "ack",
+            t=parsed[-1][0],
+            n=sum(len(p[1]) for p in parsed),
+            n_batches=len(parsed),
+            n_rounds_processed=len(results),
         )
 
     async def _snapshot(self, query: str, body: bytes):
+        version = self._query_version(query)
         async with self._lock:
             cells = self.session.snapshot()
-        return 200, schema.snapshot_message(cells)
+        return 200, schema.snapshot_message(cells, version=version)
 
     async def _stats(self, query: str, body: bytes):
         async with self._lock:
@@ -252,6 +331,7 @@ class HttpIngress:
     async def _result(self, query: str, body: bytes):
         from repro.core.trajectory_store import StoreTrajectories
 
+        version = self._query_version(query)
         async with self._lock:
             run = self.session.result()
         synthetic = run.synthetic
@@ -281,7 +361,7 @@ class HttpIngress:
             )
         return 200, schema.result_message(
             births, lengths, flat, synthetic.n_timestamps, synthetic.name,
-            user_ids,
+            user_ids, version=version,
         )
 
     async def _shutdown_route(self, query: str, body: bytes):

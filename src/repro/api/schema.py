@@ -34,13 +34,32 @@ Version negotiation: the client sends the versions it speaks (the
 answers with :func:`negotiate`'s pick — the highest version both sides
 support — and every subsequent message carries that version in its
 ``schema`` field.  Unknown versions or types raise :class:`SchemaError`.
+
+Schema **v2** adds a *binary frame* encoding of the same messages.  A
+frame is length-prefixed::
+
+    b"RSF2" | u32 header_len | u32 payload_len | header JSON | payload
+
+where the header is the JSON envelope *without* its array columns (plus a
+``_cols`` manifest of ``[name, length]`` pairs, in payload order) and the
+payload is the concatenation of each column's raw little-endian buffer,
+dtype pinned by :data:`_COLUMN_DTYPES` exactly as in v1 — so a v2 frame
+and a v1 envelope of the same message decode to bit-identical arrays (the
+differential tests pin this).  What v2 removes is the base64 inflation
+and the JSON string parse on the megabyte array columns.  Because every
+frame carries its own length, frames *concatenate*: one request body may
+pipeline several ``report-batch`` frames back-to-back
+(:func:`iter_frames` splits them), which is what the client's request
+pipelining rides on.  v1 JSON remains fully supported as the reference
+encoding and is what v1-only peers negotiate.
 """
 
 from __future__ import annotations
 
 import base64
 import json
-from typing import Iterable, Optional
+import struct
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -48,9 +67,21 @@ from repro.exceptions import ReproError
 from repro.stream.reports import ReportBatch
 
 #: Schema versions this build can speak, ascending.
-SUPPORTED_VERSIONS = (1,)
+SUPPORTED_VERSIONS = (1, 2)
 #: The version this build prefers (and the default for new messages).
 SCHEMA_VERSION = SUPPORTED_VERSIONS[-1]
+#: Versions whose array columns travel as raw binary frames.
+FRAME_VERSIONS = (2,)
+
+#: Magic prefix of a binary frame (RetraSyn Frame, format 2).
+FRAME_MAGIC = b"RSF2"
+#: HTTP content types of the two encodings.
+CONTENT_TYPE_JSON = "application/json"
+CONTENT_TYPE_FRAME = "application/x-retrasyn-frame"
+
+_FRAME_LEN = struct.Struct("<II")
+#: Bound on one frame's header, mirroring the ingress header bound.
+_MAX_FRAME_HEADER = 1024 * 1024
 
 #: Message types defined by v1.
 MESSAGE_TYPES = (
@@ -117,11 +148,25 @@ def encode_array(name: str, values) -> str:
     return base64.b64encode(arr.tobytes()).decode("ascii")
 
 
-def decode_array(name: str, data: str) -> np.ndarray:
-    """Inverse of :func:`encode_array` (shape is always one-dimensional)."""
+def decode_array(name: str, data) -> np.ndarray:
+    """Inverse of :func:`encode_array` (shape is always one-dimensional).
+
+    Accepts either the v1 base64 text or — on the v2 frame path, where
+    :func:`load_frame` has already mapped the column to a typed view over
+    the request body — a numpy array, which passes through unchanged
+    (zero-copy) after a dtype check.  Every ``parse_*`` helper therefore
+    works on both encodings.
+    """
     dtype = _COLUMN_DTYPES.get(name)
     if dtype is None:
         raise SchemaError(f"unknown wire column {name!r}")
+    if isinstance(data, np.ndarray):
+        if data.dtype != np.dtype(dtype):
+            raise SchemaError(
+                f"column {name!r}: expected dtype {np.dtype(dtype).name}, "
+                f"got {data.dtype.name}"
+            )
+        return np.atleast_1d(data)
     try:
         raw = base64.b64decode(data.encode("ascii"), validate=True)
     except Exception as exc:
@@ -135,6 +180,24 @@ def decode_array(name: str, data: str) -> np.ndarray:
     return np.frombuffer(raw, dtype=np.dtype(dtype).newbyteorder("<")).astype(
         dtype, copy=True
     )
+
+
+def _enc(name: str, values, version: int):
+    """Encode one column for ``version``: base64 text (v1), raw array (v2).
+
+    The v2 value is the *same* pinned-dtype little-endian buffer v1
+    base64-encodes — :func:`dump_frame` later moves it into the frame
+    payload verbatim, which is what makes the two encodings bit-identical.
+    """
+    if version in FRAME_VERSIONS:
+        dtype = _COLUMN_DTYPES.get(name)
+        if dtype is None:
+            raise SchemaError(f"unknown wire column {name!r}")
+        arr = np.ascontiguousarray(np.asarray(values, dtype=dtype))
+        if arr.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        return np.atleast_1d(arr)
+    return encode_array(name, values)
 
 
 # ---------------------------------------------------------------------- #
@@ -154,14 +217,8 @@ def dumps(msg: dict) -> bytes:
     return json.dumps(msg, separators=(",", ":")).encode("utf-8")
 
 
-def loads(data: bytes, expect: Optional[str] = None) -> dict:
-    """Parse and validate an envelope; optionally pin its type."""
-    try:
-        msg = json.loads(data.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise SchemaError(f"unparseable wire message: {exc}") from exc
-    if not isinstance(msg, dict):
-        raise SchemaError(f"wire message must be a JSON object, got {type(msg)}")
+def _validate(msg: dict, expect: Optional[str]) -> dict:
+    """Shared envelope validation of both the JSON and frame decoders."""
     version = msg.get("schema")
     if version not in SUPPORTED_VERSIONS:
         raise SchemaError(f"unsupported schema version {version!r}")
@@ -176,6 +233,161 @@ def loads(data: bytes, expect: Optional[str] = None) -> dict:
             )
         raise SchemaError(f"expected a {expect!r} message, got {type_!r}")
     return msg
+
+
+def loads(data: bytes, expect: Optional[str] = None) -> dict:
+    """Parse and validate a JSON envelope; optionally pin its type."""
+    try:
+        msg = json.loads(bytes(data).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"unparseable wire message: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise SchemaError(f"wire message must be a JSON object, got {type(msg)}")
+    return _validate(msg, expect)
+
+
+# ---------------------------------------------------------------------- #
+# v2 binary frames
+# ---------------------------------------------------------------------- #
+def dump_frame(msg: dict) -> bytes:
+    """Serialize a v2 envelope to one length-prefixed binary frame.
+
+    Array-valued entries (what :func:`_enc` produces for frame versions)
+    move into the payload as raw little-endian buffers; everything else
+    stays in the JSON header, alongside a ``_cols`` manifest of
+    ``[name, element_count]`` pairs in payload order.
+    """
+    version = msg.get("schema")
+    if version not in FRAME_VERSIONS:
+        raise SchemaError(
+            f"schema version {version!r} has no frame encoding; use dumps()"
+        )
+    header: dict = {}
+    cols: list[list] = []
+    buffers: list[bytes] = []
+    for key, value in msg.items():
+        if isinstance(value, np.ndarray):
+            dtype = _COLUMN_DTYPES.get(key)
+            if dtype is None:
+                raise SchemaError(f"unknown wire column {key!r}")
+            arr = np.ascontiguousarray(value.astype(dtype, copy=False))
+            if arr.dtype.byteorder == ">":  # pragma: no cover - BE hosts
+                arr = arr.astype(arr.dtype.newbyteorder("<"))
+            cols.append([key, int(arr.size)])
+            buffers.append(arr.tobytes())
+        else:
+            header[key] = value
+    header["_cols"] = cols
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    payload = b"".join(buffers)
+    return b"".join(
+        (FRAME_MAGIC, _FRAME_LEN.pack(len(header_bytes), len(payload)),
+         header_bytes, payload)
+    )
+
+
+def load_frame(
+    data, offset: int = 0, expect: Optional[str] = None
+) -> tuple[dict, int]:
+    """Parse one frame starting at ``offset``; return ``(msg, next_offset)``.
+
+    Columns come back as numpy array *views* over ``data`` (zero-copy,
+    read-only); :func:`decode_array` passes them through, so the ``parse_*``
+    helpers work unchanged.  ``next_offset`` points at the byte after the
+    frame, which is how :func:`iter_frames` walks a pipelined body.
+    """
+    view = memoryview(data)[offset:]
+    prefix = FRAME_MAGIC + b"\x00" * _FRAME_LEN.size
+    if len(view) < len(prefix):
+        raise SchemaError("truncated frame: missing length prefix")
+    if bytes(view[: len(FRAME_MAGIC)]) != FRAME_MAGIC:
+        raise SchemaError("not a binary frame (bad magic)")
+    header_len, payload_len = _FRAME_LEN.unpack(
+        view[len(FRAME_MAGIC) : len(prefix)]
+    )
+    if header_len > _MAX_FRAME_HEADER:
+        raise SchemaError(
+            f"frame header of {header_len} bytes exceeds the "
+            f"{_MAX_FRAME_HEADER}-byte bound"
+        )
+    body_start = len(prefix)
+    end = body_start + header_len + payload_len
+    if len(view) < end:
+        raise SchemaError(
+            f"truncated frame: declares {end} bytes, body holds {len(view)}"
+        )
+    try:
+        msg = json.loads(bytes(view[body_start : body_start + header_len]))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise SchemaError("frame header must be a JSON object")
+    cols = msg.pop("_cols", [])
+    if not isinstance(cols, list):
+        raise SchemaError("frame _cols manifest must be a list")
+    payload = view[body_start + header_len : end]
+    pos = 0
+    for entry in cols:
+        try:
+            name, count = entry
+            count = int(count)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"malformed _cols entry {entry!r}") from exc
+        dtype = _COLUMN_DTYPES.get(name)
+        if dtype is None:
+            raise SchemaError(f"unknown wire column {name!r}")
+        nbytes = count * np.dtype(dtype).itemsize
+        if count < 0 or pos + nbytes > len(payload):
+            raise SchemaError(
+                f"column {name!r} overruns the frame payload"
+            )
+        msg[name] = np.frombuffer(
+            payload[pos : pos + nbytes], dtype=np.dtype(dtype).newbyteorder("<")
+        )
+        pos += nbytes
+    if pos != len(payload):
+        raise SchemaError(
+            f"frame payload holds {len(payload) - pos} bytes beyond its "
+            "column manifest"
+        )
+    return _validate(msg, expect), offset + end
+
+
+def iter_frames(data, expect: Optional[str] = None) -> Iterator[dict]:
+    """All frames in a concatenated (pipelined) body, in order."""
+    view = memoryview(data)
+    offset = 0
+    while offset < len(view):
+        msg, offset = load_frame(view, offset, expect=expect)
+        yield msg
+
+
+def is_frame(data) -> bool:
+    """True when ``data`` starts with the binary-frame magic."""
+    return bytes(memoryview(data)[: len(FRAME_MAGIC)]) == FRAME_MAGIC
+
+
+def dumps_any(msg: dict) -> bytes:
+    """Serialize with the encoding the message's version implies."""
+    if msg.get("schema") in FRAME_VERSIONS:
+        return dump_frame(msg)
+    return dumps(msg)
+
+
+def loads_any(data, expect: Optional[str] = None) -> dict:
+    """Parse either encoding, sniffing the frame magic.
+
+    A body holding several concatenated frames is rejected here — use
+    :func:`iter_frames` where pipelining is expected.
+    """
+    if is_frame(data):
+        msg, end = load_frame(data, 0, expect=expect)
+        if end != len(memoryview(data)):
+            raise SchemaError(
+                "trailing bytes after frame (pipelined body? use iter_frames)"
+            )
+        return msg
+    return loads(data, expect=expect)
 
 
 # ---------------------------------------------------------------------- #
@@ -214,11 +426,11 @@ def report_batch_message(
         version=version,
         t=int(t),
         n=len(batch),
-        user_ids=encode_array("user_ids", batch.user_ids),
-        state_idx=encode_array("state_idx", batch.state_idx),
-        kinds=encode_array("kinds", batch.kinds),
-        newly_entered=encode_array("newly_entered", newly_entered),
-        quitted=encode_array("quitted", quitted),
+        user_ids=_enc("user_ids", batch.user_ids, version),
+        state_idx=_enc("state_idx", batch.state_idx, version),
+        kinds=_enc("kinds", batch.kinds, version),
+        newly_entered=_enc("newly_entered", newly_entered, version),
+        quitted=_enc("quitted", quitted, version),
         n_real_active=int(n_real_active),
     )
 
@@ -248,7 +460,7 @@ def snapshot_message(cells: np.ndarray, version: int = SCHEMA_VERSION) -> dict:
     """Live synthetic stream cells."""
     return message(
         "snapshot", version=version,
-        n=int(np.asarray(cells).size), cells=encode_array("cells", cells),
+        n=int(np.asarray(cells).size), cells=_enc("cells", cells, version),
     )
 
 
@@ -283,10 +495,10 @@ def result_message(
         n_streams=int(np.asarray(lengths).size),
         n_timestamps=int(n_timestamps),
         name=str(name),
-        births=encode_array("births", births),
-        lengths=encode_array("lengths", lengths),
-        flat_cells=encode_array("flat_cells", flat_cells),
-        user_ids=encode_array("user_ids", user_ids),
+        births=_enc("births", births, version),
+        lengths=_enc("lengths", lengths, version),
+        flat_cells=_enc("flat_cells", flat_cells, version),
+        user_ids=_enc("user_ids", user_ids, version),
     )
 
 

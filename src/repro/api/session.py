@@ -218,7 +218,7 @@ class IngestSession(_SessionBase):
     """
 
     def __init__(self, curator, spec: Optional[SessionSpec] = None) -> None:
-        from repro.stream.ingest import IngestStats, TimestampAssembler
+        from repro.stream.ingest import IngestStats, make_assembler
 
         if spec is None:
             spec = SessionSpec.from_config(
@@ -226,10 +226,11 @@ class IngestSession(_SessionBase):
             )
         super().__init__(curator, spec)
         last_t = getattr(curator, "_last_t", None)
-        self.assembler = TimestampAssembler(
+        self.assembler = make_assembler(
             curator.space,
             start_t=0 if last_t is None else last_t + 1,
             max_lateness=self.spec.service.max_lateness,
+            consumers=self.spec.service.ingest_consumers,
         )
         self.ingest_stats = IngestStats()
 
@@ -295,6 +296,8 @@ class IngestSession(_SessionBase):
             "checkpoints_written": s.checkpoints_written,
             "watermark": int(self.assembler.watermark),
             "next_t": int(self.assembler.next_t),
+            "backlog": int(self.assembler.backlog),
+            "backlog_high_water": int(self.assembler.backlog_high_water),
         }
         return out
 

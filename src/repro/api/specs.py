@@ -278,6 +278,15 @@ class ServiceSpec:
             type=int,
         ),
     )
+    ingest_consumers: int = field(
+        default=1,
+        metadata=_cli(
+            "--ingest-consumers",
+            "assembler partitions fed concurrently; >1 hash-partitions "
+            "buffering by user id (output stays canonical)",
+            type=int,
+        ),
+    )
     http_host: str = "127.0.0.1"
     http_port: int = 0  # 0 = bind an ephemeral port
 
@@ -297,6 +306,10 @@ class ServiceSpec:
         if self.checkpoint_every < 0:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.ingest_consumers < 1:
+            raise ConfigurationError(
+                f"ingest_consumers must be >= 1, got {self.ingest_consumers}"
             )
         if not 0 <= self.http_port <= 65535:
             raise ConfigurationError(

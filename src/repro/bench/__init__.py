@@ -1,0 +1,11 @@
+"""End-to-end benchmark drivers (``repro bench ...``).
+
+Unlike :mod:`benchmarks` (the pytest-benchmark harness regenerating the
+paper's tables), this package measures the *system boundary*: sustained
+report throughput and latency through the serve/HTTP ingress, reported
+as machine-readable artifacts CI gates on.
+"""
+
+from repro.bench.load import LoadResult, LoadSpec, run_bench_serve, run_load
+
+__all__ = ["LoadResult", "LoadSpec", "run_bench_serve", "run_load"]

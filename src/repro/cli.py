@@ -141,6 +141,39 @@ def _add_serve_parser(sub) -> None:
     p.add_argument("--no-audit", action="store_true")
 
 
+def _add_bench_parser(sub) -> None:
+    p = sub.add_parser(
+        "bench",
+        help="end-to-end load benchmarks (machine-readable artifacts)",
+    )
+    inner = p.add_subparsers(dest="bench_cmd", required=True)
+    serve = inner.add_parser(
+        "serve",
+        help="saturating load harness over the serve/HTTP ingress: "
+             "replays a synthetic population against every boundary "
+             "(in-process, HTTP v1/v2, subprocess) and writes "
+             "BENCH_serve.json",
+    )
+    serve.add_argument("--users", type=int, default=100_000,
+                       help="synthetic population size (reports per round)")
+    serve.add_argument("--horizon", type=int, default=8,
+                       help="timestamps replayed (enter + moves + quit)")
+    serve.add_argument("--k", type=int, default=6, help="grid granularity")
+    serve.add_argument("--epsilon", type=float, default=1.0)
+    serve.add_argument("--w", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--pipeline", type=int, default=4,
+                       help="timestamps per pipelined request (binary frames)")
+    serve.add_argument("--ingest-consumers", type=int, default=1)
+    serve.add_argument("--modes", default="inproc,http,subprocess",
+                       help="comma-separated subset of inproc,http,subprocess")
+    serve.add_argument("--quick", action="store_true",
+                       help="CI smoke scale: caps users/horizon "
+                            "(small populations, no speedup gate)")
+    serve.add_argument("--out", default="BENCH_serve.json",
+                       help="artifact path (JSON)")
+
+
 def _add_evaluate_parser(sub) -> None:
     p = sub.add_parser("evaluate", help="score a synthetic DB against the real one")
     p.add_argument("real", help="real dataset .npz")
@@ -188,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_datasets_parser(sub)
     _add_run_parser(sub)
     _add_serve_parser(sub)
+    _add_bench_parser(sub)
     _add_evaluate_parser(sub)
     _add_experiment_parser(sub)
     _add_plan_parser(sub)
@@ -263,12 +297,9 @@ def _cmd_serve(args) -> int:
         return _serve_http(args, data, spec)
     settings = ServeSettings(
         config=spec.to_config(),
-        queue_size=spec.service.queue_size,
-        max_lateness=spec.service.max_lateness,
+        service=spec.service,
         shuffle=args.shuffle,
         shuffle_seed=args.seed,
-        checkpoint_path=spec.service.checkpoint_path,
-        checkpoint_every=spec.service.checkpoint_every,
         resume=args.resume,
     )
     outcome = serve_dataset(data, settings)
@@ -291,6 +322,7 @@ def _serve_http(args, data, spec) -> int:
     import dataclasses
     from pathlib import Path
 
+    from repro.api import schema
     from repro.api.http import serve_http
     from repro.api.session import create_session, load_session
     from repro.geo.trajectory import average_length
@@ -325,7 +357,8 @@ def _serve_http(args, data, spec) -> int:
         host=spec.service.http_host,
         port=spec.service.http_port,
         on_ready=lambda s: print(
-            f"listening on http://{s.host}:{s.port} (schema v1); "
+            f"listening on http://{s.host}:{s.port} "
+            f"(schema v{schema.SCHEMA_VERSION}, binary frames + JSON v1); "
             f"POST /v1/shutdown to stop", flush=True,
         ),
     )
@@ -351,6 +384,34 @@ def _audit_exit_code(run) -> int:
             print("ERROR: w-event LDP guarantee violated", file=sys.stderr)
             return 1
     return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench.load import format_bench_serve, run_bench_serve
+
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    payload = run_bench_serve(
+        n_users=args.users,
+        horizon=args.horizon,
+        k=args.k,
+        epsilon=args.epsilon,
+        w=args.w,
+        seed=args.seed,
+        pipeline=args.pipeline,
+        ingest_consumers=args.ingest_consumers,
+        modes=modes,
+        quick=args.quick,
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for line in format_bench_serve(payload):
+        print(line)
+    print(f"wrote {out}")
+    return 0 if payload["remote_bit_identical"] else 1
 
 
 def _cmd_evaluate(args) -> int:
@@ -427,6 +488,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "run": _cmd_run,
         "serve": _cmd_serve,
+        "bench": _cmd_bench,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "plan": _cmd_plan,

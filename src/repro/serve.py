@@ -17,6 +17,7 @@ Programmatic use::
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -24,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.specs import ServiceSpec
 from repro.core.online import OnlineRetraSyn
 from repro.core.persistence import load_checkpoint
 from repro.core.retrasyn import RetraSynConfig, SynthesisRun
@@ -33,19 +35,56 @@ from repro.stream.ingest import IngestStats, dataset_reports, ingest_events
 from repro.stream.reports import ColumnarStreamView
 from repro.stream.stream import StreamDataset
 
+#: ServiceSpec fields mirrored as flat ServeSettings kwargs.  Every
+#: CLI-exposed ServiceSpec field must appear here (pinned by the drift
+#: test in ``tests/test_serve_settings.py``) so ``repro serve`` flags
+#: cannot silently stop reaching the service layer.
+_MIRRORED_SERVICE_FIELDS = (
+    "queue_size",
+    "max_lateness",
+    "checkpoint_path",
+    "checkpoint_every",
+    "ingest_consumers",
+)
+
 
 @dataclass
 class ServeSettings:
-    """Everything `repro serve` needs besides the dataset."""
+    """Everything `repro serve` needs besides the dataset.
+
+    The deployment shape lives in one place — the ``service``
+    :class:`~repro.api.specs.ServiceSpec` layer, where all validation
+    also lives.  The flat fields (``queue_size`` … ``ingest_consumers``)
+    are constructor conveniences: a non-``None`` value overrides the
+    corresponding ``service`` field, and after construction each mirror
+    reflects the resolved spec value, so both spellings read the same.
+    """
 
     config: RetraSynConfig = field(default_factory=RetraSynConfig)
-    queue_size: int = 10_000
-    max_lateness: int = 0
+    service: Optional[ServiceSpec] = None  # resolved in __post_init__
+    queue_size: Optional[int] = None
+    max_lateness: Optional[int] = None
     shuffle: bool = False  # permute arrival order inside the lateness window
     shuffle_seed: int = 0
     checkpoint_path: Optional[str] = None
-    checkpoint_every: int = 0  # extra mid-run checkpoints (0 = only at end)
+    checkpoint_every: Optional[int] = None  # mid-run cadence (0 = only at end)
+    ingest_consumers: Optional[int] = None  # assembler partitions (>=1)
     resume: bool = False  # load checkpoint_path and continue from it
+
+    def __post_init__(self) -> None:
+        base = self.service if self.service is not None else ServiceSpec()
+        overrides = {
+            name: getattr(self, name)
+            for name in _MIRRORED_SERVICE_FIELDS
+            if getattr(self, name) is not None
+        }
+        # replace() re-runs ServiceSpec.__post_init__, so validation of
+        # the flat overrides happens in the spec layer, once.
+        self.service = dataclasses.replace(
+            base, transport="ingest", **overrides
+        )
+        for name in _MIRRORED_SERVICE_FIELDS:
+            setattr(self, name, getattr(self.service, name))
 
 
 @dataclass
@@ -125,6 +164,7 @@ def serve_dataset(data: StreamDataset, settings: ServeSettings) -> ServeOutcome:
             max_lateness=settings.max_lateness,
             checkpoint_path=settings.checkpoint_path,
             checkpoint_every=settings.checkpoint_every,
+            ingest_consumers=settings.ingest_consumers,
         )
     finally:
         if isinstance(curator, ShardedOnlineRetraSyn):

@@ -17,6 +17,12 @@ model and synthesize before moving on.  This module is that front door:
   sorted by user id, giving the service a canonical row order that is
   independent of arrival order — so a fixed seed yields the same synthetic
   stream no matter how the network shuffled the reports.
+* :class:`MultiConsumerAssembler` — the multi-feeder variant: buffering
+  is hash-partitioned by user id behind per-partition locks, so parallel
+  producers no longer serialize behind one buffer; closed batches stay
+  bit-identical to the single-consumer reference (the canonical uid sort
+  erases partitioning from the output).  ``ServiceSpec.ingest_consumers``
+  selects it.
 * :class:`IngestionService` — the asyncio event loop around the assembler:
   a bounded :class:`asyncio.Queue` provides backpressure (``submit``
   suspends the producer when the curator falls behind), a single consumer
@@ -51,6 +57,7 @@ from repro.stream.reports import (
     KIND_OF_STATE,
     KIND_QUIT,
     ReportBatch,
+    shard_of_array,
 )
 
 
@@ -127,18 +134,22 @@ class TimestampAssembler:
         self.max_lateness = int(max_lateness)
         self._next_t = int(start_t)
         self._max_seen = int(start_t) - 1
-        self._buffers: dict[int, list[tuple[int, int, int]]] = {}
+        # Per-timestamp arrival-ordered segments: either a list of loose
+        # ``(uid, idx, kind)`` rows or a whole ReportBatch kept columnar
+        # (the zero-copy fast path: batches decoded straight off the wire
+        # are buffered as-is and only concatenated at close).
+        self._buffers: dict[int, list] = {}
         self.n_late_dropped = 0
+        self._n_buffered = 0
+        #: Most rows ever buffered at once — the assembler's queue-depth
+        #: high-water mark, reported by the serve load harness.
+        self.backlog_high_water = 0
 
     # ------------------------------------------------------------------ #
     # feeding
     # ------------------------------------------------------------------ #
-    def add(self, report: UserReport) -> None:
-        """Buffer one report; late reports are dropped and counted."""
-        t = int(report.t)
-        if t < self._next_t:
-            self.n_late_dropped += 1
-            return
+    def _encode(self, report: UserReport) -> tuple[int, int, int]:
+        """``(user_id, state_idx, kind)`` of one report (pure, lock-free)."""
         if report.state is not None:
             kind = KIND_OF_STATE[report.state.kind]
             if kind == KIND_MOVE or self.space.include_eq:
@@ -151,30 +162,37 @@ class TimestampAssembler:
                     f"report carries neither a state nor a valid kind: {report}"
                 )
             idx, kind = int(report.state_idx), int(report.kind)
-        self._buffers.setdefault(t, []).append((int(report.user_id), idx, kind))
+        return int(report.user_id), idx, kind
+
+    def add(self, report: UserReport) -> None:
+        """Buffer one report; late reports are dropped and counted."""
+        t = int(report.t)
+        if t < self._next_t:
+            self.n_late_dropped += 1
+            return
+        uid, idx, kind = self._encode(report)
+        self._append_row(self._buffers.setdefault(t, []), (uid, idx, kind))
+        self._track_buffered(1)
         if t > self._max_seen:
             self._max_seen = t
 
     def add_batch(self, t: int, batch: ReportBatch) -> int:
         """Buffer one timestamp's pre-encoded reports in one call.
 
-        The columnar twin of per-report :meth:`add`: rows land in the same
-        buffer (and are re-sorted canonically at close), so mixing batch
-        and loose submissions is fine.  Returns the number of rows
+        The columnar zero-copy twin of per-report :meth:`add`: the batch
+        is buffered *as-is* (its arrays are never exploded into rows) and
+        concatenated with its timestamp's other segments at close, where
+        one stable uid sort restores the canonical order — so mixing
+        batch and loose submissions is fine.  Returns the number of rows
         buffered (0 when the whole batch is late).
         """
         t = int(t)
         if t < self._next_t:
             self.n_late_dropped += len(batch)
             return 0
-        rows = self._buffers.setdefault(t, [])
-        rows.extend(
-            zip(
-                batch.user_ids.tolist(),
-                batch.state_idx.tolist(),
-                batch.kinds.tolist(),
-            )
-        )
+        if len(batch):
+            self._buffers.setdefault(t, []).append(batch)
+            self._track_buffered(len(batch))
         if t > self._max_seen:
             self._max_seen = t
         return len(batch)
@@ -217,16 +235,65 @@ class TimestampAssembler:
             self._next_t += 1
         return out
 
+    def _track_buffered(self, n: int) -> None:
+        """Maintain the backlog counter and its high-water mark."""
+        self._n_buffered += n
+        if self._n_buffered > self.backlog_high_water:
+            self.backlog_high_water = self._n_buffered
+
+    @property
+    def backlog(self) -> int:
+        """Rows currently buffered and awaiting their timestamp's close."""
+        return self._n_buffered
+
+    @staticmethod
+    def _append_row(segments: list, row: tuple) -> None:
+        """Append one loose row, extending the trailing row segment."""
+        if segments and isinstance(segments[-1], list):
+            segments[-1].append(row)
+        else:
+            segments.append([row])
+
+    def _pop_segments(self, t: int) -> list:
+        """Drain timestamp ``t``'s buffered segments (hook for subclasses)."""
+        segments = self._buffers.pop(t, [])
+        self._n_buffered -= sum(len(s) for s in segments)
+        return segments
+
     def _close(self, t: int) -> ClosedTimestamp:
-        rows = self._buffers.pop(t, [])
-        n = len(rows)
-        uids = np.empty(n, dtype=np.int64)
-        idx = np.empty(n, dtype=np.int64)
-        kinds = np.empty(n, dtype=np.int8)
-        for i, (uid, state_idx, kind) in enumerate(rows):
-            uids[i], idx[i], kinds[i] = uid, state_idx, kind
-        # Canonical row order: sort by user id so the batch (and therefore
-        # the curator's RNG consumption) is arrival-order independent.
+        segments = self._pop_segments(t)
+        uid_parts: list[np.ndarray] = []
+        idx_parts: list[np.ndarray] = []
+        kind_parts: list[np.ndarray] = []
+        for seg in segments:
+            if isinstance(seg, ReportBatch):
+                uid_parts.append(seg.user_ids)
+                idx_parts.append(seg.state_idx)
+                kind_parts.append(seg.kinds)
+                continue
+            m = len(seg)
+            u = np.empty(m, dtype=np.int64)
+            ix = np.empty(m, dtype=np.int64)
+            kd = np.empty(m, dtype=np.int8)
+            for i, (uid, state_idx, kind) in enumerate(seg):
+                u[i], ix[i], kd[i] = uid, state_idx, kind
+            uid_parts.append(u)
+            idx_parts.append(ix)
+            kind_parts.append(kd)
+        if not uid_parts:
+            uids = np.empty(0, dtype=np.int64)
+            idx = np.empty(0, dtype=np.int64)
+            kinds = np.empty(0, dtype=np.int8)
+        elif len(uid_parts) == 1:
+            uids, idx, kinds = uid_parts[0], idx_parts[0], kind_parts[0]
+        else:
+            uids = np.concatenate(uid_parts)
+            idx = np.concatenate(idx_parts)
+            kinds = np.concatenate(kind_parts)
+        # Canonical row order: stable sort of the arrival-order
+        # concatenation by user id, so the batch (and therefore the
+        # curator's RNG consumption) is arrival-order independent —
+        # identical to the historical row-at-a-time materialisation.
         order = np.argsort(uids, kind="stable")
         batch = ReportBatch(uids[order], idx[order], kinds[order])
         return ClosedTimestamp(
@@ -236,6 +303,151 @@ class TimestampAssembler:
             quitted=batch.user_ids[batch.kinds == KIND_QUIT],
             n_active=int((batch.kinds != KIND_QUIT).sum()),
         )
+
+
+class MultiConsumerAssembler(TimestampAssembler):
+    """A :class:`TimestampAssembler` safe to feed from several consumers.
+
+    The single-consumer assembler serializes every ``add`` behind the one
+    thread that owns it — with parallel shard rounds upstream, assembly
+    becomes the serial section.  This subclass hash-partitions buffering
+    by user id (:func:`~repro.stream.reports.shard_of_array`, the same
+    Knuth hash the sharded engine uses), so ``n_partitions`` feeders can
+    buffer concurrently, each touching only its partition's lock.
+
+    Closed output is **canonical and identical to the single-consumer
+    reference**: a close drains every partition and stable-sorts the
+    concatenation by user id — the same order :meth:`TimestampAssembler
+    ._close` produces — and duplicate reports of one uid hash to one
+    partition, so even their relative order survives.  The property tests
+    in ``tests/stream/test_multi_consumer.py`` pin this equivalence under
+    randomized lateness/shuffle schedules.
+
+    Correctness of the late check under concurrency: feeders take their
+    partition's lock *before* comparing ``t`` against ``next_t``, and a
+    close bumps ``next_t`` (under the state lock) *before* draining the
+    partitions — so a feeder either sees the bumped ``next_t`` and counts
+    the row late, or lands the row before the drain reaches its
+    partition.  Rows are never silently stranded in a closed timestamp's
+    buffer.
+    """
+
+    def __init__(
+        self, space, start_t: int = 0, max_lateness: int = 0,
+        n_partitions: int = 2,
+    ) -> None:
+        import threading
+
+        super().__init__(space, start_t=start_t, max_lateness=max_lateness)
+        if n_partitions < 1:
+            raise ConfigurationError(
+                f"n_partitions must be >= 1, got {n_partitions}"
+            )
+        self.n_partitions = int(n_partitions)
+        self._parts: list[dict[int, list[tuple[int, int, int]]]] = [
+            {} for _ in range(self.n_partitions)
+        ]
+        self._part_locks = [threading.Lock() for _ in range(self.n_partitions)]
+        self._state_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # feeding (concurrent)
+    # ------------------------------------------------------------------ #
+    def add(self, report: UserReport) -> None:
+        t = int(report.t)
+        uid, idx, kind = self._encode(report)  # pure: outside any lock
+        p = int(shard_of_array([uid], self.n_partitions)[0])
+        with self._part_locks[p]:
+            if t < self._next_t:
+                with self._state_lock:
+                    self.n_late_dropped += 1
+                return
+            self._append_row(self._parts[p].setdefault(t, []), (uid, idx, kind))
+            with self._state_lock:
+                self._track_buffered(1)
+                if t > self._max_seen:
+                    self._max_seen = t
+
+    def add_batch(self, t: int, batch: ReportBatch) -> int:
+        t = int(t)
+        if len(batch) == 0:
+            # Still advances the watermark clock for empty rounds.
+            with self._part_locks[0]:
+                if t < self._next_t:
+                    return 0
+                with self._state_lock:
+                    if t > self._max_seen:
+                        self._max_seen = t
+            return 0
+        pids = shard_of_array(batch.user_ids, self.n_partitions)
+        buffered = 0
+        for p in range(self.n_partitions):
+            rows_p = np.flatnonzero(pids == p)
+            if rows_p.size == 0:
+                continue
+            sub = batch.take(rows_p)
+            with self._part_locks[p]:
+                if t < self._next_t:
+                    with self._state_lock:
+                        self.n_late_dropped += len(sub)
+                    continue
+                self._parts[p].setdefault(t, []).append(sub)
+                buffered += len(sub)
+                with self._state_lock:
+                    self._track_buffered(len(sub))
+                    if t > self._max_seen:
+                        self._max_seen = t
+        return buffered
+
+    # ------------------------------------------------------------------ #
+    # closing (single closer at a time; safe against concurrent feeders)
+    # ------------------------------------------------------------------ #
+    def _claim_next(self, bound: int) -> Optional[int]:
+        with self._state_lock:
+            if self._next_t > bound:
+                return None
+            t = self._next_t
+            self._next_t += 1
+            return t
+
+    def pop_ready(self) -> list[ClosedTimestamp]:
+        out: list[ClosedTimestamp] = []
+        while True:
+            t = self._claim_next(self.watermark)
+            if t is None:
+                return out
+            out.append(self._close(t))
+
+    def flush(self) -> list[ClosedTimestamp]:
+        out: list[ClosedTimestamp] = []
+        while True:
+            t = self._claim_next(self._max_seen)
+            if t is None:
+                return out
+            out.append(self._close(t))
+
+    def _pop_segments(self, t: int) -> list:
+        segments: list = []
+        for buf, lock in zip(self._parts, self._part_locks):
+            with lock:
+                segments.extend(buf.pop(t, []))
+        with self._state_lock:
+            self._n_buffered -= sum(len(s) for s in segments)
+        return segments
+
+
+def make_assembler(
+    space, start_t: int = 0, max_lateness: int = 0, consumers: int = 1
+) -> TimestampAssembler:
+    """The assembler a service should run: single- or multi-consumer."""
+    if consumers <= 1:
+        return TimestampAssembler(
+            space, start_t=start_t, max_lateness=max_lateness
+        )
+    return MultiConsumerAssembler(
+        space, start_t=start_t, max_lateness=max_lateness,
+        n_partitions=consumers,
+    )
 
 
 class IngestionService:
@@ -273,6 +485,7 @@ class IngestionService:
         max_lateness: int = 0,
         checkpoint_path=None,
         checkpoint_every: int = 0,
+        ingest_consumers: int = 1,
     ) -> None:
         from repro.api.session import IngestSession
         from repro.api.specs import ServiceSpec, SessionSpec
@@ -294,6 +507,7 @@ class IngestionService:
                         None if checkpoint_path is None else str(checkpoint_path)
                     ),
                     checkpoint_every=checkpoint_every,
+                    ingest_consumers=ingest_consumers,
                 ),
             ),
         )
@@ -377,6 +591,7 @@ def ingest_events(
     max_lateness: int = 0,
     checkpoint_path=None,
     checkpoint_every: int = 0,
+    ingest_consumers: int = 1,
 ) -> IngestStats:
     """Synchronously run the full ingestion loop over ``reports``.
 
@@ -391,6 +606,7 @@ def ingest_events(
         max_lateness=max_lateness,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        ingest_consumers=ingest_consumers,
     )
     return asyncio.run(_drive(service, reports))
 

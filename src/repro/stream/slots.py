@@ -17,7 +17,14 @@ that mapping, fully vectorized:
   hands the same instance to its :class:`~repro.stream.user_tracker
   .UserTracker` and its columnar privacy accountant, so a user occupies
   one row everywhere.  Components own their columns and grow them lazily
-  to ``n_slots``; the table owns only the uid ↔ slot correspondence.
+  to ``n_slots``; the table owns only the uid ↔ slot correspondence;
+* steady-state admission has a **pre-registered fast path**: while every
+  interned uid equals its own slot (the table is an *identity* mapping —
+  the shape :meth:`UserSlotTable.preregister` of a dense uid population
+  produces, and what every dataset replay generates), lookups are a pure
+  bounds check with **no** ``searchsorted`` at all.  The flag degrades
+  automatically (and permanently) the first time a non-dense uid
+  arrives, falling back to the sorted-index path.
 
 The table pickles as plain arrays, so curator checkpoints restore shared
 instances with identity intact (both components point at one object
@@ -60,6 +67,20 @@ class UserSlotTable:
         # Sorted secondary index for O(log n) vectorized lookups.
         self._sorted_uids = np.empty(0, dtype=np.int64)
         self._sorted_slots = np.empty(0, dtype=np.int64)
+        # True while uid == slot for every interned uid (dense 0..n-1
+        # population): lookups are then a bounds check, no searchsorted.
+        self._identity = True
+
+    def __setstate__(self, state) -> None:
+        # Checkpoints written before the fast path existed lack the flag;
+        # recompute it so resumed services keep steady-state admission fast.
+        self.__dict__.update(state)
+        if "_identity" not in state:
+            n = self._n
+            self._identity = bool(
+                n == 0
+                or np.array_equal(self._uids[:n], np.arange(n, dtype=np.int64))
+            )
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -82,11 +103,20 @@ class UserSlotTable:
     # ------------------------------------------------------------------ #
     # lookups
     # ------------------------------------------------------------------ #
+    @property
+    def is_identity(self) -> bool:
+        """True while every interned uid equals its slot (fast-path armed)."""
+        return self._identity
+
     def lookup(self, user_ids) -> np.ndarray:
         """Slots of ``user_ids``; ``-1`` marks ids the table has never seen."""
         ids = _as_id_array(user_ids)
         if self._n == 0 or ids.size == 0:
             return np.full(ids.shape, -1, dtype=np.int64)
+        if self._identity:
+            # Pre-registered fast path: uid == slot, so known ids map to
+            # themselves and anything outside [0, n) is unseen.
+            return np.where((ids >= 0) & (ids < self._n), ids, -1)
         pos = np.searchsorted(self._sorted_uids, ids)
         pos_c = np.minimum(pos, self._n - 1)
         found = self._sorted_uids[pos_c] == ids
@@ -116,9 +146,29 @@ class UserSlotTable:
             self._grow(new_uids.size)
             self._uids[base : base + new_uids.size] = new_uids
             self._n += new_uids.size
+            if self._identity:
+                # Identity survives only while the appended uids continue
+                # the dense 0..n-1 run; one gap or reordering disarms it.
+                self._identity = bool(
+                    np.array_equal(
+                        new_uids, np.arange(base, self._n, dtype=np.int64)
+                    )
+                )
             self._insert_sorted(new_uids, np.arange(base, self._n, dtype=np.int64))
             slots = self.lookup(ids)
         return slots
+
+    def preregister(self, user_ids) -> np.ndarray:
+        """Intern a whole population ahead of its first report.
+
+        Admission of an already-interned uid never touches the append
+        path, so a service that pre-registers its expected users keeps
+        every steady-state round on the read-only lookup — and when the
+        population is dense (uids ``0..n-1`` in order, the shape every
+        replay produces), on the no-``searchsorted`` identity fast path.
+        Returns the slots, like :meth:`intern`.
+        """
+        return self.intern(user_ids)
 
     # ------------------------------------------------------------------ #
     # internals

@@ -1,0 +1,297 @@
+"""Schema v2 binary frames: differential pins against the JSON v1 reference.
+
+Every message must decode to bit-identical arrays whichever encoding
+carried it — v1 base64 JSON stays the reference implementation, v2 frames
+are the fast path.  These tests pin that equivalence for all ReportBatch
+dtypes (including empty batches and max-uid int64 edges), frame
+concatenation (pipelining), and the malformed-frame rejection paths an
+ingress must survive.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.api import schema
+from repro.api.schema import SchemaError
+from repro.stream.reports import ReportBatch
+
+INT64_MAX = np.iinfo(np.int64).max
+INT64_MIN = np.iinfo(np.int64).min
+
+
+def _batch(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return ReportBatch.from_arrays(
+        rng.integers(0, 10**9, size=n),
+        rng.integers(-1, 500, size=n),
+        rng.integers(0, 3, size=n),
+    )
+
+
+def _via_json(msg_v1: dict) -> dict:
+    return schema.loads(schema.dumps(msg_v1))
+
+
+def _via_frame(msg_v2: dict) -> dict:
+    return schema.loads_any(schema.dump_frame(msg_v2))
+
+
+def _assert_batch_tuples_identical(a, b):
+    t_a, batch_a, ent_a, quit_a, n_a = a
+    t_b, batch_b, ent_b, quit_b, n_b = b
+    assert t_a == t_b and n_a == n_b
+    for col in ("user_ids", "state_idx", "kinds"):
+        x, y = getattr(batch_a, col), getattr(batch_b, col)
+        assert x.dtype == y.dtype, col
+        np.testing.assert_array_equal(x, y)
+    for x, y in ((ent_a, ent_b), (quit_a, quit_b)):
+        assert x.dtype == y.dtype
+        np.testing.assert_array_equal(x, y)
+
+
+class TestNegotiation:
+    def test_v2_is_preferred(self):
+        assert schema.SCHEMA_VERSION == 2
+        assert schema.negotiate([1, 2]) == 2
+        assert schema.negotiate([2, 99]) == 2
+
+    def test_v1_only_peers_still_speak_json(self):
+        assert schema.negotiate([1]) == 1
+
+    def test_frame_versions_are_supported_versions(self):
+        assert set(schema.FRAME_VERSIONS) <= set(schema.SUPPORTED_VERSIONS)
+
+
+class TestReportBatchDifferential:
+    """v1 JSON and v2 frame decode to bit-identical report batches."""
+
+    def _both(self, t, batch, entered, quitted, n_active):
+        v1 = schema.report_batch_message(
+            t, batch, entered, quitted, n_active, version=1
+        )
+        v2 = schema.report_batch_message(
+            t, batch, entered, quitted, n_active, version=2
+        )
+        return (
+            schema.parse_report_batch(_via_json(v1)),
+            schema.parse_report_batch(_via_frame(v2)),
+        )
+
+    def test_random_batch(self):
+        a, b = self._both(3, _batch(257), [10, 11], [12], 200)
+        _assert_batch_tuples_identical(a, b)
+
+    def test_empty_batch(self):
+        a, b = self._both(0, ReportBatch.empty(), [], [], 0)
+        _assert_batch_tuples_identical(a, b)
+        assert len(b[1]) == 0
+        assert b[1].user_ids.dtype == np.int64
+        assert b[1].kinds.dtype == np.int8
+
+    def test_max_uid_edges(self):
+        """int64 extremes survive both encodings bit-identically."""
+        batch = ReportBatch.from_arrays(
+            [0, INT64_MAX, INT64_MAX - 1, INT64_MIN],
+            [-1, 0, 499, 1],
+            [1, 0, 0, 2],
+        )
+        a, b = self._both(7, batch, [INT64_MAX], [INT64_MIN], 4)
+        _assert_batch_tuples_identical(a, b)
+        assert b[1].user_ids[1] == INT64_MAX
+
+    def test_all_kind_codes(self):
+        from repro.stream.reports import KIND_ENTER, KIND_MOVE, KIND_QUIT
+
+        batch = ReportBatch.from_arrays(
+            [1, 2, 3], [5, -1, -1], [KIND_MOVE, KIND_ENTER, KIND_QUIT]
+        )
+        a, b = self._both(1, batch, [2], [3], 3)
+        _assert_batch_tuples_identical(a, b)
+
+    def test_seeded_sweep(self):
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(0, 400))
+            a, b = self._both(
+                int(rng.integers(0, 100)),
+                _batch(n, seed=seed),
+                rng.integers(0, 10**6, size=int(rng.integers(0, 8))),
+                rng.integers(0, 10**6, size=int(rng.integers(0, 8))),
+                n,
+            )
+            _assert_batch_tuples_identical(a, b)
+
+    def test_frame_payload_bytes_match_v1_buffers(self):
+        """The frame payload IS the v1 base64 plaintext, concatenated."""
+        import base64
+
+        batch = _batch(33, seed=5)
+        v1 = schema.report_batch_message(2, batch, [9], [], 33, version=1)
+        v2 = schema.report_batch_message(2, batch, [9], [], 33, version=2)
+        blob = schema.dump_frame(v2)
+        header_len, payload_len = struct.unpack_from("<II", blob, 4)
+        payload = blob[12 + header_len :]
+        assert len(payload) == payload_len
+        joined = b"".join(
+            base64.b64decode(v1[col])
+            for col in ("user_ids", "state_idx", "kinds",
+                        "newly_entered", "quitted")
+        )
+        assert payload == joined
+
+
+class TestResultAndSnapshotDifferential:
+    def test_result_round_trip_identical(self):
+        births = np.asarray([0, 2, 5, 9])
+        lengths = np.asarray([3, 1, 2, 4])
+        flat = np.arange(10) + 100
+        uids = np.asarray([7, 0, 3, INT64_MAX])
+        args = (births, lengths, flat, 12, "syn", uids)
+        a = schema.parse_result(
+            _via_json(schema.result_message(*args, version=1))
+        )
+        b = schema.parse_result(
+            _via_frame(schema.result_message(*args, version=2))
+        )
+        for x, y in zip(a, b):
+            if isinstance(x, np.ndarray):
+                assert x.dtype == y.dtype
+                np.testing.assert_array_equal(x, y)
+            else:
+                assert x == y
+
+    def test_snapshot_round_trip_identical(self):
+        cells = np.asarray([3, 1, 4, 1, 5, INT64_MAX])
+        a = schema.parse_snapshot(
+            _via_json(schema.snapshot_message(cells, version=1))
+        )
+        b = schema.parse_snapshot(
+            _via_frame(schema.snapshot_message(cells, version=2))
+        )
+        assert a.dtype == b.dtype
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_result(self):
+        empty = np.empty(0, dtype=np.int64)
+        msg = schema.result_message(empty, empty, empty, 5, "e", empty,
+                                    version=2)
+        b, le, f, n_t, name, u = schema.parse_result(_via_frame(msg))
+        assert b.size == le.size == f.size == u.size == 0
+        assert n_t == 5 and name == "e"
+
+
+class TestPipelining:
+    """Frames are length-prefixed, so bodies concatenate."""
+
+    def test_iter_frames_splits_concatenation(self):
+        blobs, batches = [], []
+        for t in range(5):
+            batch = _batch(10 + t, seed=t)
+            batches.append(batch)
+            blobs.append(schema.dump_frame(schema.report_batch_message(
+                t, batch, [], [], len(batch), version=2
+            )))
+        body = b"".join(blobs)
+        msgs = list(schema.iter_frames(body, expect="report-batch"))
+        assert len(msgs) == 5
+        for t, (msg, batch) in enumerate(zip(msgs, batches)):
+            got_t, got, _e, _q, _n = schema.parse_report_batch(msg)
+            assert got_t == t
+            np.testing.assert_array_equal(got.user_ids, batch.user_ids)
+
+    def test_iter_frames_includes_empty_batches(self):
+        body = schema.dump_frame(schema.report_batch_message(
+            0, ReportBatch.empty(), [], [], 0, version=2
+        )) * 3
+        assert len(list(schema.iter_frames(body))) == 3
+
+    def test_loads_any_rejects_pipelined_body(self):
+        body = schema.dump_frame(schema.snapshot_message([1], version=2)) * 2
+        with pytest.raises(SchemaError, match="iter_frames"):
+            schema.loads_any(body)
+
+    def test_loads_any_sniffs_encoding(self):
+        assert schema.loads_any(schema.dumps(schema.message("ack", version=1)))[
+            "schema"
+        ] == 1
+        blob = schema.dump_frame(schema.snapshot_message([4], version=2))
+        assert schema.loads_any(blob)["schema"] == 2
+        assert schema.is_frame(blob)
+        assert not schema.is_frame(b'{"schema":1}')
+
+
+class TestRejectionPaths:
+    def test_truncated_prefix(self):
+        with pytest.raises(SchemaError, match="truncated"):
+            schema.load_frame(b"RSF2\x01")
+
+    def test_bad_magic(self):
+        with pytest.raises(SchemaError, match="magic"):
+            schema.load_frame(b"XXXX" + b"\x00" * 8)
+
+    def test_truncated_body(self):
+        blob = schema.dump_frame(schema.snapshot_message([1, 2], version=2))
+        with pytest.raises(SchemaError, match="truncated"):
+            schema.load_frame(blob[:-3])
+
+    def test_payload_overrun_declared_in_manifest(self):
+        """A manifest claiming more elements than the payload holds."""
+        blob = bytearray(
+            schema.dump_frame(schema.snapshot_message([1, 2], version=2))
+        )
+        header_len, payload_len = struct.unpack_from("<II", blob, 4)
+        header = bytes(blob[12 : 12 + header_len]).replace(
+            b'["cells",2]', b'["cells",9]'
+        )
+        tampered = (
+            b"RSF2" + struct.pack("<II", len(header), payload_len)
+            + header + bytes(blob[12 + header_len :])
+        )
+        with pytest.raises(SchemaError, match="overruns"):
+            schema.load_frame(tampered)
+
+    def test_payload_underrun(self):
+        """Payload bytes beyond the manifest are rejected, not ignored."""
+        blob = schema.dump_frame(schema.snapshot_message([1, 2], version=2))
+        header_len, payload_len = struct.unpack_from("<II", blob, 4)
+        inflated = (
+            blob[:4] + struct.pack("<II", header_len, payload_len + 8)
+            + blob[12:] + b"\x00" * 8
+        )
+        with pytest.raises(SchemaError, match="beyond"):
+            schema.load_frame(inflated)
+
+    def test_unknown_column_in_manifest(self):
+        blob = schema.dump_frame(schema.snapshot_message([1], version=2))
+        header_len, payload_len = struct.unpack_from("<II", blob, 4)
+        header = bytes(blob[12 : 12 + header_len]).replace(b'"cells"', b'"sells"')
+        tampered = (
+            b"RSF2" + struct.pack("<II", len(header), payload_len)
+            + header + blob[12 + header_len :]
+        )
+        with pytest.raises(SchemaError, match="unknown wire column"):
+            schema.load_frame(tampered)
+
+    def test_oversized_header_bound(self):
+        huge = b"RSF2" + struct.pack("<II", 2 * 1024 * 1024, 0)
+        with pytest.raises(SchemaError, match="bound"):
+            schema.load_frame(huge + b"\x00" * 16)
+
+    def test_dump_frame_rejects_v1(self):
+        with pytest.raises(SchemaError, match="no frame encoding"):
+            schema.dump_frame(schema.message("ack", version=1))
+
+    def test_decode_array_rejects_wrong_dtype_passthrough(self):
+        with pytest.raises(SchemaError, match="dtype"):
+            schema.decode_array("kinds", np.asarray([1, 2], dtype=np.int64))
+
+    def test_frame_validation_still_applies(self):
+        """Envelope rules (version/type/expect) hold on the frame path."""
+        msg = schema.snapshot_message([1], version=2)
+        blob = schema.dump_frame(msg)
+        with pytest.raises(SchemaError, match="expected"):
+            schema.load_frame(blob, expect="stats")

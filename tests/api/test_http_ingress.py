@@ -83,7 +83,8 @@ class TestRemoteRoundTrip:
     def test_hello_negotiates_and_describes_the_grid(self, served, walk_data):
         _server, client = served
         hello = client.hello()
-        assert hello["schema"] == 1
+        assert hello["schema"] == 2  # both sides speak v2 binary frames
+        assert client.schema_version == 2
         assert hello["grid"]["k"] == walk_data.grid.k
         assert hello["include_eq"] is True
         assert client.grid().n_cells == walk_data.grid.n_cells
@@ -110,6 +111,35 @@ class TestRemoteRoundTrip:
         local = server.ingress.session.result(walk_data.n_timestamps)
         assert _streams(remote) == _streams(local.synthetic)
         assert remote.user_ids == local.synthetic.user_ids
+
+    def test_pipelined_replay_is_bit_identical(self, served, walk_data):
+        """submit_batches (multi-frame bodies) ≡ one request per batch."""
+        server, client = served
+        hello = client.hello()
+        assert client.schema_version == 2
+        space = TransitionStateSpace(
+            client.grid(), include_entering_quitting=hello["include_eq"]
+        )
+        view = ColumnarStreamView(walk_data, space)
+        items = [
+            (
+                t,
+                view.batch_at(t),
+                view.newly_entered_at(t),
+                view.quitted_at(t),
+                view.n_active_at(t),
+            )
+            for t in range(walk_data.n_timestamps)
+        ]
+        for start in range(0, len(items), 4):
+            ack = client.submit_batches(items[start : start + 4])
+            assert ack["n_batches"] == len(items[start : start + 4])
+        client.close()
+        remote = client.result()
+        reference = RetraSyn(
+            RetraSynConfig(epsilon=1.0, w=10, seed=21)
+        ).run(walk_data)
+        assert _streams(remote) == _streams(reference.synthetic)
 
     def test_snapshot_and_stats_midstream(self, served, walk_data):
         _server, client = served

@@ -103,7 +103,7 @@ class TestReportBatchMessage:
     def test_round_trip(self):
         batch = _batch(7)
         msg = schema.report_batch_message(
-            3, batch, [10, 11], [12], n_real_active=6
+            3, batch, [10, 11], [12], n_real_active=6, version=1
         )
         parsed = schema.loads(schema.dumps(msg), expect="report-batch")
         t, decoded, entered, quitted, n_active = schema.parse_report_batch(parsed)
@@ -138,7 +138,9 @@ class TestResultMessage:
         lengths = np.asarray([3, 1, 2])
         flat = np.asarray([4, 5, 6, 7, 8, 9])
         uids = np.asarray([7, 0, 3])
-        msg = schema.result_message(births, lengths, flat, 10, "syn", uids)
+        msg = schema.result_message(
+            births, lengths, flat, 10, "syn", uids, version=1
+        )
         b, le, f, n_t, name, u = schema.parse_result(
             schema.loads(schema.dumps(msg), expect="result")
         )
@@ -163,7 +165,9 @@ class TestResultMessage:
     def test_snapshot_round_trip(self):
         cells = np.asarray([3, 1, 4, 1, 5])
         out = schema.parse_snapshot(
-            schema.loads(schema.dumps(schema.snapshot_message(cells)),
-                         expect="snapshot")
+            schema.loads(
+                schema.dumps(schema.snapshot_message(cells, version=1)),
+                expect="snapshot",
+            )
         )
         np.testing.assert_array_equal(out, cells)

@@ -51,6 +51,7 @@ class TestLayerValidation:
             (ServiceSpec, dict(queue_size=0)),
             (ServiceSpec, dict(max_lateness=-1)),
             (ServiceSpec, dict(checkpoint_every=-1)),
+            (ServiceSpec, dict(ingest_consumers=0)),
             (ServiceSpec, dict(http_port=70000)),
         ],
     )
@@ -181,6 +182,7 @@ class TestCliDerivation:
         }
         assert flags == {
             "--queue-size", "--lateness", "--checkpoint", "--checkpoint-every",
+            "--ingest-consumers",
         }
 
     def test_choices_come_from_the_validation_vocabularies(self):

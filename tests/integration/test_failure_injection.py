@@ -2,8 +2,15 @@
 
 Pathological stream scenarios the pipelines must survive without crashing
 or breaking the privacy guarantee: empty streams, single users, mass quits,
-data deserts, and extreme parameter settings.
+data deserts, extreme parameter settings — and a real server process
+killed mid-round under load, resumed from its checkpoint.
 """
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -172,3 +179,145 @@ class TestAdversarialShapes:
         data = StreamDataset(unit_grid(4), trajs, n_timestamps=22)
         for run in _run_all_methods(data, w=4):
             assert run.accountant.verify()
+
+
+_LISTEN_RE = re.compile(r"listening on http://127\.0\.0\.1:(\d+)")
+_RESUME_RE = re.compile(r"resumed at t=(\d+)")
+
+
+class TestServerCrashRecovery:
+    """SIGKILL a ``repro serve --http`` process mid-round under load.
+
+    The server checkpoints after every closed timestamp
+    (``--checkpoint-every 1``).  Killing it loses whatever was buffered
+    inside the open watermark window; a restarted server with
+    ``--resume`` must pick up at the first unclosed timestamp, accept a
+    replay of everything from there, and produce a synthetic database
+    bitwise identical to an uninterrupted run — the checkpoint carries
+    the engine's full RNG state, so recovery is not merely approximate.
+    """
+
+    EPSILON, W, SEED = 1.0, 5, 3
+
+    @staticmethod
+    def _workload():
+        from repro.bench.load import LoadSpec, seed_dataset, synthetic_rounds
+
+        spec = LoadSpec(
+            n_users=250, horizon=8, k=4,
+            epsilon=TestServerCrashRecovery.EPSILON,
+            w=TestServerCrashRecovery.W,
+            seed=TestServerCrashRecovery.SEED,
+        )
+        return seed_dataset(spec), synthetic_rounds(spec)
+
+    def _boot(self, dataset_path, checkpoint=None, resume=False):
+        """Start a server subprocess; returns (proc, port, resumed_t)."""
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--input", str(dataset_path), "--http", "0",
+            "--epsilon", str(self.EPSILON), "--w", str(self.W),
+            "--seed", str(self.SEED), "--no-audit",
+        ]
+        if checkpoint is not None:
+            cmd += ["--checkpoint", str(checkpoint), "--checkpoint-every", "1"]
+        if resume:
+            cmd += ["--resume"]
+        repo_src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(repo_src), env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True,
+        )
+        port = resumed_t = None
+        seen = []
+        for _ in range(50):
+            line = proc.stdout.readline()
+            if not line:
+                break
+            seen.append(line)
+            m = _RESUME_RE.search(line)
+            if m:
+                resumed_t = int(m.group(1))
+            m = _LISTEN_RE.search(line)
+            if m:
+                port = int(m.group(1))
+                break
+        if port is None:  # pragma: no cover - diagnostic path
+            proc.kill()
+            raise RuntimeError(f"server did not start: {''.join(seen)!r}")
+        return proc, port, resumed_t
+
+    @staticmethod
+    def _drain(client, rounds):
+        for t, batch, entered, quitted, n_active in rounds:
+            client.submit_batch(t, batch, entered, quitted, n_active)
+
+    @staticmethod
+    def _finish(client, proc):
+        """Flush, fetch the synthetic database, stop the server."""
+        client.close()
+        synthetic = client.result()
+        client.shutdown_server()
+        proc.wait(timeout=30)
+        return [
+            (tr.start_time, list(tr.cells)) for tr in synthetic.trajectories
+        ]
+
+    def test_kill_mid_round_resume_is_bit_identical(self, tmp_path):
+        from repro.api.client import Client
+        from repro.datasets.io import save_stream_dataset
+
+        seed_data, rounds = self._workload()
+        dataset_path = tmp_path / "crash_seed.npz"
+        save_stream_dataset(seed_data, dataset_path)
+
+        # Uninterrupted reference run.
+        proc, port, _ = self._boot(dataset_path)
+        try:
+            client = Client("127.0.0.1", port)
+            client.hello()
+            self._drain(client, rounds)
+            reference = self._finish(client, proc)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # Interrupted run: full rounds 0..4, then half of round 5 —
+        # the kill lands with reports buffered in the open window.
+        ckpt = tmp_path / "crash.ckpt"
+        kill_round = 5
+        proc, port, _ = self._boot(dataset_path, checkpoint=ckpt)
+        try:
+            client = Client("127.0.0.1", port)
+            client.hello()
+            self._drain(client, rounds[:kill_round])
+            t, batch, entered, quitted, n_active = rounds[kill_round]
+            half = batch.take(np.arange(len(batch) // 2))
+            client.submit_batch(t, half, entered, quitted, n_active)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+        client.disconnect()
+        assert ckpt.exists(), "no checkpoint survived the crash"
+
+        # Resume and replay everything from the first unclosed timestamp.
+        proc, port, resumed_t = self._boot(
+            dataset_path, checkpoint=ckpt, resume=True
+        )
+        try:
+            assert resumed_t is not None, "server did not announce a resume"
+            # At least one timestamp closed pre-kill, none past the kill.
+            assert 0 < resumed_t <= kill_round
+            client = Client("127.0.0.1", port)
+            client.hello()
+            self._drain(client, rounds[resumed_t:])
+            recovered = self._finish(client, proc)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        assert recovered == reference

@@ -1,0 +1,281 @@
+"""Multi-consumer assembler ≡ single-consumer reference (property tests).
+
+The :class:`MultiConsumerAssembler` hash-partitions buffering by user id;
+its one obligation is that partitioning must be *invisible* in the
+output: every closed timestamp must be bit-identical to what the
+single-consumer :class:`TimestampAssembler` emits for the same report
+stream.  These tests sweep randomized lateness/shuffle schedules and
+genuinely concurrent feeders against that reference.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geo.grid import unit_grid
+from repro.stream.ingest import (
+    MultiConsumerAssembler,
+    TimestampAssembler,
+    UserReport,
+    make_assembler,
+)
+from repro.stream.reports import KIND_ENTER, KIND_MOVE, KIND_QUIT, ReportBatch
+from repro.stream.state_space import TransitionStateSpace
+
+
+@pytest.fixture(scope="module")
+def space():
+    return TransitionStateSpace(unit_grid(4))
+
+
+def _random_schedule(rng, n_users=60, horizon=12, lateness=2):
+    """An arrival-order list of encoded reports with bounded reordering.
+
+    Each user enters once, moves, quits; arrival order is shuffled inside
+    blocks of ``lateness + 1`` timestamps, so every report lands within
+    the assembler's lateness budget.
+    """
+    rows = []  # (t, uid, idx, kind)
+    for uid in range(n_users):
+        t0 = int(rng.integers(0, max(1, horizon - 3)))
+        length = int(rng.integers(1, 4))
+        cells = rng.integers(0, 16, size=length + 1)
+        rows.append((t0, uid, -1, KIND_ENTER))
+        for j in range(length):
+            rows.append((t0 + 1 + j, uid, int(cells[j]), KIND_MOVE))
+        rows.append((t0 + 1 + length, uid, -1, KIND_QUIT))
+    rows = [r for r in rows if r[0] < horizon]
+    rows.sort(key=lambda r: r[0])
+    block = lateness + 1
+    out = []
+    start = 0
+    while start < len(rows):
+        t_lo = rows[start][0]
+        end = start
+        while end < len(rows) and rows[end][0] < t_lo + block:
+            end += 1
+        chunk = rows[start:end]
+        order = rng.permutation(len(chunk))
+        out.extend(chunk[int(i)] for i in order)
+        start = end
+    return out
+
+
+def _drain(assembler, schedule, pop_every=7):
+    """Feed a schedule report-by-report, popping as we go; returns closes."""
+    closed = []
+    for i, (t, uid, idx, kind) in enumerate(schedule):
+        assembler.add(UserReport.encoded(uid, t, idx, kind))
+        if i % pop_every == 0:
+            closed.extend(assembler.pop_ready())
+    closed.extend(assembler.pop_ready())
+    closed.extend(assembler.flush())
+    return closed
+
+
+def _assert_closes_identical(ref, got):
+    assert [c.t for c in ref] == [c.t for c in got]
+    for a, b in zip(ref, got):
+        for col in ("user_ids", "state_idx", "kinds"):
+            x, y = getattr(a.batch, col), getattr(b.batch, col)
+            assert x.dtype == y.dtype
+            np.testing.assert_array_equal(x, y, err_msg=f"t={a.t} {col}")
+        np.testing.assert_array_equal(a.newly_entered, b.newly_entered)
+        np.testing.assert_array_equal(a.quitted, b.quitted)
+        assert a.n_active == b.n_active
+
+
+class TestSequentialEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("n_partitions", [2, 3, 8])
+    def test_randomized_schedules(self, space, seed, n_partitions):
+        rng = np.random.default_rng(seed)
+        lateness = int(rng.integers(0, 4))
+        schedule = _random_schedule(
+            np.random.default_rng(seed + 1000), lateness=lateness
+        )
+        ref = _drain(
+            TimestampAssembler(space, max_lateness=lateness), list(schedule)
+        )
+        got = _drain(
+            MultiConsumerAssembler(
+                space, max_lateness=lateness, n_partitions=n_partitions
+            ),
+            list(schedule),
+        )
+        _assert_closes_identical(ref, got)
+
+    def test_batch_submission_equivalence(self, space):
+        rng = np.random.default_rng(3)
+        ref = TimestampAssembler(space, max_lateness=1)
+        got = MultiConsumerAssembler(space, max_lateness=1, n_partitions=4)
+        closes_ref, closes_got = [], []
+        for t in range(10):
+            n = int(rng.integers(0, 50))
+            batch = ReportBatch.from_arrays(
+                rng.choice(10**6, size=n, replace=False) if n else [],
+                rng.integers(-1, 500, size=n),
+                rng.integers(0, 3, size=n),
+            )
+            assert ref.add_batch(t, batch) == got.add_batch(t, batch)
+            closes_ref.extend(ref.pop_ready())
+            closes_got.extend(got.pop_ready())
+        closes_ref.extend(ref.flush())
+        closes_got.extend(got.flush())
+        _assert_closes_identical(closes_ref, closes_got)
+
+    def test_duplicate_uid_rows_keep_arrival_order(self, space):
+        """Same uid, same t, different states: stable order must survive."""
+        ref = TimestampAssembler(space)
+        got = MultiConsumerAssembler(space, n_partitions=5)
+        for a in (ref, got):
+            a.add(UserReport.encoded(7, 0, 11, KIND_MOVE))
+            a.add(UserReport.encoded(3, 0, 22, KIND_MOVE))
+            a.add(UserReport.encoded(7, 0, 33, KIND_MOVE))
+            a.add(UserReport.encoded(7, 1, 44, KIND_MOVE))  # opens t=1
+        _assert_closes_identical(ref.pop_ready(), got.pop_ready())
+
+    def test_late_drop_counting_matches(self, space):
+        ref = TimestampAssembler(space, max_lateness=0)
+        got = MultiConsumerAssembler(space, max_lateness=0, n_partitions=3)
+        for a in (ref, got):
+            a.add(UserReport.encoded(1, 0, 5, KIND_MOVE))
+            a.add(UserReport.encoded(2, 3, 5, KIND_MOVE))
+            a.pop_ready()  # closes t<=1
+            a.add(UserReport.encoded(9, 0, 5, KIND_MOVE))  # late
+            late_batch = ReportBatch.from_arrays([4, 5], [1, 2], [0, 0])
+            assert a.add_batch(1, late_batch) == 0  # late, whole batch
+        assert ref.n_late_dropped == got.n_late_dropped == 3
+
+    def test_empty_batch_still_advances_the_clock(self, space):
+        got = MultiConsumerAssembler(space, n_partitions=2)
+        got.add_batch(0, ReportBatch.empty())
+        got.add_batch(1, ReportBatch.empty())
+        got.add_batch(2, ReportBatch.empty())
+        closed = got.pop_ready()
+        assert [c.t for c in closed] == [0, 1]
+        assert all(len(c.batch) == 0 for c in closed)
+
+
+class TestConcurrentFeeders:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_threaded_feeding_matches_reference(self, space, seed):
+        """Real threads racing into one assembler: output is canonical."""
+        lateness = 3
+        schedule = _random_schedule(
+            np.random.default_rng(seed), n_users=200, horizon=8,
+            lateness=lateness,
+        )
+        ref = TimestampAssembler(space, max_lateness=lateness)
+        for t, uid, idx, kind in schedule:
+            ref.add(UserReport.encoded(uid, t, idx, kind))
+        ref_closed = ref.flush()
+
+        got = MultiConsumerAssembler(
+            space, max_lateness=lateness, n_partitions=4
+        )
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def feed(slice_):
+            try:
+                barrier.wait(5)
+                for t, uid, idx, kind in slice_:
+                    got.add(UserReport.encoded(uid, t, idx, kind))
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=feed, args=(schedule[i::n_threads],))
+            for i in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(10)
+        assert not errors
+        _assert_closes_identical(ref_closed, got.flush())
+
+    def test_feeding_races_closing(self, space):
+        """A closer thread popping while feeders stream: no lost rows.
+
+        Every row is either in a closed batch or counted late — the
+        accounting identity the lock protocol guarantees.
+        """
+        got = MultiConsumerAssembler(space, max_lateness=0, n_partitions=4)
+        horizon, per_t = 40, 25
+        total = horizon * per_t
+        closed_store = []
+        stop = threading.Event()
+
+        def closer():
+            while not stop.is_set():
+                closed_store.extend(got.pop_ready())
+            closed_store.extend(got.pop_ready())
+
+        closer_thread = threading.Thread(target=closer)
+        closer_thread.start()
+        uid = 0
+        for t in range(horizon):
+            for _ in range(per_t):
+                got.add(UserReport.encoded(uid, t, uid % 100, KIND_MOVE))
+                uid += 1
+        stop.set()
+        closer_thread.join(10)
+        closed_store.extend(got.flush())
+        n_closed = sum(len(c.batch) for c in closed_store)
+        assert n_closed + got.n_late_dropped == total
+        assert [c.t for c in closed_store] == list(range(horizon))
+
+
+class TestFactoryAndSessionWiring:
+    def test_make_assembler_routes_by_consumers(self, space):
+        assert type(make_assembler(space)) is TimestampAssembler
+        assert type(make_assembler(space, consumers=1)) is TimestampAssembler
+        multi = make_assembler(space, consumers=3)
+        assert isinstance(multi, MultiConsumerAssembler)
+        assert multi.n_partitions == 3
+
+    def test_bad_partition_count(self, space):
+        with pytest.raises(ConfigurationError):
+            MultiConsumerAssembler(space, n_partitions=0)
+
+    def test_ingest_session_selects_multi_consumer(self, walk_data):
+        from repro.api.session import create_session
+        from repro.api.specs import SessionSpec
+
+        spec = SessionSpec.from_flat(
+            epsilon=1.0, w=10, seed=5, transport="ingest", ingest_consumers=4
+        )
+        session = create_session(spec, walk_data.grid, lam=5.0)
+        assert isinstance(session.assembler, MultiConsumerAssembler)
+        assert session.assembler.n_partitions == 4
+
+    def test_session_replay_bit_identical_across_consumers(self, walk_data):
+        """End to end: multi-consumer session ≡ single-consumer session."""
+        from repro.api.session import create_session
+        from repro.api.specs import SessionSpec
+        from repro.stream.reports import ColumnarStreamView
+
+        def run(consumers):
+            spec = SessionSpec.from_flat(
+                epsilon=1.0, w=10, seed=9, transport="ingest",
+                max_lateness=1, ingest_consumers=consumers,
+            )
+            session = create_session(spec, walk_data.grid, lam=5.0)
+            view = ColumnarStreamView(walk_data, session.curator.space)
+            for t in range(walk_data.n_timestamps):
+                session.submit_batch(t, view.batch_at(t))
+                session.advance()
+            session.close()
+            return session.result(walk_data.n_timestamps)
+
+        ref, multi = run(1), run(3)
+        assert [
+            (s.start_time, list(s.cells)) for s in ref.synthetic
+        ] == [(s.start_time, list(s.cells)) for s in multi.synthetic]

@@ -89,6 +89,81 @@ class TestLookupIntern:
         assert np.array_equal(table.lookup(uids[perm]), slots[perm])
 
 
+class TestIdentityFastPath:
+    """Pre-registered dense populations skip searchsorted entirely."""
+
+    def test_dense_population_arms_the_fast_path(self):
+        table = UserSlotTable()
+        table.preregister(np.arange(10_000))
+        assert table.is_identity
+        assert table.lookup([0, 9_999, 10_000]).tolist() == [0, 9_999, -1]
+
+    def test_incremental_dense_growth_keeps_identity(self):
+        table = UserSlotTable()
+        table.intern(np.arange(5))
+        table.intern(np.arange(5, 12))
+        assert table.is_identity
+        assert table.lookup(np.arange(12)).tolist() == list(range(12))
+
+    def test_gap_disarms_identity_permanently(self):
+        table = UserSlotTable()
+        table.intern(np.arange(4))
+        table.intern([100])  # gap: uid 100 lands in slot 4
+        assert not table.is_identity
+        assert table.slot_of(100) == 4
+        table.intern([4])  # resuming the dense run must NOT re-arm
+        assert not table.is_identity
+        assert table.slot_of(4) == 5
+
+    def test_out_of_order_first_batch_disarms(self):
+        table = UserSlotTable()
+        table.intern([3, 1, 2])
+        assert not table.is_identity
+        assert table.lookup([1, 2, 3]).tolist() == [1, 2, 0]
+
+    def test_negative_ids_disarm(self):
+        table = UserSlotTable()
+        table.intern([-5])
+        assert not table.is_identity
+        assert table.slot_of(-5) == 0
+
+    def test_fast_and_slow_paths_agree(self):
+        """Differential: identity lookups == sorted-index lookups."""
+        rng = np.random.default_rng(7)
+        uids = np.arange(1_000)
+        fast = UserSlotTable()
+        fast.preregister(uids)
+        slow = UserSlotTable()
+        slow.intern(uids)
+        slow._identity = False  # force the searchsorted path on one twin
+        assert fast.is_identity
+        for _ in range(5):
+            probe = rng.integers(-10, 1_200, size=500)
+            np.testing.assert_array_equal(fast.lookup(probe), slow.lookup(probe))
+
+    def test_pickle_preserves_the_flag(self):
+        table = UserSlotTable()
+        table.preregister(np.arange(8))
+        assert pickle.loads(pickle.dumps(table)).is_identity
+        table.intern([99])
+        assert not pickle.loads(pickle.dumps(table)).is_identity
+
+    def test_legacy_state_without_flag_recomputes(self):
+        """Checkpoints from before the fast path restore correctly."""
+        dense, sparse = UserSlotTable(), UserSlotTable()
+        dense.intern(np.arange(6))
+        sparse.intern([5, 1])
+        for table, expect in ((dense, True), (sparse, False)):
+            state = dict(table.__dict__)
+            del state["_identity"]
+            restored = UserSlotTable.__new__(UserSlotTable)
+            restored.__setstate__(state)
+            assert restored.is_identity is expect
+            np.testing.assert_array_equal(
+                restored.lookup(table.uids), np.arange(table.n_slots)
+            )
+
+
 class TestSharingAndPersistence:
     def test_shared_between_components(self):
         """Two components interning into one table agree on slots."""

@@ -1,0 +1,117 @@
+"""ServeSettings ⇄ ServiceSpec wiring (and its anti-drift pins).
+
+``ServeSettings`` used to duplicate the service-layer knobs as loose
+fields; it now *derives* them from a :class:`ServiceSpec`, so validation
+lives in one place and every CLI-exposed service flag provably reaches
+the running ingestion service.  The drift test mirrors the generated
+flag-group pins in ``tests/api/test_specs.py``: adding a CLI-exposed
+ServiceSpec field without mirroring it here fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.specs import ServiceSpec, iter_cli_fields
+from repro.core.retrasyn import RetraSynConfig
+from repro.exceptions import ConfigurationError
+from repro.serve import ServeSettings, serve_dataset
+
+
+class TestServiceLayerWiring:
+    def test_defaults_resolve_to_an_ingest_service_spec(self):
+        settings = ServeSettings()
+        assert isinstance(settings.service, ServiceSpec)
+        assert settings.service.transport == "ingest"
+        assert settings.queue_size == ServiceSpec().queue_size
+        assert settings.ingest_consumers == 1
+
+    def test_flat_overrides_fold_into_the_spec(self):
+        settings = ServeSettings(
+            queue_size=7, max_lateness=2, checkpoint_every=3,
+            checkpoint_path="ck.pkl", ingest_consumers=4,
+        )
+        assert settings.service.queue_size == 7
+        assert settings.service.max_lateness == 2
+        assert settings.service.checkpoint_every == 3
+        assert settings.service.checkpoint_path == "ck.pkl"
+        assert settings.service.ingest_consumers == 4
+
+    def test_spec_values_mirror_back_onto_flat_fields(self):
+        spec = ServiceSpec(
+            transport="ingest", queue_size=33, max_lateness=1,
+            ingest_consumers=2,
+        )
+        settings = ServeSettings(service=spec)
+        assert settings.queue_size == 33
+        assert settings.max_lateness == 1
+        assert settings.ingest_consumers == 2
+        assert settings.service == spec
+
+    def test_flat_override_wins_over_the_provided_spec(self):
+        spec = ServiceSpec(transport="ingest", queue_size=33)
+        settings = ServeSettings(service=spec, queue_size=44)
+        assert settings.service.queue_size == 44
+        assert settings.queue_size == 44
+
+    def test_transport_is_forced_to_ingest(self):
+        settings = ServeSettings(service=ServiceSpec(transport="direct"))
+        assert settings.service.transport == "ingest"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(queue_size=0),
+            dict(max_lateness=-1),
+            dict(checkpoint_every=-1),
+            dict(ingest_consumers=0),
+        ],
+    )
+    def test_validation_delegates_to_service_spec(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServeSettings(**kwargs)
+
+
+class TestCliFlagDrift:
+    def test_every_service_cli_flag_is_representable(self):
+        """Anti-drift: each CLI-exposed ServiceSpec field must round-trip
+        through a flat ServeSettings kwarg of the same name."""
+        probes = {
+            "queue_size": 123,
+            "max_lateness": 2,
+            "checkpoint_path": "probe.pkl",
+            "checkpoint_every": 5,
+            "ingest_consumers": 3,
+        }
+        cli_fields = [
+            f.name for _cls, f in iter_cli_fields(spec_classes=(ServiceSpec,))
+        ]
+        assert set(cli_fields) == set(probes), (
+            "ServiceSpec grew/lost a CLI flag; mirror it in ServeSettings "
+            "(and _MIRRORED_SERVICE_FIELDS in repro.serve) and extend this "
+            "probe table"
+        )
+        for name in cli_fields:
+            settings = ServeSettings(**{name: probes[name]})
+            assert getattr(settings.service, name) == probes[name], name
+            assert getattr(settings, name) == probes[name], name
+
+
+class TestServeDatasetHonorsTheSpec:
+    def test_multi_consumer_serve_matches_single_consumer(self, walk_data):
+        """End to end through serve_dataset: partitioned assembly must be
+        invisible in the synthetic output."""
+
+        def run(consumers):
+            settings = ServeSettings(
+                config=RetraSynConfig(epsilon=1.0, w=5, seed=11),
+                max_lateness=1, shuffle=True, shuffle_seed=3,
+                ingest_consumers=consumers,
+            )
+            return serve_dataset(walk_data, settings)
+
+        ref, multi = run(1), run(3)
+        assert ref.stats.n_reports_processed == multi.stats.n_reports_processed
+        assert [
+            (s.start_time, list(s.cells)) for s in ref.run.synthetic
+        ] == [(s.start_time, list(s.cells)) for s in multi.run.synthetic]
