@@ -1,0 +1,45 @@
+"""Distributed shard plane throughput (ISSUE 7 acceptance).
+
+Runs the same deterministic collection workload through all three shard
+executors — ``serial`` (in-process), ``process`` (pipe pool), and
+``distributed`` (socket-framed worker services with shard-local privacy
+accountants) — at K∈{1,4}, plus the thread-vs-process synthesis slab
+sweep, and persists ``results/BENCH_distributed.json``.
+
+Gates:
+
+* every executor's full-pipeline output bit-identical to serial, always;
+* the synthesis process executor bit-identical to the thread path, always;
+* distributed >= 1.5x the in-process pool's collection-round throughput
+  at K=4 / n=100k — enforced only on a multi-core host at full scale
+  (single-core CI serializes the workers, so the ratio is report-only,
+  mirroring the payload's own ``gate.enforced`` flag).
+"""
+
+import os
+
+from _util import run_once
+
+from repro.bench.distributed import (
+    REQUIRED_SPEEDUP,
+    format_bench_distributed,
+    run_bench_distributed,
+)
+
+
+def test_distributed_shard_plane(
+    benchmark, quick_mode, save_artifact, save_json_artifact
+):
+    out = run_once(benchmark, run_bench_distributed, quick=quick_mode)
+
+    save_artifact("distributed", "\n".join(format_bench_distributed(out)))
+    save_json_artifact("BENCH_distributed", out)
+
+    assert out["bit_identical"], out
+    assert out["synthesis"]["bit_identical"], out
+    assert set(out["collection"]) == {"K1", "K4"}, out
+    if (os.cpu_count() or 1) > 1 and not quick_mode:
+        assert out["gate"]["enforced"], out
+        assert (
+            out["gate"]["measured"] >= REQUIRED_SPEEDUP
+        ), format_bench_distributed(out)

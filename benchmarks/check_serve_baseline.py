@@ -1,0 +1,79 @@
+"""Diff a fresh serve-load run against the committed baseline.
+
+CI's ``serve-load-smoke`` job regenerates ``BENCH_serve.json`` on every
+push; this script fails the job when the run regresses against
+``benchmarks/baselines/BENCH_serve.json`` (committed to the repo).
+
+Absolute throughput is machine-dependent, so only **ratios** are
+compared: each speedup key in the new run must stay within ``--floor``
+(default 0.5x) of the committed baseline's value.  A halved
+binary-vs-JSON speedup means the binary transport plane regressed
+relative to the JSON one on the *same* machine — a signal that survives
+hardware differences.  Bit-identity of the remote replay is an absolute
+requirement regardless of speed.
+
+Usage::
+
+    python benchmarks/check_serve_baseline.py BENCH_serve.json \
+        [--baseline benchmarks/baselines/BENCH_serve.json] [--floor 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Ratio keys compared against the baseline (present in every artifact).
+RATIO_KEYS = ("binary_speedup_vs_json_v1", "e2e_speedup_http")
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_serve.json"
+
+
+def check(new: dict, baseline: dict, floor: float) -> list[str]:
+    """Return a list of human-readable failures (empty = pass)."""
+    failures = []
+    if not new.get("remote_bit_identical"):
+        failures.append("remote replay is no longer bit-identical")
+    for key in RATIO_KEYS:
+        base = baseline.get(key)
+        got = new.get(key)
+        if base is None:
+            continue
+        if got is None:
+            failures.append(f"{key} missing from the new run")
+            continue
+        if got < floor * base:
+            failures.append(
+                f"{key} regressed: {got:.2f}x vs baseline {base:.2f}x "
+                f"(floor {floor:.2f}x of baseline = {floor * base:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="fresh BENCH_serve.json to check")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--floor", type=float, default=0.5,
+                        help="minimum fraction of each baseline ratio")
+    args = parser.parse_args(argv)
+
+    new = json.loads(Path(args.artifact).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures = check(new, baseline, args.floor)
+    for key in RATIO_KEYS:
+        print(
+            f"{key}: {new.get(key)}x (baseline {baseline.get(key)}x)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("serve-load artifact within baseline envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

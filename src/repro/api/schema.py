@@ -29,6 +29,15 @@ Message types (v1):
 ``error``           Failure envelope: error class name + message.
 ==================  ====================================================
 
+The ``shard-*`` types (submit / advance / merge / checkpoint / stats /
+exit) are the shard-RPC vocabulary of the distributed collection plane
+(:mod:`repro.core.distributed`): v2-frame-only messages exchanged between
+the coordinator and its per-shard worker processes over local sockets.
+They reuse this module's framing and column dtypes verbatim; the
+``blob`` column of ``shard-checkpoint`` carries a pickled shard state and
+is therefore only ever read from the coordinator's own workers, never
+from a network ingress.
+
 Version negotiation: the client sends the versions it speaks (the
 ``versions`` query parameter / ``hello`` request field); the server
 answers with :func:`negotiate`'s pick — the highest version both sides
@@ -93,6 +102,15 @@ MESSAGE_TYPES = (
     "checkpoint",
     "result",
     "error",
+    # Shard-RPC types (v2 frames only): the coordinator <-> shard-worker
+    # protocol of the distributed collection plane.  Same framing, same
+    # column dtypes — a shard worker is just another peer on the wire.
+    "shard-submit",
+    "shard-advance",
+    "shard-merge",
+    "shard-checkpoint",
+    "shard-stats",
+    "shard-exit",
 )
 
 #: Wire dtypes by column name; everything else is rejected.
@@ -107,6 +125,12 @@ _COLUMN_DTYPES = {
     "lengths": np.int64,
     "flat_cells": np.int64,
     "rows": np.int64,
+    # Shard-RPC columns: raw per-position one-counts, the round's support
+    # mask, and the opaque checkpoint payload a worker ships through the
+    # coordinator (trusted local transport only — never an ingress format).
+    "ones": np.float64,
+    "support": np.int8,
+    "blob": np.uint8,
 }
 
 

@@ -319,8 +319,10 @@ def create_session(spec, grid, *, lam: Optional[float] = None) -> CuratorSession
         ``spec.engine.lam``.  One of the two must be set: a session has no
         dataset to derive it from.
 
-    Engine routing: ``sharding.n_shards > 1`` selects the hash-sharded
-    collection engine, otherwise the unsharded one;
+    Engine routing: ``sharding.n_shards > 1`` (or
+    ``sharding.shard_executor="distributed"``, which promotes shards to
+    socket-framed worker services) selects the hash-sharded collection
+    engine, otherwise the unsharded one;
     ``service.transport="ingest"`` wraps the curator in the watermarked
     ingestion assembler, ``"direct"`` in the synchronous façade.
     """
@@ -340,7 +342,10 @@ def create_session(spec, grid, *, lam: Optional[float] = None) -> CuratorSession
             "EngineSpec.lam or pass lam="
         )
     config = spec.to_config()
-    if spec.sharding.n_shards > 1:
+    if (
+        spec.sharding.n_shards > 1
+        or spec.sharding.shard_executor == "distributed"
+    ):
         curator = ShardedOnlineRetraSyn(grid, config, lam=lam)
     else:
         curator = OnlineRetraSyn(grid, config, lam=lam)

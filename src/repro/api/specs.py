@@ -46,7 +46,8 @@ UPDATE_STRATEGIES = ("dmu", "all")
 ENGINES = ("object", "vectorized")
 ORACLE_MODES = ("fast", "exact", "exact-loop")
 COMPILE_MODES = ("incremental", "full", "full-loop")
-SHARD_EXECUTORS = ("serial", "process")
+SHARD_EXECUTORS = ("serial", "process", "distributed")
+SYNTHESIS_EXECUTORS = ("thread", "process")
 TRANSPORTS = ("direct", "ingest")
 
 
@@ -207,7 +208,9 @@ class ShardingSpec:
         default="serial",
         metadata=_cli(
             "--shard-executor",
-            "run shards in-process or one worker process each",
+            "run shards in-process, one pipe worker process each, or as "
+            "socket-framed worker services with shard-local privacy "
+            "ledgers ('distributed')",
             choices=SHARD_EXECUTORS,
         ),
     )
@@ -223,9 +226,18 @@ class ShardingSpec:
         default=1,
         metadata=_cli(
             "--synthesis-shards",
-            "thread slabs advancing live synthetic streams in parallel "
+            "slabs advancing live synthetic streams in parallel "
             "(vectorized engine only)",
             type=int,
+        ),
+    )
+    synthesis_executor: str = field(
+        default="thread",
+        metadata=_cli(
+            "--synthesis-executor",
+            "run synthesis slabs on pool threads or in worker processes "
+            "(bit-identical output either way)",
+            choices=SYNTHESIS_EXECUTORS,
         ),
     )
 
@@ -234,12 +246,17 @@ class ShardingSpec:
             raise ConfigurationError(f"n_shards must be >= 1, got {self.n_shards}")
         if self.shard_executor not in SHARD_EXECUTORS:
             raise ConfigurationError(
-                f"shard_executor must be 'serial' or 'process', "
+                f"shard_executor must be one of {SHARD_EXECUTORS}, "
                 f"got {self.shard_executor!r}"
             )
         if self.synthesis_shards < 1:
             raise ConfigurationError(
                 f"synthesis_shards must be >= 1, got {self.synthesis_shards}"
+            )
+        if self.synthesis_executor not in SYNTHESIS_EXECUTORS:
+            raise ConfigurationError(
+                f"synthesis_executor must be one of {SYNTHESIS_EXECUTORS}, "
+                f"got {self.synthesis_executor!r}"
             )
 
 

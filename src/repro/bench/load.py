@@ -61,6 +61,12 @@ class LoadSpec:
     schema_version: int = schema.SCHEMA_VERSION
     pipeline: int = 4  # timestamps per pipelined request (frame versions)
     ingest_consumers: int = 1
+    #: Collection-plane shape behind the boundary: >1 shards (or the
+    #: "distributed" executor at any K) routes the session through the
+    #: sharded engine, so the load harness can saturate the socket-framed
+    #: worker-service plane end to end.
+    n_shards: int = 1
+    shard_executor: str = "serial"
     #: Transport-plane isolation: hold the watermark open (``max_lateness
     #: = horizon``) so no timestamp closes while the load is applied —
     #: the sustained window then measures pure ingest (HTTP + decode +
@@ -179,6 +185,8 @@ def _session_spec(spec: LoadSpec) -> SessionSpec:
         transport="ingest",
         ingest_consumers=spec.ingest_consumers,
         max_lateness=spec.horizon if spec.defer_closes else 0,
+        n_shards=spec.n_shards,
+        shard_executor=spec.shard_executor,
         track_privacy=False,  # matches the subprocess server's --no-audit
     )
 
@@ -380,6 +388,8 @@ def _run_subprocess(
             "--w", str(spec.w),
             "--seed", str(spec.seed),
             "--ingest-consumers", str(spec.ingest_consumers),
+            "--shards", str(spec.n_shards),
+            "--shard-executor", spec.shard_executor,
             "--no-audit",
         ],
         stdout=subprocess.PIPE,

@@ -173,6 +173,31 @@ def _add_bench_parser(sub) -> None:
     serve.add_argument("--out", default="BENCH_serve.json",
                        help="artifact path (JSON)")
 
+    dist = inner.add_parser(
+        "distributed",
+        help="collection-round throughput of the shard executors "
+             "(serial / in-process pool / socket-framed worker "
+             "processes) plus thread-vs-process synthesis scaling; "
+             "writes BENCH_distributed.json",
+    )
+    dist.add_argument("--users", type=int, default=100_000,
+                      help="synthetic population size (reports per round)")
+    dist.add_argument("--horizon", type=int, default=8,
+                      help="timestamps replayed (enter + moves + quit)")
+    dist.add_argument("--k", type=int, default=6, help="grid granularity")
+    dist.add_argument("--epsilon", type=float, default=1.0)
+    dist.add_argument("--w", type=int, default=10)
+    dist.add_argument("--seed", type=int, default=0)
+    dist.add_argument("--shards", default="1,4",
+                      help="comma-separated shard counts to sweep")
+    dist.add_argument("--synthesis-shards", type=int, default=4,
+                      help="slab count for the synthesis executor sweep")
+    dist.add_argument("--quick", action="store_true",
+                      help="CI smoke scale: caps users/horizon "
+                           "(speedup gate becomes report-only)")
+    dist.add_argument("--out", default="BENCH_distributed.json",
+                      help="artifact path (JSON)")
+
 
 def _add_evaluate_parser(sub) -> None:
     p = sub.add_parser("evaluate", help="score a synthetic DB against the real one")
@@ -390,28 +415,58 @@ def _cmd_bench(args) -> int:
     import json
     from pathlib import Path
 
-    from repro.bench.load import format_bench_serve, run_bench_serve
+    if args.bench_cmd == "distributed":
+        from repro.bench.distributed import (
+            format_bench_distributed,
+            run_bench_distributed,
+        )
 
-    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
-    payload = run_bench_serve(
-        n_users=args.users,
-        horizon=args.horizon,
-        k=args.k,
-        epsilon=args.epsilon,
-        w=args.w,
-        seed=args.seed,
-        pipeline=args.pipeline,
-        ingest_consumers=args.ingest_consumers,
-        modes=modes,
-        quick=args.quick,
-    )
+        shard_counts = tuple(
+            int(s) for s in args.shards.split(",") if s.strip()
+        )
+        payload = run_bench_distributed(
+            n_users=args.users,
+            horizon=args.horizon,
+            k=args.k,
+            epsilon=args.epsilon,
+            w=args.w,
+            seed=args.seed,
+            shard_counts=shard_counts,
+            synthesis_shards=args.synthesis_shards,
+            quick=args.quick,
+        )
+        formatted = format_bench_distributed(payload)
+        # Bit-identity is a hard gate everywhere; the speedup gate only
+        # binds when the payload says it was enforced (multi-core, full
+        # scale) — single-core CI records the ratio without failing.
+        ok = payload["bit_identical"] and payload["synthesis"]["bit_identical"]
+        if payload["gate"]["enforced"]:
+            ok = ok and payload["gate"]["passed"]
+    else:
+        from repro.bench.load import format_bench_serve, run_bench_serve
+
+        modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+        payload = run_bench_serve(
+            n_users=args.users,
+            horizon=args.horizon,
+            k=args.k,
+            epsilon=args.epsilon,
+            w=args.w,
+            seed=args.seed,
+            pipeline=args.pipeline,
+            ingest_consumers=args.ingest_consumers,
+            modes=modes,
+            quick=args.quick,
+        )
+        formatted = format_bench_serve(payload)
+        ok = payload["remote_bit_identical"]
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    for line in format_bench_serve(payload):
+    for line in formatted:
         print(line)
     print(f"wrote {out}")
-    return 0 if payload["remote_bit_identical"] else 1
+    return 0 if ok else 1
 
 
 def _cmd_evaluate(args) -> int:

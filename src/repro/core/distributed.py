@@ -1,0 +1,604 @@
+"""Distributed shard plane: per-shard worker services over binary sockets.
+
+The process executor of :class:`~repro.core.sharded.ShardedOnlineRetraSyn`
+ships each round's partitions through ``multiprocessing`` pipes — pickled
+tuples, with every privacy spend still executed by the parent.  This module
+promotes each collection shard to a *service*: a worker process speaking
+the versioned RSF2 frame protocol (:mod:`repro.api.schema`) over a local
+``socketpair``, owning its partition's
+
+* :class:`~repro.core.sharded.CollectionShard` (tracker + frequency
+  oracle + optional DMU support mask), and
+* a **shard-local privacy accountant** — per-shard spends and strict
+  refusals never round-trip through the parent.
+
+The coordinator side is :class:`ShardSocketPool`, a drop-in replacement
+for the pipe pool with two extra verbs (``submit`` and ``stats``) and the
+same merge contract: per-shard one-counts come back as raw ``float64``
+columns and are summed and debiased once by the parent, exactly as the
+in-process executors do.
+
+Shard RPC (all messages are v2 binary frames; see ``docs/API.md``):
+
+====================  ===================================================
+``shard-submit``      One partition of a timestamp's traffic (the five
+                      report columns).  The worker stages it and acks
+                      with its partition's minimum remaining window
+                      budget (when asked), which is all the per-user
+                      budget allocator needs from the whole batch.
+``shard-advance``     ``(t, rate, eps)`` — run the staged round:
+                      selection, perturbation, tracker bookkeeping and
+                      the shard-local budget spend.
+``shard-merge``       The advance reply: raw one-counts, reporter ids,
+                      user-side seconds, optional DMU support mask.
+``shard-checkpoint``  Serialize (``op="get"``) or restore (``op="set"``)
+                      the shard's full state — tracker, rng, ledger — as
+                      an opaque pickle ``blob`` column.  Trusted local
+                      transport only; never accepted from an ingress.
+``shard-stats``       The shard ledger's audit summary and violations.
+``shard-exit``        Orderly shutdown.
+====================  ===================================================
+
+Why the output is bit-identical to the in-process executors: the parent
+draws the same per-shard seeds, each worker's :class:`CollectionShard`
+consumes its rng in exactly the same sequence as the serial executor's
+shard object, and accountant operations never touch any rng.  Moving the
+spend into the worker changes *where* the ledger rows live, not a single
+random draw — and because the hash partition is a disjoint cover of the
+user population, per-user window totals (and therefore audit verdicts and
+``adaptive-user`` budget proposals, which reduce to a batch-wide min) are
+identical to the parent-ledger layout.  The one observable difference is
+post-refusal ledger state: a strict refusal aborts the parent ledger
+mid-batch, while shard ledgers beyond the offending shard still record
+their rounds — the refusal itself (type, first offending shard) matches.
+
+Dead workers are detected on every send/recv: a broken or EOF'd channel
+raises :class:`~repro.exceptions.ShardWorkerError` naming the shard and
+its exit code instead of hanging the coordinator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import socket
+import struct
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.api import schema
+from repro.exceptions import (
+    ConfigurationError,
+    PrivacyBudgetError,
+    ShardWorkerError,
+)
+from repro.geo.grid import Grid
+from repro.ldp.accountant import make_accountant
+from repro.stream.reports import ReportBatch
+
+_PREFIX = struct.Struct("<II")
+_PREFIX_LEN = len(schema.FRAME_MAGIC) + _PREFIX.size
+
+
+# ---------------------------------------------------------------------- #
+# socket framing
+# ---------------------------------------------------------------------- #
+def _recv_exact(sock: socket.socket, n: int, allow_eof: bool = False):
+    """Read exactly ``n`` bytes; ``None`` on a clean EOF at a boundary."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            if allow_eof and not buf:
+                return None
+            raise ConnectionError(
+                f"peer closed mid-frame ({len(buf)}/{n} bytes)"
+            )
+        buf += chunk
+    return bytes(buf)
+
+
+def send_frame(sock: socket.socket, msg: dict) -> None:
+    """Serialize one v2 frame and write it fully."""
+    sock.sendall(schema.dump_frame(msg))
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one length-prefixed frame; ``None`` when the peer closed.
+
+    Raises :class:`ConnectionError` on a mid-frame EOF and
+    :class:`~repro.api.schema.SchemaError` on malformed framing.
+    """
+    prefix = _recv_exact(sock, _PREFIX_LEN, allow_eof=True)
+    if prefix is None:
+        return None
+    if prefix[: len(schema.FRAME_MAGIC)] != schema.FRAME_MAGIC:
+        raise schema.SchemaError("not a binary frame (bad magic)")
+    header_len, payload_len = _PREFIX.unpack(prefix[len(schema.FRAME_MAGIC):])
+    body = _recv_exact(sock, header_len + payload_len)
+    msg, _end = schema.load_frame(prefix + body)
+    return msg
+
+
+# ---------------------------------------------------------------------- #
+# the worker service
+# ---------------------------------------------------------------------- #
+class _ShardService:
+    """One worker's state machine: a shard plus its local privacy ledger."""
+
+    def __init__(self, grid: Grid, config, seed: int) -> None:
+        from repro.core.sharded import CollectionShard
+
+        self.config = config
+        self.shard = CollectionShard(grid, config, seed)
+        self.accountant = (
+            make_accountant(
+                config.epsilon,
+                config.w,
+                mode=getattr(config, "accountant_mode", "columnar"),
+            )
+            if getattr(config, "track_privacy", True)
+            else None
+        )
+        self._staged: Optional[tuple] = None
+
+    def handle(self, msg: dict) -> dict:
+        type_ = msg["type"]
+        if type_ == "shard-submit":
+            return self._submit(msg)
+        if type_ == "shard-advance":
+            return self._advance(msg)
+        if type_ == "shard-checkpoint":
+            return self._checkpoint(msg)
+        if type_ == "shard-stats":
+            return self._stats()
+        raise ConfigurationError(f"unexpected shard-RPC message {type_!r}")
+
+    def _submit(self, msg: dict) -> dict:
+        t = int(msg["t"])
+        batch = ReportBatch(
+            np.asarray(msg["user_ids"]),
+            np.asarray(msg["state_idx"]),
+            np.asarray(msg["kinds"]),
+        )
+        entered = np.asarray(msg["newly_entered"])
+        quitted = np.asarray(msg["quitted"])
+        self._staged = (t, batch, entered, quitted)
+        min_remaining = None
+        if msg.get("want_remaining") and self.accountant is not None and len(batch):
+            min_remaining = float(
+                np.min(self.accountant.remaining_many(batch.user_ids, t))
+            )
+        return schema.message("ack", t=t, min_remaining=min_remaining)
+
+    def _advance(self, msg: dict) -> dict:
+        t = int(msg["t"])
+        if self._staged is None or self._staged[0] != t:
+            raise ConfigurationError(
+                f"shard-advance for t={t} without a matching shard-submit"
+            )
+        _t, batch, entered, quitted = self._staged
+        self._staged = None
+        rate = msg.get("rate")
+        rate = None if rate is None else float(rate)
+        eps = float(msg["eps"])
+        ones, uids, user_seconds, support = self.shard.round_batch(
+            t, batch, entered, quitted, rate, eps
+        )
+        # The shard-local spend: same uids, same eps, same round — only
+        # the ledger's location differs from the parent-accounted pools.
+        if self.accountant is not None and uids.size:
+            self.accountant.spend_many(uids, t, eps)
+        reply = {
+            "t": t,
+            "n": int(uids.size),
+            "user_seconds": float(user_seconds),
+            "has_support": support is not None,
+            "ones": np.asarray(ones, dtype=np.float64),
+            "user_ids": np.asarray(uids, dtype=np.int64),
+        }
+        if support is not None:
+            reply["support"] = np.asarray(support, dtype=np.int8)
+        return schema.message("shard-merge", **reply)
+
+    def _checkpoint(self, msg: dict) -> dict:
+        if msg.get("op") == "get":
+            blob = pickle.dumps(
+                (self.shard, self.accountant), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            return schema.message(
+                "shard-checkpoint", op="state",
+                blob=np.frombuffer(blob, dtype=np.uint8),
+            )
+        if msg.get("op") == "set":
+            self.shard, self.accountant = pickle.loads(
+                np.asarray(msg["blob"]).tobytes()
+            )
+            self._staged = None
+            return schema.message("ack")
+        raise ConfigurationError(
+            f"shard-checkpoint op must be 'get' or 'set', got {msg.get('op')!r}"
+        )
+
+    def _stats(self) -> dict:
+        summary = violations = None
+        if self.accountant is not None:
+            s = self.accountant.summary()
+            # Frame headers are JSON: strip numpy scalar types.
+            summary = {
+                "epsilon": float(s["epsilon"]),
+                "w": int(s["w"]),
+                "n_users": int(s["n_users"]),
+                "max_window_spend": float(s["max_window_spend"]),
+                "n_violations": int(s["n_violations"]),
+                "satisfied": bool(s["satisfied"]),
+            }
+            violations = [
+                [int(uid), int(t), float(total)]
+                for uid, t, total in self.accountant.violations
+            ]
+        return schema.message(
+            "shard-stats", summary=summary, violations=violations
+        )
+
+
+def _socket_shard_worker(sock: socket.socket, grid: Grid, config, seed: int) -> None:
+    """Worker main loop: answer shard-RPC frames until exit or EOF."""
+    service = _ShardService(grid, config, seed)
+    try:
+        while True:
+            try:
+                msg = recv_frame(sock)
+            except (ConnectionError, OSError, schema.SchemaError):
+                return
+            if msg is None or msg["type"] == "shard-exit":
+                return
+            try:
+                reply = service.handle(msg)
+            except Exception as exc:
+                reply = schema.error_message(exc)
+            try:
+                send_frame(sock, reply)
+            except OSError:
+                return
+    finally:
+        sock.close()
+
+
+# ---------------------------------------------------------------------- #
+# the coordinator-side pool
+# ---------------------------------------------------------------------- #
+class ShardSocketPool:
+    """Persistent shard worker services, one socket per shard.
+
+    Mirrors :class:`~repro.core.sharded.ShardWorkerPool`'s lifecycle
+    surface (``get_states`` / ``set_states`` / ``close``) and replaces
+    ``run_rounds`` with the two-phase ``submit`` / ``advance`` protocol,
+    so the budget proposal can consult the shard-local ledgers between
+    the phases.  All traffic is RSF2 binary frames: the round's columns
+    move as raw little-endian buffers, never as pickles.
+    """
+
+    def __init__(self, grid: Grid, config, seeds: Sequence[int]) -> None:
+        ctx = mp.get_context()
+        self._procs: list = []
+        self._socks: list[socket.socket] = []
+        for seed in seeds:
+            parent_sock, child_sock = socket.socketpair()
+            proc = ctx.Process(
+                target=_socket_shard_worker,
+                args=(child_sock, grid, config, int(seed)),
+                daemon=True,
+            )
+            proc.start()
+            child_sock.close()
+            self._socks.append(parent_sock)
+            self._procs.append(proc)
+
+    def __len__(self) -> int:
+        return len(self._socks)
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._socks)
+
+    # -------------------------------------------------------------- #
+    # channel plumbing with dead-worker detection
+    # -------------------------------------------------------------- #
+    def _dead(self, k: int, op: str) -> ShardWorkerError:
+        proc = self._procs[k]
+        proc.join(timeout=1.0)
+        code = proc.exitcode
+        return ShardWorkerError(
+            f"collection shard {k} worker died during {op!r} "
+            f"(exitcode {code})"
+        )
+
+    def _send(self, k: int, msg: dict, op: str) -> None:
+        try:
+            send_frame(self._socks[k], msg)
+        except OSError as exc:
+            raise self._dead(k, op) from exc
+
+    def _recv(self, k: int, op: str, expect: str) -> dict:
+        try:
+            msg = recv_frame(self._socks[k])
+        except (OSError, schema.SchemaError) as exc:
+            raise self._dead(k, op) from exc
+        if msg is None:
+            raise self._dead(k, op)
+        if msg["type"] == "error":
+            raise self._worker_error(k, op, msg)
+        if msg["type"] != expect:
+            raise ShardWorkerError(
+                f"collection shard {k}: expected a {expect!r} reply to "
+                f"{op!r}, got {msg['type']!r}"
+            )
+        return msg
+
+    @staticmethod
+    def _worker_error(k: int, op: str, msg: dict) -> Exception:
+        """Re-raise a worker-reported failure with its original type.
+
+        Privacy refusals and configuration errors keep their classes so
+        callers' ``except`` clauses behave exactly as with the in-process
+        executors; anything else surfaces as the pools' usual
+        ``RuntimeError`` with shard context.
+        """
+        error, detail = msg.get("error", "Exception"), msg.get("detail", "")
+        if error == "PrivacyBudgetError":
+            return PrivacyBudgetError(detail)
+        if error == "ConfigurationError":
+            return ConfigurationError(detail)
+        return RuntimeError(
+            f"collection shard {k} failed ({op}):\n{error}: {detail}"
+        )
+
+    # -------------------------------------------------------------- #
+    # the round protocol
+    # -------------------------------------------------------------- #
+    def submit(
+        self,
+        t: int,
+        parts: Sequence[ReportBatch],
+        entered: Sequence[np.ndarray],
+        quits: Sequence[np.ndarray],
+        want_remaining: bool,
+    ) -> Optional[float]:
+        """Stage one timestamp's partitions on every shard.
+
+        Returns the global minimum remaining window budget over all
+        staged participants (``None`` when not requested or no shard has
+        participants) — sufficient for ``adaptive-user`` proposals, which
+        reduce the whole remaining vector to its minimum.
+        """
+        for k in range(len(self._socks)):
+            self._send(
+                k,
+                schema.message(
+                    "shard-submit",
+                    t=int(t),
+                    want_remaining=bool(want_remaining),
+                    user_ids=np.asarray(parts[k].user_ids),
+                    state_idx=np.asarray(parts[k].state_idx),
+                    kinds=np.asarray(parts[k].kinds),
+                    newly_entered=np.asarray(entered[k]),
+                    quitted=np.asarray(quits[k]),
+                ),
+                "submit",
+            )
+        mins = []
+        for k in range(len(self._socks)):
+            ack = self._recv(k, "submit", expect="ack")
+            if ack.get("min_remaining") is not None:
+                mins.append(float(ack["min_remaining"]))
+        return min(mins) if mins else None
+
+    def advance(self, t: int, rate: Optional[float], eps: float) -> list:
+        """Run the staged round everywhere; one merge tuple per shard.
+
+        The tuples match ``ShardWorkerPool.run_rounds`` output —
+        ``(ones, reporter_uids, user_seconds, support)`` — so the
+        coordinator's merge code is shared across all executors.
+        """
+        for k in range(len(self._socks)):
+            self._send(
+                k,
+                schema.message(
+                    "shard-advance",
+                    t=int(t),
+                    rate=None if rate is None else float(rate),
+                    eps=float(eps),
+                ),
+                "advance",
+            )
+        outs = []
+        for k in range(len(self._socks)):
+            rep = self._recv(k, "advance", expect="shard-merge")
+            support = (
+                np.asarray(rep["support"], dtype=bool).copy()
+                if rep.get("has_support")
+                else None
+            )
+            outs.append(
+                (
+                    np.asarray(rep["ones"], dtype=np.float64),
+                    np.asarray(rep["user_ids"], dtype=np.int64),
+                    float(rep["user_seconds"]),
+                    support,
+                )
+            )
+        return outs
+
+    # -------------------------------------------------------------- #
+    # checkpoint / audit verbs
+    # -------------------------------------------------------------- #
+    def get_states(self) -> list:
+        """Fetch every shard's ``(CollectionShard, accountant)`` state."""
+        for k in range(len(self._socks)):
+            self._send(
+                k, schema.message("shard-checkpoint", op="get"), "checkpoint"
+            )
+        states = []
+        for k in range(len(self._socks)):
+            rep = self._recv(k, "checkpoint", expect="shard-checkpoint")
+            states.append(pickle.loads(np.asarray(rep["blob"]).tobytes()))
+        return states
+
+    def set_states(self, states: Sequence) -> None:
+        """Ship ``(CollectionShard, accountant)`` states back to workers."""
+        for k in range(len(self._socks)):
+            blob = pickle.dumps(states[k], protocol=pickle.HIGHEST_PROTOCOL)
+            self._send(
+                k,
+                schema.message(
+                    "shard-checkpoint", op="set",
+                    blob=np.frombuffer(blob, dtype=np.uint8),
+                ),
+                "checkpoint",
+            )
+        for k in range(len(self._socks)):
+            self._recv(k, "checkpoint", expect="ack")
+
+    def stats(self) -> list[dict]:
+        """Per-shard ledger summaries (``summary`` + ``violations``)."""
+        for k in range(len(self._socks)):
+            self._send(k, schema.message("shard-stats"), "stats")
+        return [
+            {
+                "summary": rep.get("summary"),
+                "violations": [
+                    tuple(v) for v in (rep.get("violations") or [])
+                ],
+            }
+            for rep in (
+                self._recv(k, "stats", expect="shard-stats")
+                for k in range(len(self._socks))
+            )
+        ]
+
+    def close(self) -> None:
+        for sock in self._socks:
+            try:
+                send_frame(sock, schema.message("shard-exit"))
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._socks, self._procs = [], []
+
+
+# ---------------------------------------------------------------------- #
+# the parent-side accountant façade
+# ---------------------------------------------------------------------- #
+class DistributedAccountantView:
+    """Read-only merged view over the shard-local privacy ledgers.
+
+    Bound as the distributed engine's ``accountant`` so every audit
+    surface — ``stats()`` privacy blocks, ``SynthesisRun.accountant``,
+    the CLI audit exit code — works unchanged.  Queries go to the live
+    workers while the pool is open; the engine caches final summaries at
+    ``close()`` so a finished run stays auditable.  Shard populations
+    are disjoint (hash partition), so the merge is exact: user counts
+    add, window maxima take the max, verdicts AND together.
+    """
+
+    def __init__(self, engine=None, frozen: Optional[list] = None) -> None:
+        self._engine = engine
+        self._frozen = frozen
+
+    # -------------------------------------------------------------- #
+    def _shard_stats(self) -> list[dict]:
+        eng = self._engine
+        if eng is not None:
+            pool = getattr(eng, "_pool", None)
+            if pool is not None and getattr(pool, "alive", False):
+                stats = pool.stats()
+                self._frozen = stats
+                return stats
+            final = getattr(eng, "_final_summaries", None)
+            if final is not None:
+                return final
+        if self._frozen is not None:
+            return self._frozen
+        raise ShardWorkerError(
+            "shard ledgers unreachable: the worker pool is closed and no "
+            "final summary was cached"
+        )
+
+    @property
+    def epsilon(self) -> float:
+        stats = self._shard_stats()
+        for entry in stats:
+            if entry.get("summary"):
+                return float(entry["summary"]["epsilon"])
+        return 0.0
+
+    @property
+    def w(self) -> int:
+        stats = self._shard_stats()
+        for entry in stats:
+            if entry.get("summary"):
+                return int(entry["summary"]["w"])
+        return 0
+
+    def summary(self) -> dict:
+        stats = self._shard_stats()
+        summaries = [e["summary"] for e in stats if e.get("summary")]
+        if not summaries:
+            return {
+                "epsilon": 0.0, "w": 0, "n_users": 0,
+                "max_window_spend": 0.0, "n_violations": 0, "satisfied": True,
+            }
+        return {
+            "epsilon": float(summaries[0]["epsilon"]),
+            "w": int(summaries[0]["w"]),
+            "n_users": int(sum(s["n_users"] for s in summaries)),
+            "max_window_spend": float(
+                max(s["max_window_spend"] for s in summaries)
+            ),
+            "n_violations": int(sum(s["n_violations"] for s in summaries)),
+            "satisfied": bool(all(s["satisfied"] for s in summaries)),
+        }
+
+    def max_window_spend(self) -> float:
+        return self.summary()["max_window_spend"]
+
+    @property
+    def n_users(self) -> int:
+        return self.summary()["n_users"]
+
+    @property
+    def violations(self) -> list[tuple]:
+        return [
+            tuple(v)
+            for entry in self._shard_stats()
+            for v in (entry.get("violations") or [])
+        ]
+
+    def verify(self) -> bool:
+        """Whether every shard's ledger satisfied the w-event bound."""
+        return self.summary()["satisfied"]
+
+    # -------------------------------------------------------------- #
+    # pickling: checkpoints freeze the current summaries; the engine
+    # re-binds a live view on restore.
+    # -------------------------------------------------------------- #
+    def __getstate__(self) -> dict:
+        frozen = self._frozen
+        if self._engine is not None:
+            try:
+                frozen = self._shard_stats()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        return {"_engine": None, "_frozen": frozen}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)

@@ -66,9 +66,10 @@ class RetraSynConfig:
     oracle_mode: str = "fast"  # "fast" | "exact" (batched) | "exact-loop"
     engine: str = "object"  # "object" | "vectorized" synthesis engine
     compile_mode: str = "incremental"  # "incremental" | "full" | "full-loop" ref
-    synthesis_shards: int = 1  # thread slabs for vectorized generation
+    synthesis_shards: int = 1  # slabs for parallel vectorized generation
+    synthesis_executor: str = "thread"  # "thread" | "process" slab execution
     n_shards: int = 1  # >1 routes collection through ShardedOnlineRetraSyn
-    shard_executor: str = "serial"  # "serial" | "process" shard execution
+    shard_executor: str = "serial"  # "serial" | "process" | "distributed"
     dmu_prefilter: bool = False  # shard-local never-observed DMU prefilter
     track_privacy: bool = True
     accountant_mode: str = "columnar"  # "columnar" ledger | "object" reference
@@ -139,7 +140,7 @@ class RetraSyn:
             if cfg.lam is not None
             else max(1.0, average_length(dataset.trajectories))
         )
-        if cfg.n_shards > 1:
+        if cfg.n_shards > 1 or cfg.shard_executor == "distributed":
             curator = ShardedOnlineRetraSyn(dataset.grid, cfg, lam=lam)
         else:
             curator = OnlineRetraSyn(dataset.grid, cfg, lam=lam)

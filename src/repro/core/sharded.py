@@ -30,16 +30,24 @@ Why this is statistically equivalent to the unsharded curator:
   division) is proposed *globally* from the merged collection feedback, so
   allocation adapts on the same signal as the unsharded engine.
 
-Shard rounds are embarrassingly parallel.  Two executors are provided:
+Shard rounds are embarrassingly parallel.  Three executors are provided:
 
 * ``executor="serial"`` — rounds run in-process, one shard after another
   (no IPC overhead; the default and the reference semantics);
 * ``executor="process"`` — shards live in a persistent
   :class:`ShardWorkerPool`: one worker process per shard, spawned once and
   reused for every round, holding the shard's tracker and rng across the
-  whole stream.  Both executors draw shard randomness from the same
-  per-shard seeds, so they produce identical outputs for a fixed
-  configuration.
+  whole stream;
+* ``executor="distributed"`` — shards are promoted to services: worker
+  processes speaking length-prefixed RSF2 binary frames over local
+  sockets (:class:`~repro.core.distributed.ShardSocketPool`), each owning
+  a **shard-local privacy accountant** so per-shard spends and strict
+  refusals never round-trip through the parent; the parent's
+  ``accountant`` becomes a merged read-only
+  :class:`~repro.core.distributed.DistributedAccountantView`.
+
+All executors draw shard randomness from the same per-shard seeds, so
+they produce identical output streams for a fixed configuration.
 """
 
 from __future__ import annotations
@@ -56,7 +64,7 @@ from repro.core.online import (
     sample_population_reporters_batch,
     support_mask,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ShardWorkerError
 from repro.geo.grid import Grid
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.stream.encoder import UserSideEncoder
@@ -250,12 +258,27 @@ class ShardWorkerPool:
     def __len__(self) -> int:
         return len(self._pipes)
 
+    def _dead(self, k: int, command: str) -> ShardWorkerError:
+        """Typed error for a worker whose pipe broke mid-``command``."""
+        proc = self._procs[k]
+        proc.join(timeout=1.0)
+        return ShardWorkerError(
+            f"collection shard {k} worker died during {command!r} "
+            f"(exitcode {proc.exitcode})"
+        )
+
     def _call_all(self, command: str, payloads: Sequence) -> list:
-        for pipe, payload in zip(self._pipes, payloads):
-            pipe.send((command, payload))
+        for k, (pipe, payload) in enumerate(zip(self._pipes, payloads)):
+            try:
+                pipe.send((command, payload))
+            except (BrokenPipeError, OSError) as exc:
+                raise self._dead(k, command) from exc
         outs = []
         for k, pipe in enumerate(self._pipes):
-            status, payload = pipe.recv()
+            try:
+                status, payload = pipe.recv()
+            except (EOFError, OSError) as exc:
+                raise self._dead(k, command) from exc
             if status == "err":
                 raise RuntimeError(
                     f"collection shard {k} failed ({command}):\n{payload}"
@@ -318,12 +341,16 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             raise ConfigurationError(
                 f"n_shards must be >= 1, got {self.n_shards}"
             )
-        if self.executor not in ("serial", "process"):
+        if self.executor not in ("serial", "process", "distributed"):
             raise ConfigurationError(
-                f"shard executor must be 'serial' or 'process', got {self.executor!r}"
+                f"shard executor must be 'serial', 'process' or "
+                f"'distributed', got {self.executor!r}"
             )
         # The parent never tracks users itself — shards own their partitions.
         self._tracker = None
+        #: Final per-shard ledger stats, cached by :meth:`close` so the
+        #: distributed accountant view stays auditable after shutdown.
+        self._final_summaries = None
         seeds = [
             int(s) for s in self.rng.integers(0, 2**63 - 1, size=self.n_shards)
         ]
@@ -332,6 +359,18 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
                 grid, config, seeds
             )
             self._shards = None
+        elif self.executor == "distributed":
+            from repro.core.distributed import (
+                DistributedAccountantView,
+                ShardSocketPool,
+            )
+
+            self._pool = ShardSocketPool(grid, config, seeds)
+            self._shards = None
+            # The workers own the ledgers; the parent exposes a merged
+            # read-only view so stats()/result()/audits work unchanged.
+            if self.accountant is not None:
+                self.accountant = DistributedAccountantView(self)
         else:
             self._pool = None
             self._shards = [CollectionShard(grid, config, s) for s in seeds]
@@ -342,6 +381,29 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
     def _collect_round(self, t, batch: ReportBatch, newly_entered, quitted):
         cfg = self.config
         K = self.n_shards
+        distributed = self.executor == "distributed"
+
+        # Hash-partition this timestamp's traffic: pure array slicing.
+        parts = batch.partition(K)
+        entered = _split_ids(newly_entered, K)
+        quits = _split_ids(quitted, K)
+
+        # Distributed phase 1: stage the partitions on every shard and,
+        # when a per-user allocator needs ledger feedback, collect the
+        # global minimum remaining window budget from the shard-local
+        # accountants.  ``propose_for`` reduces the whole remaining vector
+        # to its minimum, so a min-of-shard-mins is an exact substitute
+        # for the parent-ledger query the other executors make.
+        global_min: Optional[float] = None
+        if distributed:
+            want_remaining = (
+                cfg.division != "population"
+                and getattr(self._budget_alloc, "consults_users", False)
+                and getattr(cfg, "track_privacy", True)
+            )
+            global_min = self._pool.submit(
+                t, parts, entered, quits, want_remaining
+            )
 
         # Globally proposed rate / budget, from the merged feedback context.
         rate: Optional[float] = None
@@ -350,25 +412,35 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             if cfg.allocator != "random":
                 rate = self._pop_alloc.propose(t, self.context)
         else:
-            eps_t = self._propose_budget(t, batch)
+            if distributed and getattr(
+                self._budget_alloc, "consults_users", False
+            ):
+                remaining = (
+                    None if global_min is None else np.asarray([global_min])
+                )
+                eps_t = self._budget_alloc.propose_for(
+                    t, self.context, remaining
+                )
+            else:
+                eps_t = self._propose_budget(t, batch)
             if eps_t < _MIN_EPSILON:
                 eps_t = 0.0
             self._budget_alloc.commit(eps_t)
 
-        # Hash-partition this timestamp's traffic: pure array slicing.
-        parts = batch.partition(K)
-        entered = _split_ids(newly_entered, K)
-        quits = _split_ids(quitted, K)
-
-        rounds = [
-            (t, parts[k], entered[k], quits[k], rate, eps_t) for k in range(K)
-        ]
-        if self._pool is not None:
+        if distributed:
+            # Phase 2: run the staged round everywhere; workers spend
+            # their reporters' budget locally before replying.
+            outs = self._pool.advance(t, rate, eps_t)
+        elif self._pool is not None:
+            rounds = [
+                (t, parts[k], entered[k], quits[k], rate, eps_t)
+                for k in range(K)
+            ]
             outs = self._pool.run_rounds(rounds)
         else:
             outs = [
-                shard.round_batch(*msg)
-                for shard, msg in zip(self._shards, rounds)
+                shard.round_batch(t, parts[k], entered[k], quits[k], rate, eps_t)
+                for k, shard in enumerate(self._shards)
             ]
 
         # Merge: one vector add per shard, one debias for the union.  Only
@@ -394,7 +466,8 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             )
             collected = oracle.debias(ones, n_reporters) / n_reporters
             self.timings["model_construction"] += time.perf_counter() - tic
-            if self.accountant is not None:
+            # Distributed shards spent their partitions locally already.
+            if self.accountant is not None and not distributed:
                 self.accountant.spend_many(reporter_uids, t, eps_used)
             self.context.record_collection(collected)
         return collected, n_reporters, eps_used
@@ -406,8 +479,13 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
         """Base curator state plus each shard's full state.
 
         For the process executor the shards live in worker memory, so they
-        are fetched over the pipes; the pool itself (pipes, processes) is
-        never part of a checkpoint.
+        are fetched over the pipes; the pool itself (pipes, processes,
+        sockets) is never part of a checkpoint.  Distributed workers
+        additionally serialize their shard-local accountants through the
+        coordinator — each ``_shards`` entry is a ``(shard, accountant)``
+        pair — so a distributed checkpoint restores into a distributed
+        engine (the session spec carried by the v3 format guarantees the
+        executor matches).
         """
         state = {k: v for k, v in self.__dict__.items() if k != "_pool"}
         if self._pool is not None:
@@ -424,6 +502,10 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             self._shards = None
         else:
             self._shards = shards
+        # The unpickled accountant view is frozen (no engine behind it);
+        # re-bind it so it queries the freshly restored worker ledgers.
+        if self.executor == "distributed" and self.accountant is not None:
+            self.accountant._engine = self
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -431,6 +513,17 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
     def close(self) -> None:
         """Shut down worker processes and the synthesizer's thread slabs."""
         if self._pool is not None:
+            # Freeze the shard-local ledgers' final summaries so the
+            # distributed accountant view answers audits after shutdown.
+            if (
+                self.executor == "distributed"
+                and getattr(self._pool, "alive", False)
+                and getattr(self.config, "track_privacy", True)
+            ):
+                try:
+                    self._final_summaries = self._pool.stats()
+                except Exception:  # pragma: no cover - dead workers
+                    pass
             self._pool.close()
         closer = getattr(self.synthesizer, "close", None)
         if closer is not None:

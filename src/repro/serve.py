@@ -124,7 +124,7 @@ def build_curator(data: StreamDataset, config: RetraSynConfig):
         if config.lam is not None
         else max(1.0, average_length(data.trajectories))
     )
-    if config.n_shards > 1:
+    if config.n_shards > 1 or config.shard_executor == "distributed":
         return ShardedOnlineRetraSyn(data.grid, config, lam=lam)
     return OnlineRetraSyn(data.grid, config, lam=lam)
 

@@ -172,7 +172,7 @@ class TestCliDerivation:
             "--epsilon", "--w", "--allocator", "--accountant-mode",
             "--engine", "--oracle-mode", "--compile-mode",
             "--shards", "--shard-executor", "--dmu-prefilter",
-            "--synthesis-shards",
+            "--synthesis-shards", "--synthesis-executor",
         }
 
     def test_service_cli_fields(self):

@@ -321,3 +321,46 @@ class TestServerCrashRecovery:
                 proc.kill()
 
         assert recovered == reference
+
+
+class TestShardWorkerDeath:
+    """A shard worker killed mid-run surfaces as a typed ShardWorkerError.
+
+    Both multiprocess pools — the pipe-based ``ShardWorkerPool`` and the
+    socket-framed ``ShardSocketPool`` — must detect the dead peer on the
+    next round trip and raise :class:`~repro.exceptions.ShardWorkerError`
+    naming the shard, instead of dying on a bare EOF/EPIPE.
+    """
+
+    @pytest.mark.parametrize("executor", ["process", "distributed"])
+    def test_sigkill_one_worker_mid_round(self, walk_data, executor):
+        import signal
+
+        from repro.core.sharded import ShardedOnlineRetraSyn
+        from repro.exceptions import ShardWorkerError
+
+        cfg = RetraSynConfig(
+            epsilon=1.0, w=4, seed=0, n_shards=2, shard_executor=executor
+        )
+        curator = ShardedOnlineRetraSyn(walk_data.grid, cfg, lam=5.0)
+
+        def _step(t):
+            curator.process_timestep(
+                t,
+                participants=walk_data.participants_at(t),
+                newly_entered=walk_data.newly_entered_at(t),
+                quitted=walk_data.quitted_at(t),
+                n_real_active=walk_data.n_active_at(t),
+            )
+
+        try:
+            for t in range(3):
+                _step(t)
+            victim = curator._pool._procs[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            with pytest.raises(ShardWorkerError, match="shard 1"):
+                for t in range(3, walk_data.n_timestamps):
+                    _step(t)
+        finally:
+            curator.close()

@@ -28,7 +28,16 @@ class TestOUEProperties:
         rng = np.random.default_rng(seed)
         values = rng.integers(0, d, size=n)
         est = OptimizedUnaryEncoding(d, eps, rng=seed).collect(values)
-        sigma_total = np.sqrt(d * oue_variance(eps, n)) * n
+        # Paper Eq. 3 (oue_variance) is the f -> 0 approximation: only the
+        # q-noise of the n - n_i non-reporters.  For small domains the
+        # reporters' own p(1-p) flip noise dominates (at d=2 every element
+        # holds half the population), so bound with the exact debiased
+        # count variance per element instead.
+        p, q = 0.5, 1.0 / (np.exp(eps) + 1.0)
+        counts = np.bincount(values, minlength=d).astype(float)
+        var = (counts * p * (1 - p) + (n - counts) * q * (1 - q)) / (p - q) ** 2
+        sigma_total = np.sqrt(var.sum())
+        assert sigma_total >= np.sqrt(d * oue_variance(eps, n)) * n * 0.99
         assert abs(est.sum() - n) < 6 * sigma_total + 1e-9
 
     @given(d=st.integers(2, 30), eps=st.floats(0.2, 4.0))
