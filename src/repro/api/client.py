@@ -35,6 +35,14 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.api import schema
+from repro.exceptions import ResponseLostError
+
+#: Exceptions that mean "the TCP peer went away mid-exchange".
+_DISCONNECTS = (
+    http.client.RemoteDisconnected,
+    BrokenPipeError,
+    ConnectionResetError,
+)
 
 
 class Client:
@@ -60,12 +68,17 @@ class Client:
             self._conn = None
 
     def _send(self, method: str, path: str, body: bytes) -> bytes:
-        """One request over the persistent connection.
+        """One request over the persistent connection, at most once applied.
 
         A dead keep-alive socket (server restarted, idle drop) surfaces as
-        ``RemoteDisconnected`` / a broken pipe before the server has read
-        the request, so one reconnect-and-retry is safe; anything after
-        the first response byte propagates to the caller.
+        ``RemoteDisconnected`` / a broken pipe while *writing* the request
+        — the server never saw it, so one reconnect-and-retry is always
+        safe.  A disconnect after the request was written is ambiguous:
+        the server may have applied it and died before answering.  Only
+        idempotent ``GET``\\ s are retried past that point; a mutating
+        request raises :class:`~repro.exceptions.ResponseLostError`
+        instead of being blindly resent (a resent ``POST /v1/batch``
+        would double-apply every report in it).
         """
         ctype = (
             schema.CONTENT_TYPE_FRAME
@@ -81,17 +94,31 @@ class Client:
                 self._conn.request(
                     method, path, body=body, headers={"Content-Type": ctype}
                 )
-                response = self._conn.getresponse()
-                payload = response.read()
-            except (
-                http.client.RemoteDisconnected,
-                BrokenPipeError,
-                ConnectionResetError,
-            ):
+            except _DISCONNECTS:
+                # Failed before (or while) writing: nothing was applied.
                 self._drop_connection()
                 if attempt:
                     raise
                 continue
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._drop_connection()
+                raise
+            try:
+                response = self._conn.getresponse()
+                payload = response.read()
+            except _DISCONNECTS as exc:
+                # The request reached the wire but the response was lost.
+                self._drop_connection()
+                if method == "GET":
+                    if attempt:
+                        raise
+                    continue
+                raise ResponseLostError(
+                    f"connection lost awaiting the response to "
+                    f"{method} {path}; the server may or may not have "
+                    f"applied it — reconcile via GET /v1/stats before "
+                    f"resending"
+                ) from exc
             except (http.client.HTTPException, ConnectionError, OSError):
                 self._drop_connection()
                 raise

@@ -25,10 +25,20 @@ protocol needs only these routes:
 ``POST /v1/close``          End of stream: flush + final checkpoint.
 ``GET  /v1/result``         The synthetic database, columnar.
 ``POST /v1/shutdown``       Close the session and stop the server.
+``GET  /metrics``           Prometheus text-format metrics scrape.
+``GET  /healthz``           Liveness probe (200 while the loop runs).
+``GET  /readyz``            Readiness probe (503 once draining).
 ==========================  ==========================================
 
 Session calls are serialized behind an :class:`asyncio.Lock`, so
 concurrent clients cannot interleave a curator round.
+
+Graceful drain: when signal handling is enabled (the ``repro serve
+--http`` path), SIGTERM/SIGINT flips the server into draining mode —
+``/readyz`` answers 503, new ``/v1/batch`` submissions are refused with
+503, the in-flight round finishes under the session lock, the session
+closes (assembler flush + final checkpoint) and the server stops — all
+bounded by ``ServiceSpec.drain_deadline`` seconds.
 
 Transport fast paths (schema v2):
 
@@ -53,11 +63,14 @@ failure paths are always readable to any peer.
 from __future__ import annotations
 
 import asyncio
+import signal
+
 import numpy as np
 
 from repro.api import schema
 from repro.api.schema import SchemaError
 from repro.exceptions import ReproError
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 
 #: Bounds on what a peer may send (headers / body, bytes).
 _MAX_HEADER_BYTES = 64 * 1024
@@ -70,7 +83,18 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+
+class _Plain:
+    """A pre-encoded (non-schema) response body: probes and /metrics."""
+
+    __slots__ = ("payload", "ctype")
+
+    def __init__(self, payload: bytes, ctype: str = "text/plain; charset=utf-8"):
+        self.payload = payload
+        self.ctype = ctype
 
 
 class HttpIngress:
@@ -87,13 +111,26 @@ class HttpIngress:
         :attr:`port` after :meth:`start`.
     """
 
-    def __init__(self, session, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        session,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        handle_signals: bool = False,
+    ) -> None:
         self.session = session
         self.host = host
         self.port = int(port)
         self._server: asyncio.AbstractServer | None = None
         self._lock = asyncio.Lock()
         self._shutdown = asyncio.Event()
+        self._ready = False
+        self._draining = False
+        self._drain_task: asyncio.Task | None = None
+        self._handle_signals = bool(handle_signals)
+        self.drain_deadline = float(
+            getattr(session.spec.service, "drain_deadline", 30.0)
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -106,6 +143,56 @@ class HttpIngress:
             limit=_MAX_HEADER_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._handle_signals:
+            self.install_signal_handlers()
+        self._ready = True
+
+    def install_signal_handlers(self) -> bool:
+        """Route SIGTERM/SIGINT into a graceful drain.
+
+        Only possible on the main thread of a unix event loop; returns
+        False (and leaves default dispositions) anywhere else, so tests
+        running ingresses on background threads are unaffected.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, self.begin_drain)
+            loop.add_signal_handler(signal.SIGINT, self.begin_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            return False
+        return True
+
+    def begin_drain(self) -> None:
+        """Start (idempotently) the drain task from a signal handler."""
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self.drain()
+            )
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight rounds, flush, checkpoint, stop.
+
+        Bounded by ``drain_deadline`` seconds (0 = no bound); on timeout
+        the server still stops — a stuck round must not outlive the
+        supervisor's own kill timeout.
+        """
+        if self._draining:
+            return
+        self._draining = True  # /readyz -> 503, new batches refused
+        try:
+            if self.drain_deadline > 0:
+                await asyncio.wait_for(
+                    self._finish_session(), timeout=self.drain_deadline
+                )
+            else:
+                await self._finish_session()
+        except asyncio.TimeoutError:  # pragma: no cover - deadline escape
+            pass
+        self._shutdown.set()
+
+    async def _finish_session(self) -> None:
+        async with self._lock:  # waits for the in-flight round
+            self.session.close()  # flush partitions + final checkpoint
 
     async def serve_until_shutdown(self) -> None:
         """Block until a client posts ``/v1/shutdown``, then stop."""
@@ -168,8 +255,14 @@ class HttpIngress:
                 pass
 
     @staticmethod
-    def _encode_response(msg: dict):
-        """Frame when the message carries raw arrays, JSON otherwise."""
+    def _encode_response(msg):
+        """Frame when the message carries raw arrays, JSON otherwise.
+
+        Probe and metrics handlers return pre-encoded :class:`_Plain`
+        bodies, which pass through untouched.
+        """
+        if isinstance(msg, _Plain):
+            return msg.payload, msg.ctype
         if any(isinstance(v, np.ndarray) for v in msg.values()):
             return schema.dump_frame(msg), schema.CONTENT_TYPE_FRAME
         return schema.dumps(msg), schema.CONTENT_TYPE_JSON
@@ -226,6 +319,9 @@ class HttpIngress:
             ("POST", "/v1/close"): self._close,
             ("GET", "/v1/result"): self._result,
             ("POST", "/v1/shutdown"): self._shutdown_route,
+            ("GET", "/metrics"): self._metrics,
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/readyz"): self._readyz,
         }
         handler = handlers.get((method, path))
         if handler is None:
@@ -275,7 +371,34 @@ class HttpIngress:
                 return version
         return 1
 
+    async def _metrics(self, query: str, body: bytes):
+        registry = getattr(self.session, "metrics", None)
+        if registry is None:
+            return 404, schema.error_message(
+                SchemaError("this session exposes no metrics registry")
+            )
+        # Under the lock: callbacks read live engine state (and, for the
+        # distributed executor, round-trip to the shard workers), which
+        # must not interleave with a curator round.
+        async with self._lock:
+            text = registry.render()
+        return 200, _Plain(text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+
+    async def _healthz(self, query: str, body: bytes):
+        # Liveness: the event loop answered. True even while draining —
+        # a draining server is shutting down cleanly, not wedged.
+        return 200, _Plain(b"ok\n")
+
+    async def _readyz(self, query: str, body: bytes):
+        if self._ready and not self._draining and not self._shutdown.is_set():
+            return 200, _Plain(b"ready\n")
+        return 503, _Plain(b"draining\n" if self._draining else b"not ready\n")
+
     async def _batch(self, query: str, body: bytes):
+        if self._draining:
+            return 503, schema.error_message(
+                ReproError("server is draining; not accepting new batches")
+            )
         if schema.is_frame(body):
             # The pipelined fast path: a body may concatenate several
             # frames; all are submitted under ONE lock acquisition and one
@@ -371,16 +494,28 @@ class HttpIngress:
         return 200, schema.message("ack", t=-1, n=0, n_rounds_processed=0)
 
 
-def serve_http(session, host: str = "127.0.0.1", port: int = 0, on_ready=None):
+def serve_http(
+    session,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    on_ready=None,
+    handle_signals: bool = True,
+):
     """Run an ingress for ``session`` until a client posts ``/v1/shutdown``.
 
     ``on_ready(ingress)`` fires once the socket is bound — the CLI prints
     the listening address from it, and tests grab the ephemeral port.
+    With ``handle_signals`` (the default, effective only on a main-thread
+    unix loop) SIGTERM/SIGINT drain gracefully instead of killing the
+    process: in-flight rounds finish, the assembler flushes and the final
+    checkpoint is written before the server stops.
     Returns the :class:`HttpIngress` (its session holds the final state).
     """
 
     async def _run() -> HttpIngress:
-        ingress = HttpIngress(session, host=host, port=port)
+        ingress = HttpIngress(
+            session, host=host, port=port, handle_signals=handle_signals
+        )
         await ingress.start()
         if on_ready is not None:
             on_ready(ingress)

@@ -34,6 +34,7 @@ over the wire, so remote and in-process callers are interchangeable.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Optional, Protocol, runtime_checkable
 
@@ -43,6 +44,7 @@ from repro.api.specs import ServiceSpec, SessionSpec
 from repro.core.online import OnlineRetraSyn, TimestepResult
 from repro.core.sharded import ShardedOnlineRetraSyn
 from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry
 
 
 @runtime_checkable
@@ -81,6 +83,77 @@ class _SessionBase:
         )
         self._closed = False
         self._since_checkpoint = 0
+        # The registry lives here, never on the curator: curator
+        # checkpoint_state() pickles __dict__ and metrics must not leak
+        # into checkpoints. Most series are callbacks over state the
+        # engines already keep, so the hot path pays only one histogram
+        # observation per round.
+        self.metrics = MetricsRegistry()
+        self._register_curator_metrics()
+
+    def _register_curator_metrics(self) -> None:
+        m, c = self.metrics, self.curator
+        self._round_hist = m.histogram(
+            "retrasyn_round_seconds",
+            "End-to-end latency of one collection-update-synthesis round.",
+        )
+        m.counter(
+            "retrasyn_rounds_total", "Closed timestamps processed."
+        ).set_function(lambda: len(c.reporters_per_timestamp))
+        m.gauge(
+            "retrasyn_live_streams", "Live synthetic trajectory streams."
+        ).set_function(lambda: int(c.synthesizer.n_live))
+        m.gauge(
+            "retrasyn_store_rows",
+            "Total rows (live + retired) in the columnar trajectory store.",
+        ).set_function(
+            lambda: int(getattr(getattr(c, "synthesizer", None), "store").n_total)
+            if getattr(getattr(c, "synthesizer", None), "store", None) is not None
+            else 0
+        )
+        phases = m.counter(
+            "retrasyn_phase_seconds_total",
+            "Cumulative seconds spent per pipeline phase.",
+            labelnames=("phase",),
+        )
+        for phase in getattr(c, "timings", {}):
+            phases.labels(phase).set_function(
+                lambda p=phase: float(getattr(c, "timings", {}).get(p, 0.0))
+            )
+        m.counter(
+            "retrasyn_privacy_spend_events_total",
+            "Per-user budget spends recorded by the privacy ledger(s).",
+        ).set_function(
+            lambda: int(getattr(c.accountant, "n_spend_events", 0))
+            if c.accountant is not None else 0
+        )
+        m.counter(
+            "retrasyn_privacy_refusals_total",
+            "Spends refused (strict) or flagged for breaching the w-event "
+            "window bound.",
+        ).set_function(
+            lambda: int(getattr(c.accountant, "n_refusals", 0))
+            if c.accountant is not None else 0
+        )
+        m.gauge(
+            "retrasyn_privacy_max_window_spend",
+            "Largest any-user any-window budget spend observed so far.",
+        ).set_function(
+            lambda: float(c.accountant.max_window_spend())
+            if c.accountant is not None else 0.0
+        )
+        pool = getattr(c, "_pool", None)
+        if pool is not None and hasattr(pool, "shard_round_seconds"):
+            shard_gauge = m.gauge(
+                "retrasyn_shard_round_seconds",
+                "Wall-clock seconds of each distributed shard's last "
+                "collection round.",
+                labelnames=("shard",),
+            )
+            for k in range(len(pool)):
+                shard_gauge.labels(str(k)).set_function(
+                    lambda k=k: float(pool.shard_round_seconds.get(k, 0.0))
+                )
 
     # -- shared protocol surface --------------------------------------- #
     def snapshot(self) -> np.ndarray:
@@ -124,22 +197,33 @@ class _SessionBase:
                 "checkpoint() needs a path: pass one or set "
                 "ServiceSpec.checkpoint_path"
             )
-        save_checkpoint(self.curator, path, spec=self.spec)
+        save_checkpoint(
+            self.curator,
+            path,
+            spec=self.spec,
+            keep=self.spec.service.checkpoint_keep,
+        )
 
-    def close(self) -> None:
-        """End of stream: final checkpoint, then release engine resources."""
+    def close(self, *, flush_partial: bool = True) -> None:
+        """End of stream: final checkpoint, then release engine resources.
+
+        ``flush_partial=False`` is the graceful-drain flavour: only
+        watermark-complete timestamps are processed, so the final
+        checkpoint lands on a timestamp boundary and a resumed replay of
+        the unprocessed tail is bit-identical to an uninterrupted run.
+        """
         if self._closed:
             return
         self._closed = True
-        self._drain_on_close()
+        self._drain_on_close(flush_partial)
         if self.spec.service.checkpoint_path is not None:
             self.checkpoint()
         closer = getattr(self.curator, "close", None)
         if closer is not None:
             closer()
 
-    def _drain_on_close(self) -> None:  # overridden by IngestSession
-        pass
+    def _drain_on_close(self, flush_partial: bool = True) -> None:
+        pass  # overridden by IngestSession
 
     def _after_timestep(self) -> None:
         """Periodic checkpointing shared by both session flavours."""
@@ -171,10 +255,11 @@ class DirectSession(_SessionBase):
         super().__init__(curator, spec)
         self._staged: list[tuple] = []
 
-    def _drain_on_close(self) -> None:
+    def _drain_on_close(self, flush_partial: bool = True) -> None:
         # close() means end of stream for every transport: whatever was
         # submitted but not yet advanced is processed, exactly as the
-        # ingest session flushes its assembler.
+        # ingest session flushes its assembler.  There is no watermark
+        # here — every staged batch is complete — so drain processes too.
         self.advance()
 
     def submit_batch(
@@ -191,6 +276,7 @@ class DirectSession(_SessionBase):
         results = []
         staged, self._staged = self._staged, []
         for t, participants, entered, quitted, n_active in staged:
+            tic = time.perf_counter()
             results.append(
                 self.curator.process_timestep(
                     t,
@@ -200,6 +286,7 @@ class DirectSession(_SessionBase):
                     n_real_active=n_active,
                 )
             )
+            self._round_hist.observe(time.perf_counter() - tic)
             self._after_timestep()
         return results
 
@@ -233,6 +320,50 @@ class IngestSession(_SessionBase):
             consumers=self.spec.service.ingest_consumers,
         )
         self.ingest_stats = IngestStats()
+        self._register_ingest_metrics()
+
+    def _register_ingest_metrics(self) -> None:
+        m, s, asm = self.metrics, self.ingest_stats, self.assembler
+        m.counter(
+            "retrasyn_ingest_submitted_total",
+            "Reports accepted into the watermark assembler.",
+        ).set_function(lambda: s.n_submitted)
+        m.counter(
+            "retrasyn_ingest_processed_total",
+            "Reports whose timestamp closed and reached the curator.",
+        ).set_function(lambda: s.n_reports_processed)
+        m.counter(
+            "retrasyn_ingest_late_dropped_total",
+            "Reports dropped for arriving beyond the lateness bound.",
+        ).set_function(lambda: int(asm.n_late_dropped))
+        m.counter(
+            "retrasyn_ingest_backpressure_waits_total",
+            "Producer waits on the bounded ingestion queue.",
+        ).set_function(lambda: s.backpressure_waits)
+        m.counter(
+            "retrasyn_checkpoints_written_total",
+            "Checkpoints written (periodic and final).",
+        ).set_function(lambda: s.checkpoints_written)
+        m.gauge(
+            "retrasyn_ingest_backlog",
+            "Reports buffered awaiting their timestamp's close.",
+        ).set_function(lambda: int(asm.backlog))
+        m.gauge(
+            "retrasyn_ingest_backlog_high_water",
+            "Largest backlog observed since the session started.",
+        ).set_function(lambda: int(asm.backlog_high_water))
+        m.gauge(
+            "retrasyn_ingest_watermark",
+            "Largest timestamp currently safe to close.",
+        ).set_function(lambda: int(asm.watermark))
+        m.gauge(
+            "retrasyn_ingest_watermark_lag",
+            "Timestamps seen in the stream but not yet closed.",
+        ).set_function(lambda: int(asm.watermark_lag))
+        m.gauge(
+            "retrasyn_ingest_next_t",
+            "Next timestamp the assembler will close.",
+        ).set_function(lambda: int(asm.next_t))
 
     # -- feeding -------------------------------------------------------- #
     def submit_report(self, report) -> None:
@@ -264,6 +395,7 @@ class IngestSession(_SessionBase):
         return results
 
     def _process(self, closed) -> TimestepResult:
+        tic = time.perf_counter()
         result = self.curator.process_timestep(
             closed.t,
             participants=closed.batch,
@@ -271,13 +403,19 @@ class IngestSession(_SessionBase):
             quitted=closed.quitted,
             n_real_active=closed.n_active,
         )
+        self._round_hist.observe(time.perf_counter() - tic)
         self.ingest_stats.n_timestamps += 1
         self.ingest_stats.n_reports_processed += len(closed.batch)
         self._after_timestep()
         return result
 
-    def _drain_on_close(self) -> None:
-        for closed in self.assembler.flush():
+    def _drain_on_close(self, flush_partial: bool = True) -> None:
+        ready = (
+            self.assembler.flush()
+            if flush_partial
+            else self.assembler.pop_ready()
+        )
+        for closed in ready:
             self._process(closed)
         self.ingest_stats.n_late_dropped = self.assembler.n_late_dropped
 

@@ -64,6 +64,27 @@ def _cli(flag: str, help: str, *, type=None, choices=None, store_true=False):
     }
 
 
+def _require_int(name: str, value) -> None:
+    """Reject non-integers *before* any ``<`` comparison.
+
+    Callers like ``ServeSettings`` carry ``Optional[int]`` mirrors of the
+    service fields; without this, a leaked ``None`` would surface as a
+    bare ``TypeError`` from the range check instead of a typed
+    :class:`ConfigurationError`.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"{name} must be an integer, got {value!r}"
+        )
+
+
+def _require_number(name: str, value) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{name} must be a number, got {value!r}"
+        )
+
+
 @dataclass(frozen=True)
 class PrivacySpec:
     """The privacy contract: what is protected, and how it is spent."""
@@ -240,8 +261,18 @@ class ShardingSpec:
             choices=SYNTHESIS_EXECUTORS,
         ),
     )
+    shard_round_timeout: float = field(
+        default=60.0,
+        metadata=_cli(
+            "--shard-round-timeout",
+            "seconds a distributed shard round-trip may take before the "
+            "worker is declared hung (0 = wait forever)",
+            type=float,
+        ),
+    )
 
     def __post_init__(self) -> None:
+        _require_number("shard_round_timeout", self.shard_round_timeout)
         if self.n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {self.n_shards}")
         if self.shard_executor not in SHARD_EXECUTORS:
@@ -257,6 +288,11 @@ class ShardingSpec:
             raise ConfigurationError(
                 f"synthesis_executor must be one of {SYNTHESIS_EXECUTORS}, "
                 f"got {self.synthesis_executor!r}"
+            )
+        if self.shard_round_timeout < 0:
+            raise ConfigurationError(
+                f"shard_round_timeout must be >= 0, "
+                f"got {self.shard_round_timeout}"
             )
 
 
@@ -295,6 +331,24 @@ class ServiceSpec:
             type=int,
         ),
     )
+    checkpoint_keep: int = field(
+        default=1,
+        metadata=_cli(
+            "--checkpoint-keep",
+            "rotated checkpoint generations to retain; >1 keeps timestamped "
+            "files and resume falls back past a torn newest one",
+            type=int,
+        ),
+    )
+    drain_deadline: float = field(
+        default=30.0,
+        metadata=_cli(
+            "--drain-deadline",
+            "seconds SIGTERM/SIGINT drain may spend flushing in-flight "
+            "rounds and the final checkpoint (0 = no deadline)",
+            type=float,
+        ),
+    )
     ingest_consumers: int = field(
         default=1,
         metadata=_cli(
@@ -312,6 +366,12 @@ class ServiceSpec:
             raise ConfigurationError(
                 f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
             )
+        for name in (
+            "queue_size", "max_lateness", "checkpoint_every",
+            "checkpoint_keep", "ingest_consumers", "http_port",
+        ):
+            _require_int(name, getattr(self, name))
+        _require_number("drain_deadline", self.drain_deadline)
         if self.queue_size < 1:
             raise ConfigurationError(
                 f"queue_size must be >= 1, got {self.queue_size}"
@@ -323,6 +383,14 @@ class ServiceSpec:
         if self.checkpoint_every < 0:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_keep < 1:
+            raise ConfigurationError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep}"
+            )
+        if self.drain_deadline < 0:
+            raise ConfigurationError(
+                f"drain_deadline must be >= 0, got {self.drain_deadline}"
             )
         if self.ingest_consumers < 1:
             raise ConfigurationError(

@@ -345,11 +345,11 @@ def _serve_http(args, data, spec) -> int:
     writes the synthetic output.
     """
     import dataclasses
-    from pathlib import Path
 
     from repro.api import schema
     from repro.api.http import serve_http
     from repro.api.session import create_session, load_session
+    from repro.core.persistence import checkpoint_exists
     from repro.geo.trajectory import average_length
 
     spec = dataclasses.replace(
@@ -362,7 +362,7 @@ def _serve_http(args, data, spec) -> int:
     if args.resume:
         if not spec.service.checkpoint_path:
             raise ValueError("--resume requires --checkpoint")
-        if not Path(spec.service.checkpoint_path).exists():
+        if not checkpoint_exists(spec.service.checkpoint_path):
             raise FileNotFoundError(
                 f"no checkpoint to resume from: {spec.service.checkpoint_path}"
             )

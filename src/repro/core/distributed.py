@@ -63,6 +63,7 @@ import multiprocessing as mp
 import pickle
 import socket
 import struct
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -183,6 +184,7 @@ class _ShardService:
         rate = msg.get("rate")
         rate = None if rate is None else float(rate)
         eps = float(msg["eps"])
+        tic = time.perf_counter()
         ones, uids, user_seconds, support = self.shard.round_batch(
             t, batch, entered, quitted, rate, eps
         )
@@ -194,6 +196,9 @@ class _ShardService:
             "t": t,
             "n": int(uids.size),
             "user_seconds": float(user_seconds),
+            # Wall-clock of the shard's whole round (selection, oracle,
+            # ledger spend) — scraped as the per-shard /metrics gauge.
+            "round_seconds": float(time.perf_counter() - tic),
             "has_support": support is not None,
             "ones": np.asarray(ones, dtype=np.float64),
             "user_ids": np.asarray(uids, dtype=np.int64),
@@ -233,6 +238,13 @@ class _ShardService:
                 "max_window_spend": float(s["max_window_spend"]),
                 "n_violations": int(s["n_violations"]),
                 "satisfied": bool(s["satisfied"]),
+                # Operational counters ride alongside the audit summary so
+                # the merged view can expose spend/refusal totals without
+                # changing the pinned summary() keys.
+                "n_spend_events": int(
+                    getattr(self.accountant, "n_spend_events", 0)
+                ),
+                "n_refusals": int(getattr(self.accountant, "n_refusals", 0)),
             }
             violations = [
                 [int(uid), int(t), float(total)]
@@ -280,10 +292,26 @@ class ShardSocketPool:
     move as raw little-endian buffers, never as pickles.
     """
 
-    def __init__(self, grid: Grid, config, seeds: Sequence[int]) -> None:
+    def __init__(
+        self,
+        grid: Grid,
+        config,
+        seeds: Sequence[int],
+        round_timeout: Optional[float] = None,
+    ) -> None:
+        if round_timeout is None:
+            round_timeout = float(
+                getattr(config, "shard_round_timeout", 60.0) or 0.0
+            )
+        # 0 = wait forever (socket timeout None); otherwise every blocking
+        # send/recv on a worker channel has a deadline, so a hung (stopped,
+        # not dead) worker surfaces as a typed error instead of a freeze.
+        self._round_timeout = round_timeout if round_timeout > 0 else None
         ctx = mp.get_context()
         self._procs: list = []
         self._socks: list[socket.socket] = []
+        #: Last advance's per-shard wall-clock seconds (metrics surface).
+        self.shard_round_seconds: dict[int, float] = {}
         for seed in seeds:
             parent_sock, child_sock = socket.socketpair()
             proc = ctx.Process(
@@ -293,6 +321,7 @@ class ShardSocketPool:
             )
             proc.start()
             child_sock.close()
+            parent_sock.settimeout(self._round_timeout)
             self._socks.append(parent_sock)
             self._procs.append(proc)
 
@@ -315,15 +344,27 @@ class ShardSocketPool:
             f"(exitcode {code})"
         )
 
+    def _hung(self, k: int, op: str) -> ShardWorkerError:
+        return ShardWorkerError(
+            f"collection shard {k} worker did not answer {op!r} within "
+            f"{self._round_timeout}s (process alive but unresponsive)"
+        )
+
     def _send(self, k: int, msg: dict, op: str) -> None:
         try:
             send_frame(self._socks[k], msg)
+        except socket.timeout as exc:
+            # Must precede OSError: socket.timeout is an OSError subclass,
+            # and a stopped worker is a different diagnosis from a dead one.
+            raise self._hung(k, op) from exc
         except OSError as exc:
             raise self._dead(k, op) from exc
 
     def _recv(self, k: int, op: str, expect: str) -> dict:
         try:
             msg = recv_frame(self._socks[k])
+        except socket.timeout as exc:
+            raise self._hung(k, op) from exc
         except (OSError, schema.SchemaError) as exc:
             raise self._dead(k, op) from exc
         if msg is None:
@@ -416,6 +457,7 @@ class ShardSocketPool:
         outs = []
         for k in range(len(self._socks)):
             rep = self._recv(k, "advance", expect="shard-merge")
+            self.shard_round_seconds[k] = float(rep.get("round_seconds", 0.0))
             support = (
                 np.asarray(rep["support"], dtype=bool).copy()
                 if rep.get("has_support")
@@ -570,6 +612,24 @@ class DistributedAccountantView:
 
     def max_window_spend(self) -> float:
         return self.summary()["max_window_spend"]
+
+    # Operational counters (the /metrics surface; not part of summary(),
+    # whose key set is pinned equal across engines by the audit tests).
+    def _counter(self, key: str) -> int:
+        return int(
+            sum(
+                (e.get("summary") or {}).get(key, 0)
+                for e in self._shard_stats()
+            )
+        )
+
+    @property
+    def n_spend_events(self) -> int:
+        return self._counter("n_spend_events")
+
+    @property
+    def n_refusals(self) -> int:
+        return self._counter("n_refusals")
 
     @property
     def n_users(self) -> int:

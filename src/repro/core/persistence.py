@@ -126,7 +126,40 @@ def config_from_dict(data: dict) -> RetraSynConfig:
     return RetraSynConfig(**data)
 
 
-def save_checkpoint(curator, path: Union[str, Path], spec=None) -> None:
+def _generation_files(path: Path) -> list[Path]:
+    """Rotated generation files for ``path``, newest first.
+
+    Generations are named ``<name>.g<stamp>`` next to the base path; the
+    stamp is a zero-padded nanosecond timestamp, so lexicographic order
+    is chronological order.
+    """
+    prefix = path.name + ".g"
+    found = [
+        p for p in path.parent.glob(prefix + "*")
+        if p.name[len(prefix):].isdigit()
+    ]
+    return sorted(found, reverse=True)
+
+
+def checkpoint_candidates(path: Union[str, Path]) -> list[Path]:
+    """Existing checkpoint files for ``path``, newest first.
+
+    Rotated generations come first (newest stamp leading); the bare path
+    itself — the non-rotated layout, ``checkpoint_keep=1`` — is last.
+    """
+    path = Path(path)
+    candidates = _generation_files(path)
+    if path.exists():
+        candidates.append(path)
+    return candidates
+
+
+def checkpoint_exists(path: Union[str, Path]) -> bool:
+    """True if any checkpoint file (rotated or not) exists for ``path``."""
+    return bool(checkpoint_candidates(path))
+
+
+def save_checkpoint(curator, path: Union[str, Path], spec=None, keep: int = 1) -> None:
     """Freeze a running curator (online or sharded) to ``path``.
 
     Captures everything :meth:`~repro.core.online.OnlineRetraSyn
@@ -138,7 +171,16 @@ def save_checkpoint(curator, path: Union[str, Path], spec=None) -> None:
     ``spec`` is the session's :class:`~repro.api.specs.SessionSpec`; when
     omitted it is lifted from the curator's flat config (losing only the
     service layer, which defaults).
+
+    ``keep`` enables rotation: with ``keep > 1`` each save writes a new
+    timestamped generation (``<path>.g<stamp>``) and prunes the oldest
+    beyond ``keep``, so a checkpoint torn by a crash mid-write — or
+    corrupted afterwards — still leaves the previous generation for
+    :func:`load_checkpoint` to fall back to.  Every write remains atomic
+    (tmp file + rename) in both layouts.
     """
+    import time
+
     from repro.core.sharded import ShardedOnlineRetraSyn
 
     payload = {
@@ -152,19 +194,42 @@ def save_checkpoint(curator, path: Union[str, Path], spec=None) -> None:
         "lam": curator.lam,
         "state": curator.checkpoint_state(),
     }
-    tmp = Path(str(path) + ".tmp")
+    path = Path(path)
+    if keep <= 1:
+        target = path
+    else:
+        existing = _generation_files(path)
+        stamp = time.time_ns()
+        if existing:
+            # Guarantee strictly increasing stamps even on coarse clocks.
+            prev = int(existing[0].name[len(path.name) + 2:])
+            stamp = max(stamp, prev + 1)
+        target = path.with_name(f"{path.name}.g{stamp:020d}")
+    tmp = Path(str(target) + ".tmp")
     with open(tmp, "wb") as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    tmp.replace(Path(path))  # atomic: a crash mid-write never corrupts
+    tmp.replace(target)  # atomic: a crash mid-write never corrupts
+    if keep > 1:
+        for stale in _generation_files(path)[keep:]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
 
 
 def _read_checkpoint_payload(path: Union[str, Path]) -> dict:
-    """Load and version-check a checkpoint payload (v2 migrates, warns)."""
+    """Load and version-check one checkpoint file (v2 migrates, warns).
+
+    Callers resolving a rotated set use :func:`_read_newest_valid` — this
+    reads exactly the file it is given.
+    """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"checkpoint file not found: {path}")
     with open(path, "rb") as fh:
         payload = pickle.load(fh)
+    if not isinstance(payload, dict):
+        raise DatasetError(f"checkpoint {path} does not contain a payload dict")
     version = int(payload.get("version", -1))
     if version in _MIGRATABLE_CHECKPOINT_VERSIONS:
         warnings.warn(
@@ -184,6 +249,36 @@ def _read_checkpoint_payload(path: Union[str, Path]) -> dict:
             f"(expected {_CHECKPOINT_FORMAT_VERSION})"
         )
     return payload
+
+
+def _read_newest_valid(path: Union[str, Path]) -> dict:
+    """Payload of the newest *readable* checkpoint for ``path``.
+
+    Walks the rotated generations newest-first (then the bare path), so a
+    torn or corrupted newest file — the crash-mid-rotation case — falls
+    back to the previous generation with a warning instead of failing the
+    resume outright.
+    """
+    candidates = checkpoint_candidates(path)
+    if not candidates:
+        raise DatasetError(f"checkpoint file not found: {path}")
+    failures = []
+    for candidate in candidates:
+        try:
+            return _read_checkpoint_payload(candidate)
+        except Exception as exc:  # torn write, truncation, bad version...
+            failures.append(f"{candidate.name}: {exc}")
+            if len(candidates) > 1:
+                warnings.warn(
+                    f"skipping unreadable checkpoint {candidate} ({exc}); "
+                    f"falling back to an older generation",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+    raise DatasetError(
+        f"no valid checkpoint for {path}; tried {len(candidates)} file(s): "
+        + "; ".join(failures)
+    )
 
 
 def load_checkpoint(path: Union[str, Path]):
@@ -211,7 +306,7 @@ def load_checkpoint_with_spec(path: Union[str, Path]):
     from repro.core.online import OnlineRetraSyn
     from repro.core.sharded import ShardedOnlineRetraSyn
 
-    payload = _read_checkpoint_payload(path)
+    payload = _read_newest_valid(path)
     cls = ShardedOnlineRetraSyn if payload["kind"] == "sharded" else OnlineRetraSyn
     curator = cls(payload["grid"], payload["config"], lam=payload["lam"])
     curator.restore_state(payload["state"])
@@ -224,7 +319,7 @@ def peek_checkpoint_spec(path: Union[str, Path]):
     Returns ``None`` for migrated v2 checkpoints (which predate specs);
     callers fall back to lifting the flat config of the loaded curator.
     """
-    return _read_checkpoint_payload(path)["spec"]
+    return _read_newest_valid(path)["spec"]
 
 
 def save_config(config: RetraSynConfig, path: Union[str, Path]) -> None:

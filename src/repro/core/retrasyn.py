@@ -70,6 +70,7 @@ class RetraSynConfig:
     synthesis_executor: str = "thread"  # "thread" | "process" slab execution
     n_shards: int = 1  # >1 routes collection through ShardedOnlineRetraSyn
     shard_executor: str = "serial"  # "serial" | "process" | "distributed"
+    shard_round_timeout: float = 60.0  # distributed recv deadline (0 = none)
     dmu_prefilter: bool = False  # shard-local never-observed DMU prefilter
     track_privacy: bool = True
     accountant_mode: str = "columnar"  # "columnar" ledger | "object" reference

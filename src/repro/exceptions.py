@@ -37,6 +37,18 @@ class SynthesisError(ReproError):
     """The synthesizer reached an unrecoverable state."""
 
 
+class ResponseLostError(ReproError):
+    """A request was sent but the connection died before the response.
+
+    Raised by :class:`repro.api.client.Client` when the server may have
+    already applied a non-idempotent request (e.g. ``POST /v1/batch``)
+    but the response was lost. Retrying automatically could double-apply
+    reports, so the client surfaces the ambiguity instead; the caller
+    must reconcile (e.g. compare ``/v1/stats`` counters) before
+    resubmitting.
+    """
+
+
 class ShardWorkerError(ReproError):
     """A shard worker process died or broke protocol mid-round.
 

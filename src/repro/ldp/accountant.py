@@ -131,6 +131,11 @@ class PrivacyAccountant:
         self.strict = bool(strict)
         self._spends: Dict[int, list[SpendRecord]] = defaultdict(list)
         self._violations: list[tuple[int, int, float]] = []
+        # Operational counters (scraped by /metrics, never part of the
+        # audit summary): spends actually recorded, and spends refused or
+        # flagged for breaching the window bound.
+        self.n_spend_events = 0
+        self.n_refusals = 0
 
     # ------------------------------------------------------------------ #
     # recording
@@ -146,6 +151,7 @@ class PrivacyAccountant:
         timestamp = int(timestamp)
         window_total = self.window_spend(user_id, timestamp) + epsilon
         if window_total > self.epsilon + _EPS_TOL:
+            self.n_refusals += 1
             if self.strict:
                 # The spend is refused outright, so no violation is recorded:
                 # the ledger still describes only what actually happened.
@@ -155,6 +161,7 @@ class PrivacyAccountant:
                 )
             self._violations.append((user_id, timestamp, window_total))
         self._spends[user_id].append(SpendRecord(timestamp, epsilon))
+        self.n_spend_events += 1
 
     def spend_many(self, user_ids: Iterable[int], timestamp: int, epsilon: float) -> None:
         """Record an identical spend for a batch of users.
@@ -286,6 +293,10 @@ class ColumnarPrivacyAccountant:
         self._max_window = 0.0
         self._frontier: Optional[int] = None
         self._violations: list[tuple[int, int, float]] = []
+        # Operational counters (scraped by /metrics, never part of the
+        # audit summary); counted identically to the object ledger's loop.
+        self.n_spend_events = 0
+        self.n_refusals = 0
 
     # ------------------------------------------------------------------ #
     # recording
@@ -331,11 +342,14 @@ class ColumnarPrivacyAccountant:
                 # ledger records them one by one before raising); keep them.
                 offender = int(np.argmax(over))
                 n_record = offender
+                self.n_refusals += 1
             else:
+                self.n_refusals += int(over.sum())
                 for i in np.flatnonzero(over).tolist():
                     self._violations.append(
                         (int(ids[i]), timestamp, float(totals[i]))
                     )
+        self.n_spend_events += int(n_record)
         if n_record:
             # The sorted unique set only describes the full batch; a strict
             # refusal truncates it, so _record falls back to its own sort.

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.api.specs import ServiceSpec
 from repro.core.online import OnlineRetraSyn
-from repro.core.persistence import load_checkpoint
+from repro.core.persistence import checkpoint_exists, load_checkpoint
 from repro.core.retrasyn import RetraSynConfig, SynthesisRun
 from repro.core.sharded import ShardedOnlineRetraSyn
 from repro.geo.trajectory import average_length
@@ -44,6 +44,8 @@ _MIRRORED_SERVICE_FIELDS = (
     "max_lateness",
     "checkpoint_path",
     "checkpoint_every",
+    "checkpoint_keep",
+    "drain_deadline",
     "ingest_consumers",
 )
 
@@ -68,6 +70,8 @@ class ServeSettings:
     shuffle_seed: int = 0
     checkpoint_path: Optional[str] = None
     checkpoint_every: Optional[int] = None  # mid-run cadence (0 = only at end)
+    checkpoint_keep: Optional[int] = None  # rotated generations to retain
+    drain_deadline: Optional[float] = None  # SIGTERM drain bound (seconds)
     ingest_consumers: Optional[int] = None  # assembler partitions (>=1)
     resume: bool = False  # load checkpoint_path and continue from it
 
@@ -135,7 +139,7 @@ def serve_dataset(data: StreamDataset, settings: ServeSettings) -> ServeOutcome:
     if settings.resume:
         if not settings.checkpoint_path:
             raise ValueError("resume requires a checkpoint_path")
-        if not Path(settings.checkpoint_path).exists():
+        if not checkpoint_exists(settings.checkpoint_path):
             raise FileNotFoundError(
                 f"no checkpoint to resume from: {settings.checkpoint_path}"
             )
@@ -164,6 +168,7 @@ def serve_dataset(data: StreamDataset, settings: ServeSettings) -> ServeOutcome:
             max_lateness=settings.max_lateness,
             checkpoint_path=settings.checkpoint_path,
             checkpoint_every=settings.checkpoint_every,
+            checkpoint_keep=settings.checkpoint_keep,
             ingest_consumers=settings.ingest_consumers,
         )
     finally:

@@ -44,6 +44,7 @@ resumed service keeps enforcing the same w-event ledger.
 from __future__ import annotations
 
 import asyncio
+import signal
 from dataclasses import dataclass
 from typing import AsyncIterator, Iterable, Iterator, Optional, Union
 
@@ -213,6 +214,16 @@ class TimestampAssembler:
     @property
     def next_t(self) -> int:
         return self._next_t
+
+    @property
+    def watermark_lag(self) -> int:
+        """Timestamps seen in the stream but not yet closed.
+
+        Zero when fully caught up; under steady traffic it hovers around
+        ``max_lateness + 1`` (the window the watermark holds open), and a
+        growing value means closing has fallen behind arrival.
+        """
+        return max(0, self._max_seen - self._next_t + 1)
 
     def pop_ready(self) -> list[ClosedTimestamp]:
         """Close every timestamp at or below the watermark, in order.
@@ -485,6 +496,7 @@ class IngestionService:
         max_lateness: int = 0,
         checkpoint_path=None,
         checkpoint_every: int = 0,
+        checkpoint_keep: int = 1,
         ingest_consumers: int = 1,
     ) -> None:
         from repro.api.session import IngestSession
@@ -507,11 +519,13 @@ class IngestionService:
                         None if checkpoint_path is None else str(checkpoint_path)
                     ),
                     checkpoint_every=checkpoint_every,
+                    checkpoint_keep=checkpoint_keep,
                     ingest_consumers=ingest_consumers,
                 ),
             ),
         )
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self._draining = False
 
     @property
     def assembler(self) -> TimestampAssembler:
@@ -535,6 +549,17 @@ class IngestionService:
         """Signal end-of-stream; ``run`` flushes and returns."""
         await self.queue.put(self._SENTINEL)
 
+    def begin_drain(self) -> None:
+        """Mark the service draining (SIGTERM path).
+
+        A drained shutdown closes only watermark-complete timestamps:
+        the trailing timestamps whose reports were still arriving stay
+        unprocessed, so the final checkpoint lands on a timestamp
+        boundary and a resumed replay (which re-reads those reports from
+        the source) is bit-identical to an uninterrupted run.
+        """
+        self._draining = True
+
     # ------------------------------------------------------------------ #
     # consumer side
     # ------------------------------------------------------------------ #
@@ -543,7 +568,7 @@ class IngestionService:
         while True:
             report = await self.queue.get()
             if report is self._SENTINEL:
-                self.session.close()
+                self.session.close(flush_partial=not self._draining)
                 return self.stats
             self.session.assembler.add(report)
             if self.session.advance():
@@ -555,13 +580,38 @@ class IngestionService:
 async def _drive(
     service: IngestionService,
     reports: Union[Iterable[UserReport], AsyncIterator[UserReport]],
+    handle_signals: bool = True,
 ) -> IngestStats:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed: list[signal.Signals] = []
+
+    def _on_signal() -> None:
+        # Graceful drain: the producer stops feeding, the consumer closes
+        # watermark-complete rounds only and writes the final checkpoint.
+        service.begin_drain()
+        stop.set()
+
+    if handle_signals:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            # add_signal_handler is main-thread / Unix only; callers
+            # driving from worker threads simply get no drain hook.
+            try:
+                loop.add_signal_handler(sig, _on_signal)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue
+            installed.append(sig)
+
     async def _produce() -> None:
         if hasattr(reports, "__aiter__"):
             async for report in reports:  # pragma: no cover - async sources
+                if stop.is_set():
+                    break
                 await service.submit(report)
         else:
             for report in reports:
+                if stop.is_set():
+                    break
                 await service.submit(report)
         await service.stop()
 
@@ -574,6 +624,8 @@ async def _drive(
             {consumer, producer}, return_when=asyncio.FIRST_EXCEPTION
         )
         for task in done:
+            if task.cancelled():
+                continue
             exc = task.exception()
             if exc is not None:
                 raise exc
@@ -582,6 +634,8 @@ async def _drive(
         for task in (consumer, producer):
             if not task.done():
                 task.cancel()
+        for sig in installed:
+            loop.remove_signal_handler(sig)
 
 
 def ingest_events(
@@ -591,6 +645,7 @@ def ingest_events(
     max_lateness: int = 0,
     checkpoint_path=None,
     checkpoint_every: int = 0,
+    checkpoint_keep: int = 1,
     ingest_consumers: int = 1,
 ) -> IngestStats:
     """Synchronously run the full ingestion loop over ``reports``.
@@ -599,6 +654,10 @@ def ingest_events(
     bounded queue, flushes, and returns the stats.  This is the CLI and
     test entry point; long-running deployments hold the service object and
     call ``submit`` from their own event loop instead.
+
+    SIGTERM/SIGINT trigger a graceful drain (when running on the main
+    thread): feeding stops, watermark-complete timestamps finish, and a
+    final checkpoint is written before returning normally.
     """
     service = IngestionService(
         curator,
@@ -606,6 +665,7 @@ def ingest_events(
         max_lateness=max_lateness,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        checkpoint_keep=checkpoint_keep,
         ingest_consumers=ingest_consumers,
     )
     return asyncio.run(_drive(service, reports))

@@ -47,10 +47,17 @@ class TestLayerValidation:
             (ShardingSpec, dict(n_shards=0)),
             (ShardingSpec, dict(shard_executor="thread")),
             (ShardingSpec, dict(synthesis_shards=0)),
+            (ShardingSpec, dict(shard_round_timeout=-1.0)),
+            (ShardingSpec, dict(shard_round_timeout="soon")),
             (ServiceSpec, dict(transport="carrier-pigeon")),
             (ServiceSpec, dict(queue_size=0)),
             (ServiceSpec, dict(max_lateness=-1)),
             (ServiceSpec, dict(checkpoint_every=-1)),
+            (ServiceSpec, dict(checkpoint_every=None)),  # None must not leak
+            (ServiceSpec, dict(checkpoint_every=True)),  # bool is not an int
+            (ServiceSpec, dict(checkpoint_keep=0)),
+            (ServiceSpec, dict(checkpoint_keep=None)),
+            (ServiceSpec, dict(drain_deadline=-1.0)),
             (ServiceSpec, dict(ingest_consumers=0)),
             (ServiceSpec, dict(http_port=70000)),
         ],
@@ -171,7 +178,8 @@ class TestCliDerivation:
         assert flags == {
             "--epsilon", "--w", "--allocator", "--accountant-mode",
             "--engine", "--oracle-mode", "--compile-mode",
-            "--shards", "--shard-executor", "--dmu-prefilter",
+            "--shards", "--shard-executor", "--shard-round-timeout",
+            "--dmu-prefilter",
             "--synthesis-shards", "--synthesis-executor",
         }
 
@@ -182,7 +190,7 @@ class TestCliDerivation:
         }
         assert flags == {
             "--queue-size", "--lateness", "--checkpoint", "--checkpoint-every",
-            "--ingest-consumers",
+            "--checkpoint-keep", "--drain-deadline", "--ingest-consumers",
         }
 
     def test_choices_come_from_the_validation_vocabularies(self):

@@ -240,3 +240,100 @@ class TestCheckpointResume:
             pickle.dump({"version": 999}, fh)
         with pytest.raises(DatasetError):
             load_checkpoint(path)
+
+
+class TestCheckpointRotation:
+    """``keep > 1``: timestamped generations, newest-valid fallback."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_random_walks(k=4, n_streams=60, n_timestamps=12, seed=4)
+
+    def _curator_at(self, data, t_stop):
+        cfg = RetraSynConfig(epsilon=1.0, w=5, seed=17)
+        curator = OnlineRetraSyn(data.grid, cfg, lam=5.0)
+        for t in range(t_stop):
+            curator.process_timestep(
+                t,
+                participants=data.participants_at(t),
+                newly_entered=data.newly_entered_at(t),
+                quitted=data.quitted_at(t),
+                n_real_active=data.n_active_at(t),
+            )
+        return curator
+
+    def test_keep_one_writes_the_bare_path(self, data, tmp_path):
+        from repro.core.persistence import checkpoint_candidates
+
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(self._curator_at(data, 3), path, keep=1)
+        assert path.exists()
+        assert checkpoint_candidates(path) == [path]
+
+    def test_generations_rotate_and_prune(self, data, tmp_path):
+        from repro.core.persistence import checkpoint_candidates
+
+        path = tmp_path / "c.ckpt"
+        for t_stop in (2, 4, 6, 8):
+            save_checkpoint(self._curator_at(data, t_stop), path, keep=3)
+        candidates = checkpoint_candidates(path)
+        generations = [p for p in candidates if p.name != path.name]
+        assert len(generations) == 3  # the oldest was pruned
+        # lexicographic order of the zero-padded stamps == chronological
+        assert generations == sorted(generations, reverse=True)
+        assert load_checkpoint(path)._last_t == 7  # newest wins
+
+    def test_corrupt_newest_falls_back_to_previous(self, data, tmp_path):
+        from repro.core.persistence import checkpoint_candidates
+
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(self._curator_at(data, 4), path, keep=3)
+        save_checkpoint(self._curator_at(data, 6), path, keep=3)
+        newest = checkpoint_candidates(path)[0]
+        newest.write_bytes(b"torn write: not a pickle")
+        with pytest.warns(RuntimeWarning, match="skipping unreadable"):
+            resumed = load_checkpoint(path)
+        assert resumed._last_t == 3  # the intact previous generation
+
+    def test_all_generations_corrupt_raises(self, data, tmp_path):
+        from repro.core.persistence import checkpoint_candidates
+
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(self._curator_at(data, 2), path, keep=2)
+        save_checkpoint(self._curator_at(data, 3), path, keep=2)
+        for p in checkpoint_candidates(path):
+            p.write_bytes(b"garbage")
+        with pytest.raises(DatasetError, match="no valid checkpoint"):
+            with pytest.warns(RuntimeWarning):
+                load_checkpoint(path)
+
+    def test_checkpoint_exists_sees_generations_only(self, data, tmp_path):
+        from repro.core.persistence import checkpoint_exists
+
+        path = tmp_path / "c.ckpt"
+        assert not checkpoint_exists(path)
+        save_checkpoint(self._curator_at(data, 2), path, keep=2)
+        assert checkpoint_exists(path)
+        assert not path.exists()  # keep>1 writes generations, no bare file
+
+    def test_resume_from_rotated_checkpoint_is_bitwise(self, data, tmp_path):
+        path = tmp_path / "c.ckpt"
+        half = data.n_timestamps // 2
+        reference = self._curator_at(data, data.n_timestamps)
+        interrupted = self._curator_at(data, half)
+        save_checkpoint(interrupted, path, keep=4)
+        resumed = load_checkpoint(path)
+        for t in range(half, data.n_timestamps):
+            resumed.process_timestep(
+                t,
+                participants=data.participants_at(t),
+                newly_entered=data.newly_entered_at(t),
+                quitted=data.quitted_at(t),
+                n_real_active=data.n_active_at(t),
+            )
+        fp = lambda c: [
+            (tr.start_time, list(tr.cells))
+            for tr in c.synthetic_dataset(data.n_timestamps).trajectories
+        ]
+        assert fp(resumed) == fp(reference)
+        assert resumed.accountant.summary() == reference.accountant.summary()

@@ -323,6 +323,275 @@ class TestServerCrashRecovery:
         assert recovered == reference
 
 
+def _boot_server(
+    dataset_path, *, epsilon=1.0, w=5, seed=3,
+    checkpoint=None, resume=False, extra=(),
+):
+    """Start a ``repro serve --http`` subprocess; (proc, port, resumed_t)."""
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--input", str(dataset_path), "--http", "0",
+        "--epsilon", str(epsilon), "--w", str(w),
+        "--seed", str(seed), "--no-audit",
+    ]
+    if checkpoint is not None:
+        cmd += ["--checkpoint", str(checkpoint), "--checkpoint-every", "1"]
+    if resume:
+        cmd += ["--resume"]
+    cmd += list(extra)
+    repo_src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(repo_src), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True,
+    )
+    port = resumed_t = None
+    seen = []
+    for _ in range(50):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        seen.append(line)
+        m = _RESUME_RE.search(line)
+        if m:
+            resumed_t = int(m.group(1))
+        m = _LISTEN_RE.search(line)
+        if m:
+            port = int(m.group(1))
+            break
+    if port is None:  # pragma: no cover - diagnostic path
+        proc.kill()
+        raise RuntimeError(f"server did not start: {''.join(seen)!r}")
+    return proc, port, resumed_t
+
+
+class TestGracefulDrain:
+    """SIGTERM a loaded ``repro serve --http`` server: it must stop
+    accepting, finish the buffered rounds, write a final checkpoint, exit
+    0 — and a ``--resume`` replay of the remaining rounds must be bitwise
+    identical to a run that was never interrupted."""
+
+    EPSILON, W, SEED = 1.0, 5, 3
+
+    def _workload(self):
+        from repro.bench.load import LoadSpec, seed_dataset, synthetic_rounds
+
+        spec = LoadSpec(
+            n_users=250, horizon=8, k=4,
+            epsilon=self.EPSILON, w=self.W, seed=self.SEED,
+        )
+        return seed_dataset(spec), synthetic_rounds(spec)
+
+    def test_probes_and_metrics_then_sigterm_exits_clean(self, tmp_path):
+        """The CI ops-smoke shape: boot a real server subprocess, scrape
+        /healthz, /readyz and /metrics, SIGTERM it, assert exit 0."""
+        import http.client
+        import signal
+
+        from repro.api.client import Client
+        from repro.datasets.io import save_stream_dataset
+
+        seed_data, rounds = self._workload()
+        dataset_path = tmp_path / "ops_seed.npz"
+        save_stream_dataset(seed_data, dataset_path)
+
+        def get(port, path):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                return response.status, response.read().decode()
+            finally:
+                conn.close()
+
+        proc, port, _ = _boot_server(dataset_path)
+        try:
+            assert get(port, "/healthz") == (200, "ok\n")
+            assert get(port, "/readyz") == (200, "ready\n")
+            client = Client("127.0.0.1", port)
+            client.hello()
+            for t, batch, entered, quitted, n_active in rounds[:4]:
+                client.submit_batch(t, batch, entered, quitted, n_active)
+            status, body = get(port, "/metrics")
+            assert status == 200
+            assert "retrasyn_ingest_backlog" in body
+            assert "retrasyn_round_seconds_count" in body
+            assert "retrasyn_privacy_spend_events_total" in body
+            client.disconnect()
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_sigterm_drains_checkpoints_and_resumes_bitwise(self, tmp_path):
+        import signal
+
+        from repro.api.client import Client
+        from repro.datasets.io import save_stream_dataset
+
+        seed_data, rounds = self._workload()
+        dataset_path = tmp_path / "drain_seed.npz"
+        save_stream_dataset(seed_data, dataset_path)
+
+        def submit(client, some_rounds):
+            for t, batch, entered, quitted, n_active in some_rounds:
+                client.submit_batch(t, batch, entered, quitted, n_active)
+
+        # Uninterrupted reference run.
+        proc, port, _ = _boot_server(dataset_path)
+        try:
+            client = Client("127.0.0.1", port)
+            client.hello()
+            submit(client, rounds)
+            client.close()
+            reference = [
+                (tr.start_time, list(tr.cells))
+                for tr in client.result().trajectories
+            ]
+            client.shutdown_server()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # Load the server with 6 of 8 rounds, then SIGTERM it.
+        ckpt = tmp_path / "drain.ckpt"
+        stop_round = 6
+        proc, port, _ = _boot_server(dataset_path, checkpoint=ckpt)
+        try:
+            client = Client("127.0.0.1", port)
+            client.hello()
+            submit(client, rounds[:stop_round])
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        client.disconnect()
+        assert rc == 0, "drained server must exit cleanly"
+        assert ckpt.exists(), "drain did not write the final checkpoint"
+
+        # Resume: the drain flushed every submitted round, so the server
+        # picks up exactly where the stream stopped.
+        proc, port, resumed_t = _boot_server(
+            dataset_path, checkpoint=ckpt, resume=True
+        )
+        try:
+            assert resumed_t == stop_round
+            client = Client("127.0.0.1", port)
+            client.hello()
+            submit(client, rounds[resumed_t:])
+            client.close()
+            recovered = [
+                (tr.start_time, list(tr.cells))
+                for tr in client.result().trajectories
+            ]
+            client.shutdown_server()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        assert recovered == reference
+
+
+class TestCheckpointRotationRecovery:
+    """``--checkpoint-keep N`` + a torn newest generation: resume falls
+    back to the previous intact generation instead of refusing to start."""
+
+    def test_corrupt_newest_generation_falls_back(self, tmp_path):
+        from repro.api.client import Client
+        from repro.bench.load import LoadSpec, seed_dataset, synthetic_rounds
+        from repro.core.persistence import checkpoint_candidates
+        from repro.datasets.io import save_stream_dataset
+
+        spec = LoadSpec(n_users=150, horizon=6, k=4, epsilon=1.0, w=5, seed=3)
+        seed_data, rounds = seed_dataset(spec), synthetic_rounds(spec)
+        dataset_path = tmp_path / "rot_seed.npz"
+        save_stream_dataset(seed_data, dataset_path)
+
+        ckpt = tmp_path / "rot.ckpt"
+        proc, port, _ = _boot_server(
+            dataset_path, checkpoint=ckpt, extra=["--checkpoint-keep", "3"],
+        )
+        try:
+            client = Client("127.0.0.1", port)
+            client.hello()
+            for t, batch, entered, quitted, n_active in rounds[:5]:
+                client.submit_batch(t, batch, entered, quitted, n_active)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+        client.disconnect()
+
+        generations = checkpoint_candidates(ckpt)
+        generations = [p for p in generations if p.exists()]
+        assert len(generations) >= 2, "rotation kept too few generations"
+        newest = generations[0]
+        newest.write_bytes(b"torn mid-write")
+
+        proc, port, resumed_t = _boot_server(
+            dataset_path, checkpoint=ckpt, resume=True,
+            extra=["--checkpoint-keep", "3"],
+        )
+        try:
+            assert resumed_t is not None, "fallback resume did not happen"
+            # One generation behind the (corrupted) newest checkpoint.
+            assert 0 < resumed_t < 5
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+class TestHungShardWorker:
+    """A SIGSTOPped worker must surface as a timeout naming the shard,
+    not block the curator forever on a socket read."""
+
+    def test_sigstop_worker_times_out_with_named_shard(self, walk_data):
+        import signal
+
+        from repro.core.sharded import ShardedOnlineRetraSyn
+        from repro.exceptions import ShardWorkerError
+
+        cfg = RetraSynConfig(
+            epsilon=1.0, w=4, seed=0, n_shards=2,
+            shard_executor="distributed", shard_round_timeout=2.0,
+        )
+        curator = ShardedOnlineRetraSyn(walk_data.grid, cfg, lam=5.0)
+
+        def _step(t):
+            curator.process_timestep(
+                t,
+                participants=walk_data.participants_at(t),
+                newly_entered=walk_data.newly_entered_at(t),
+                quitted=walk_data.quitted_at(t),
+                n_real_active=walk_data.n_active_at(t),
+            )
+
+        victim = None
+        try:
+            for t in range(3):
+                _step(t)
+            victim = curator._pool._procs[1]
+            os.kill(victim.pid, signal.SIGSTOP)
+            with pytest.raises(
+                ShardWorkerError, match=r"shard 1.*did not answer"
+            ):
+                for t in range(3, walk_data.n_timestamps):
+                    _step(t)
+        finally:
+            if victim is not None and victim.is_alive():
+                try:
+                    os.kill(victim.pid, signal.SIGCONT)
+                except ProcessLookupError:  # pragma: no cover
+                    pass
+            curator.close()
+
+
 class TestShardWorkerDeath:
     """A shard worker killed mid-run surfaces as a typed ShardWorkerError.
 

@@ -1,0 +1,146 @@
+"""The stdlib metrics registry and its Prometheus text rendering."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import DEFAULT_BUCKETS, PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_counter_renders_help_type_and_value(self):
+        m = MetricsRegistry()
+        c = m.counter("requests_total", "Requests served.")
+        c.inc()
+        c.inc(2)
+        text = m.render()
+        assert "# HELP requests_total Requests served." in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert text.endswith("\n")
+
+    def test_counter_is_monotonic(self):
+        c = MetricsRegistry().counter("n_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        with pytest.raises(ConfigurationError):
+            c.set(5)
+
+    def test_gauge_sets_and_moves_both_ways(self):
+        m = MetricsRegistry()
+        g = m.gauge("depth", "Queue depth.")
+        g.set(7)
+        assert "depth 7" in m.render()
+        g.set(3.5)
+        assert "depth 3.5" in m.render()
+
+    def test_callback_projection_evaluates_at_scrape_time(self):
+        m = MetricsRegistry()
+        state = {"n": 1}
+        m.gauge("live").set_function(lambda: state["n"])
+        assert "live 1" in m.render()
+        state["n"] = 42
+        assert "live 42" in m.render()
+
+    def test_broken_callback_drops_only_its_own_sample(self):
+        m = MetricsRegistry()
+        m.gauge("broken").set_function(lambda: 1 / 0)
+        m.gauge("fine").set_function(lambda: 5)
+        text = m.render()
+        assert "fine 5" in text
+        assert "\nbroken " not in text  # TYPE/HELP stay, the sample goes
+        assert "# TYPE broken gauge" in text
+
+
+class TestLabels:
+    def test_labelled_series_render_sorted(self):
+        m = MetricsRegistry()
+        fam = m.counter("rounds_total", "Rounds.", labelnames=("shard",))
+        fam.labels("1").inc(4)
+        fam.labels("0").inc(2)
+        text = m.render()
+        assert text.index('rounds_total{shard="0"} 2') < text.index(
+            'rounds_total{shard="1"} 4'
+        )
+
+    def test_unlabelled_call_on_labelled_family_raises(self):
+        fam = MetricsRegistry().counter("x_total", labelnames=("shard",))
+        with pytest.raises(ConfigurationError):
+            fam.inc()
+        with pytest.raises(ConfigurationError):
+            fam.labels("0", "extra")
+
+    def test_label_values_are_escaped(self):
+        m = MetricsRegistry()
+        m.gauge("g", labelnames=("path",)).labels('a"b\\c\nd').set(1)
+        assert 'path="a\\"b\\\\c\\nd"' in m.render()
+
+    def test_invalid_names_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            m.counter("0bad")
+        with pytest.raises(ConfigurationError):
+            m.counter("ok_total", labelnames=("bad-label",))
+        with pytest.raises(ConfigurationError):
+            m.counter("ok_total", labelnames=("__reserved",))
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_and_end_with_inf(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        text = m.render()
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
+        assert "lat_seconds_sum 6.05" in text
+
+    def test_default_buckets_are_sorted_and_nonempty(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(DEFAULT_BUCKETS) >= 10
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestRegistrySemantics:
+    def test_create_or_get_is_idempotent(self):
+        m = MetricsRegistry()
+        a = m.counter("n_total", "first")
+        b = m.counter("n_total", "second registration is a lookup")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("n_total")
+        with pytest.raises(ConfigurationError):
+            m.gauge("n_total")
+        with pytest.raises(ConfigurationError):
+            m.counter("n_total", labelnames=("shard",))
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_content_type_is_prometheus_text(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        c = MetricsRegistry().counter("hits_total")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c._sole().value == 8000

@@ -81,6 +81,8 @@ class TestCliFlagDrift:
             "max_lateness": 2,
             "checkpoint_path": "probe.pkl",
             "checkpoint_every": 5,
+            "checkpoint_keep": 2,
+            "drain_deadline": 9.5,
             "ingest_consumers": 3,
         }
         cli_fields = [
@@ -95,6 +97,26 @@ class TestCliFlagDrift:
             settings = ServeSettings(**{name: probes[name]})
             assert getattr(settings.service, name) == probes[name], name
             assert getattr(settings, name) == probes[name], name
+
+    def test_unset_mirrors_resolve_to_concrete_spec_values(self):
+        """``None`` is the *unset* marker of the flat mirrors, never a
+        value: after construction every mirror reads the resolved spec
+        field, so ``checkpoint_every is None`` cannot leak into the
+        service layer (where ``if checkpoint_every:`` and arithmetic on
+        it would silently misbehave)."""
+        settings = ServeSettings()
+        for name in ("queue_size", "max_lateness", "checkpoint_every",
+                     "checkpoint_keep", "drain_deadline",
+                     "ingest_consumers"):
+            mirrored = getattr(settings, name)
+            assert mirrored is not None, name
+            assert mirrored == getattr(ServiceSpec(), name), name
+
+    def test_explicit_none_cannot_reach_the_spec_layer(self):
+        """A literal ``None`` passed where the spec wants an int must die
+        in ServiceSpec validation, not flow through ``replace()``."""
+        with pytest.raises(ConfigurationError, match="checkpoint_every"):
+            ServeSettings(service=ServiceSpec(checkpoint_every=None))
 
 
 class TestServeDatasetHonorsTheSpec:
