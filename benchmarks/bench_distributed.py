@@ -10,10 +10,15 @@ Gates:
 
 * every executor's full-pipeline output bit-identical to serial, always;
 * the synthesis process executor bit-identical to the thread path, always;
+* every pipelining depth (``round_batch`` ∈ {1,4,8}) bit-identical to the
+  per-timestamp protocol on the distributed executor, always;
 * distributed >= 1.5x the in-process pool's collection-round throughput
   at K=4 / n=100k — enforced only on a multi-core host at full scale
   (single-core CI serializes the workers, so the ratio is report-only,
-  mirroring the payload's own ``gate.enforced`` flag).
+  mirroring the payload's own ``gate.enforced`` flag);
+* fused rounds (depth >= 4) >= 2x the depth-1 round throughput on the
+  small-batch distributed workload — same multi-core/full-scale
+  enforcement policy, mirroring ``pipeline.gate.enforced``.
 """
 
 import os
@@ -21,6 +26,7 @@ import os
 from _util import run_once
 
 from repro.bench.distributed import (
+    REQUIRED_PIPELINE_SPEEDUP,
     REQUIRED_SPEEDUP,
     format_bench_distributed,
     run_bench_distributed,
@@ -37,9 +43,16 @@ def test_distributed_shard_plane(
 
     assert out["bit_identical"], out
     assert out["synthesis"]["bit_identical"], out
+    assert out["pipeline"]["bit_identical"], out
     assert set(out["collection"]) == {"K1", "K4"}, out
+    depths = out["pipeline"]["round_batches"]
+    assert 1 in depths and any(d >= 4 for d in depths), out
     if (os.cpu_count() or 1) > 1 and not quick_mode:
         assert out["gate"]["enforced"], out
         assert (
             out["gate"]["measured"] >= REQUIRED_SPEEDUP
+        ), format_bench_distributed(out)
+        assert out["pipeline"]["gate"]["enforced"], out
+        assert (
+            out["pipeline"]["gate"]["measured"] >= REQUIRED_PIPELINE_SPEEDUP
         ), format_bench_distributed(out)

@@ -45,13 +45,37 @@ _DISCONNECTS = (
 )
 
 
-class Client:
-    """Synchronous client for one curator session behind an HTTP ingress."""
+#: Default request-body budget for :meth:`Client.submit_batches` (bytes).
+#: Chosen well under the server's 256 MiB body bound so a pipelined run
+#: never trips it, while still amortising one round-trip over many frames.
+DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+
+class Client:
+    """Synchronous client for one curator session behind an HTTP ingress.
+
+    ``chunk_bytes`` bounds the body of a pipelined :meth:`submit_batches`
+    request: frames are packed greedily up to the budget and flushed as
+    multiple POSTs when the pipeline exceeds it (a single frame larger
+    than the budget still travels alone — the server enforces its own
+    body bound).  ``chunk_bytes=0`` disables chunking.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.chunk_bytes = int(chunk_bytes)
+        if self.chunk_bytes < 0:
+            raise ValueError(
+                f"chunk_bytes must be >= 0, got {self.chunk_bytes}"
+            )
         self.schema_version: int = schema.SCHEMA_VERSION
         self._hello: Optional[dict] = None
         self._conn: Optional[http.client.HTTPConnection] = None
@@ -173,8 +197,10 @@ class Client:
 
         ``items`` holds ``(t, batch, newly_entered, quitted,
         n_real_active)`` tuples in submission order.  On a v2 connection
-        the frames concatenate into one POST body, which the server
-        submits in order under a single session-lock acquisition; on a v1
+        the frames concatenate into POST bodies of at most
+        ``chunk_bytes`` bytes each (so an arbitrarily long pipeline never
+        exceeds the server's request-body bound); each body is submitted
+        in order under a single session-lock acquisition.  On a v1
         connection this degrades to one request per batch.  Returns the
         final ack either way.
         """
@@ -187,18 +213,27 @@ class Client:
                     t, batch, entered, quitted, n_real_active=n_active
                 )
             return ack
-        body = b"".join(
-            schema.dump_frame(
+        budget = self.chunk_bytes
+        ack_payload = None
+        chunk: list[bytes] = []
+        chunk_len = 0
+        for t, batch, entered, quitted, n_active in items:
+            frame = schema.dump_frame(
                 schema.report_batch_message(
                     t, batch, entered, quitted, n_active,
                     version=self.schema_version,
                 )
             )
-            for t, batch, entered, quitted, n_active in items
-        )
-        return schema.loads_any(
-            self._send("POST", "/v1/batch", body), expect="ack"
-        )
+            if chunk and budget and chunk_len + len(frame) > budget:
+                ack_payload = self._send(
+                    "POST", "/v1/batch", b"".join(chunk)
+                )
+                chunk, chunk_len = [], 0
+            chunk.append(frame)
+            chunk_len += len(frame)
+        if chunk:
+            ack_payload = self._send("POST", "/v1/batch", b"".join(chunk))
+        return schema.loads_any(ack_payload, expect="ack")
 
     def snapshot(self) -> np.ndarray:
         """Current cells of the server's live synthetic streams."""

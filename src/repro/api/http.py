@@ -131,6 +131,13 @@ class HttpIngress:
         self.drain_deadline = float(
             getattr(session.spec.service, "drain_deadline", 30.0)
         )
+        # Transport counters, mirrored into the session's metrics registry
+        # by start(): report-batch messages in, frame-encoded responses
+        # out, and raw body bytes both ways.
+        self.frames_received = 0
+        self.frames_sent = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -145,7 +152,38 @@ class HttpIngress:
         self.port = self._server.sockets[0].getsockname()[1]
         if self._handle_signals:
             self.install_signal_handlers()
+        self._register_metrics()
         self._ready = True
+
+    def _register_metrics(self) -> None:
+        """Expose the ingress transport counters on the session registry.
+
+        The registry is create-or-get, so re-binding after a restart just
+        repoints the callbacks at the live ingress.
+        """
+        registry = getattr(self.session, "metrics", None)
+        if registry is None:
+            return
+        frames = registry.counter(
+            "retrasyn_ingress_frames_total",
+            "Report-batch messages received and frame responses sent "
+            "by the HTTP ingress.",
+            labelnames=("direction",),
+        )
+        frames.labels("received").set_function(
+            lambda: int(self.frames_received)
+        )
+        frames.labels("sent").set_function(lambda: int(self.frames_sent))
+        nbytes = registry.counter(
+            "retrasyn_ingress_bytes_total",
+            "Request body bytes read and response bytes written by the "
+            "HTTP ingress.",
+            labelnames=("direction",),
+        )
+        nbytes.labels("received").set_function(
+            lambda: int(self.bytes_received)
+        )
+        nbytes.labels("sent").set_function(lambda: int(self.bytes_sent))
 
     def install_signal_handlers(self) -> bool:
         """Route SIGTERM/SIGINT into a graceful drain.
@@ -220,6 +258,7 @@ class HttpIngress:
                     if request is None:
                         return
                     method, path, body, keep_alive = request
+                    self.bytes_received += len(body)
                     status, msg = await self._route(method, path, body)
                 except SchemaError as exc:
                     status, msg = 400, schema.error_message(exc)
@@ -234,6 +273,9 @@ class HttpIngress:
                     keep_alive and status < 400 and not self._shutdown.is_set()
                 )
                 payload, ctype = self._encode_response(msg)
+                self.bytes_sent += len(payload)
+                if ctype == schema.CONTENT_TYPE_FRAME:
+                    self.frames_sent += 1
                 head = (
                     f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
                     f"Content-Type: {ctype}\r\n"
@@ -409,6 +451,7 @@ class HttpIngress:
             msgs = [schema.loads(body, expect="report-batch")]
         if not msgs:
             raise SchemaError("empty batch body")
+        self.frames_received += len(msgs)
         parsed = [schema.parse_report_batch(m) for m in msgs]
         async with self._lock:
             for t, batch, entered, quitted, n_active in parsed:

@@ -111,6 +111,13 @@ MESSAGE_TYPES = (
     "shard-checkpoint",
     "shard-stats",
     "shard-exit",
+    # Fused-round variants: one frame carries up to ``round_batch`` closed
+    # timestamps (shard-submit-many), their schedule-divided advances
+    # (shard-advance-many), and the per-timestamp merge outputs back
+    # (shard-merge-many).  Depth 1 degenerates to the singular verbs.
+    "shard-submit-many",
+    "shard-advance-many",
+    "shard-merge-many",
 )
 
 #: Wire dtypes by column name; everything else is rejected.
@@ -273,13 +280,13 @@ def loads(data: bytes, expect: Optional[str] = None) -> dict:
 # ---------------------------------------------------------------------- #
 # v2 binary frames
 # ---------------------------------------------------------------------- #
-def dump_frame(msg: dict) -> bytes:
-    """Serialize a v2 envelope to one length-prefixed binary frame.
+def dump_frame_parts(msg: dict) -> list:
+    """Serialize a v2 envelope as a list of frame segments.
 
-    Array-valued entries (what :func:`_enc` produces for frame versions)
-    move into the payload as raw little-endian buffers; everything else
-    stays in the JSON header, alongside a ``_cols`` manifest of
-    ``[name, element_count]`` pairs in payload order.
+    The segments, concatenated, are exactly :func:`dump_frame`'s output,
+    but array columns stay as their own buffer-protocol entries so a
+    vectored send (``socket.sendmsg``) can ship the frame without first
+    copying every column into one contiguous bytes object.
     """
     version = msg.get("schema")
     if version not in FRAME_VERSIONS:
@@ -288,7 +295,8 @@ def dump_frame(msg: dict) -> bytes:
         )
     header: dict = {}
     cols: list[list] = []
-    buffers: list[bytes] = []
+    buffers: list = []
+    payload_len = 0
     for key, value in msg.items():
         if isinstance(value, np.ndarray):
             dtype = _COLUMN_DTYPES.get(key)
@@ -298,16 +306,28 @@ def dump_frame(msg: dict) -> bytes:
             if arr.dtype.byteorder == ">":  # pragma: no cover - BE hosts
                 arr = arr.astype(arr.dtype.newbyteorder("<"))
             cols.append([key, int(arr.size)])
-            buffers.append(arr.tobytes())
+            buffers.append(arr.data)
+            payload_len += arr.nbytes
         else:
             header[key] = value
     header["_cols"] = cols
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    payload = b"".join(buffers)
-    return b"".join(
-        (FRAME_MAGIC, _FRAME_LEN.pack(len(header_bytes), len(payload)),
-         header_bytes, payload)
+    prefix = b"".join(
+        (FRAME_MAGIC, _FRAME_LEN.pack(len(header_bytes), payload_len),
+         header_bytes)
     )
+    return [prefix, *buffers]
+
+
+def dump_frame(msg: dict) -> bytes:
+    """Serialize a v2 envelope to one length-prefixed binary frame.
+
+    Array-valued entries (what :func:`_enc` produces for frame versions)
+    move into the payload as raw little-endian buffers; everything else
+    stays in the JSON header, alongside a ``_cols`` manifest of
+    ``[name, element_count]`` pairs in payload order.
+    """
+    return b"".join(bytes(part) for part in dump_frame_parts(msg))
 
 
 def load_frame(

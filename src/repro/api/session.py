@@ -154,6 +154,33 @@ class _SessionBase:
                 shard_gauge.labels(str(k)).set_function(
                     lambda k=k: float(pool.shard_round_seconds.get(k, 0.0))
                 )
+        if pool is not None and hasattr(pool, "frames_sent"):
+            frames = m.counter(
+                "retrasyn_shard_frames_total",
+                "RSF2 frames exchanged with the shard workers.",
+                labelnames=("direction",),
+            )
+            frames.labels("sent").set_function(lambda: int(pool.frames_sent))
+            frames.labels("received").set_function(
+                lambda: int(pool.frames_received)
+            )
+            sbytes = m.counter(
+                "retrasyn_shard_bytes_total",
+                "On-wire bytes exchanged with the shard workers.",
+                labelnames=("direction",),
+            )
+            sbytes.labels("sent").set_function(lambda: int(pool.bytes_sent))
+            sbytes.labels("received").set_function(
+                lambda: int(pool.bytes_received)
+            )
+            # The pool observes each submit/advance round-trip's wall
+            # seconds (fused or per-timestamp) into this histogram.
+            rt_hist = m.histogram(
+                "retrasyn_shard_roundtrip_seconds",
+                "Wall-clock seconds of one coordinator-side shard "
+                "round-trip (submit or advance, fused or per-timestamp).",
+            )
+            pool.latency_observer = rt_hist.observe
 
     # -- shared protocol surface --------------------------------------- #
     def snapshot(self) -> np.ndarray:
@@ -225,11 +252,21 @@ class _SessionBase:
     def _drain_on_close(self, flush_partial: bool = True) -> None:
         pass  # overridden by IngestSession
 
-    def _after_timestep(self) -> None:
-        """Periodic checkpointing shared by both session flavours."""
+    @property
+    def _round_batch(self) -> int:
+        """Pipeline depth: timestamps handed to the curator per group."""
+        return max(1, int(getattr(self.spec.sharding, "round_batch", 1)))
+
+    def _after_timestep(self, n: int = 1) -> None:
+        """Periodic checkpointing shared by both session flavours.
+
+        ``n`` counts the rounds a pipelined group just completed: with
+        ``round_batch > 1`` at most one checkpoint is written per group
+        boundary (a checkpoint can only freeze inter-round state).
+        """
         svc = self.spec.service
         if svc.checkpoint_path is not None and svc.checkpoint_every:
-            self._since_checkpoint += 1
+            self._since_checkpoint += n
             if self._since_checkpoint >= svc.checkpoint_every:
                 self.checkpoint()
                 self._since_checkpoint = 0
@@ -272,22 +309,45 @@ class DirectSession(_SessionBase):
         )
 
     def advance(self) -> list[TimestepResult]:
-        """Process every staged timestamp, in submission order."""
+        """Process every staged timestamp, in submission order.
+
+        With ``sharding.round_batch > 1`` the staged timestamps are handed
+        to the curator in groups of that depth
+        (:meth:`~repro.core.online.OnlineRetraSyn.process_timesteps`), so
+        the sharded engines can fuse shard round-trips and overlap
+        synthesis with the next round's collection.  Depth 1 is today's
+        exact per-timestamp path.
+        """
         results = []
         staged, self._staged = self._staged, []
-        for t, participants, entered, quitted, n_active in staged:
-            tic = time.perf_counter()
-            results.append(
-                self.curator.process_timestep(
-                    t,
-                    participants=participants,
-                    newly_entered=entered,
-                    quitted=quitted,
-                    n_real_active=n_active,
+        depth = self._round_batch
+        if depth == 1:
+            for t, participants, entered, quitted, n_active in staged:
+                tic = time.perf_counter()
+                results.append(
+                    self.curator.process_timestep(
+                        t,
+                        participants=participants,
+                        newly_entered=entered,
+                        quitted=quitted,
+                        n_real_active=n_active,
+                    )
                 )
-            )
-            self._round_hist.observe(time.perf_counter() - tic)
-            self._after_timestep()
+                self._round_hist.observe(time.perf_counter() - tic)
+                self._after_timestep()
+            return results
+        for lo in range(0, len(staged), depth):
+            group = staged[lo : lo + depth]
+            tic = time.perf_counter()
+            group_results = self.curator.process_timesteps(group)
+            wall = time.perf_counter() - tic
+            # Per-round share of the group's wall, so the histogram's
+            # count stays one observation per round and its sum stays the
+            # total wall-clock.
+            for r in group_results:
+                results.append(r)
+                self._round_hist.observe(wall / max(1, len(group_results)))
+            self._after_timestep(len(group_results))
         return results
 
 
@@ -389,10 +449,39 @@ class IngestSession(_SessionBase):
 
     # -- processing ----------------------------------------------------- #
     def advance(self) -> list[TimestepResult]:
-        """Close and process every timestamp at or below the watermark."""
-        results = [self._process(c) for c in self.assembler.pop_ready()]
+        """Close and process every timestamp at or below the watermark.
+
+        With ``sharding.round_batch > 1`` the closed timestamps are handed
+        to the curator in groups of that depth so the sharded engines can
+        fuse shard round-trips and overlap synthesis with the next round's
+        collection.  Depth 1 keeps the exact per-timestamp path.
+        """
+        ready = self.assembler.pop_ready()
+        depth = self._round_batch
+        if depth == 1:
+            results = [self._process(c) for c in ready]
+        else:
+            results = []
+            for lo in range(0, len(ready), depth):
+                results.extend(self._process_group(ready[lo : lo + depth]))
         self.ingest_stats.n_late_dropped = self.assembler.n_late_dropped
         return results
+
+    def _process_group(self, group) -> list[TimestepResult]:
+        tic = time.perf_counter()
+        group_results = self.curator.process_timesteps(
+            [
+                (c.t, c.batch, c.newly_entered, c.quitted, c.n_active)
+                for c in group
+            ]
+        )
+        wall = time.perf_counter() - tic
+        for closed in group:
+            self._round_hist.observe(wall / max(1, len(group_results)))
+            self.ingest_stats.n_timestamps += 1
+            self.ingest_stats.n_reports_processed += len(closed.batch)
+        self._after_timestep(len(group_results))
+        return group_results
 
     def _process(self, closed) -> TimestepResult:
         tic = time.perf_counter()

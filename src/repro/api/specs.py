@@ -270,11 +270,25 @@ class ShardingSpec:
             type=float,
         ),
     )
+    round_batch: int = field(
+        default=1,
+        metadata=_cli(
+            "--round-batch",
+            "closed timestamps coalesced into one shard round "
+            "(pipelined collection; 1 = per-timestamp protocol, "
+            "bit-identical at every depth)",
+            type=int,
+        ),
+    )
 
     def __post_init__(self) -> None:
         _require_number("shard_round_timeout", self.shard_round_timeout)
         if self.n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.round_batch < 1:
+            raise ConfigurationError(
+                f"round_batch must be >= 1, got {self.round_batch}"
+            )
         if self.shard_executor not in SHARD_EXECUTORS:
             raise ConfigurationError(
                 f"shard_executor must be one of {SHARD_EXECUTORS}, "

@@ -18,12 +18,16 @@ would dilute the comparison.  Alongside throughput the benchmark:
 
 * replays full pipelines at a capped scale and checks every executor's
   synthetic output is **bit-identical** at every shard count;
+* sweeps the pipelined round depths (ISSUE 9: ``round_batch``) on a
+  small-per-round-batch distributed workload — the transport-latency
+  regime the fused ``-many`` frames target — with its own ≥2x
+  depth-vs-depth-1 gate and bit-identity probe;
 * measures the synthesis plane's thread-vs-process slab executors
-  (satellite of the same issue) including their own bit-identity check;
+  (satellite of ISSUE 7) including their own bit-identity check;
 * reports the ≥1.5x distributed-vs-process gate: *evaluated* here and
   recorded in the artifact, but only *enforced* by the benchmark suite on
   a multi-core host at full scale — a single-core CI box serializes the
-  worker processes, so the ratio is report-only there.
+  worker processes, so the ratios are report-only there.
 
 The packaged dict is the ``BENCH_distributed.json`` artifact CI uploads.
 """
@@ -45,6 +49,10 @@ from repro.geo.grid import unit_grid
 
 #: The acceptance bar: distributed collection throughput vs the pipe pool.
 REQUIRED_SPEEDUP = 1.5
+#: The pipelining bar: fused multi-timestamp rounds (``round_batch >= 4``)
+#: vs the per-timestamp protocol, distributed executor, small per-round
+#: batches (the transport-latency-dominated regime the fusion targets).
+REQUIRED_PIPELINE_SPEEDUP = 2.0
 #: Executors compared by the collection-plane sweep.
 COLLECTION_EXECUTORS = ("serial", "process", "distributed")
 
@@ -79,21 +87,48 @@ def _time_collection(spec: LoadSpec, n_shards: int, executor: str) -> float:
         curator.close()
 
 
-def _full_run_fingerprint(spec: LoadSpec, n_shards: int, executor: str) -> list:
+def _full_run_fingerprint(
+    spec: LoadSpec, n_shards: int, executor: str, round_batch: int = 1
+) -> list:
     """Synthetic output of a full pipeline run (the bit-identity probe)."""
     grid = unit_grid(spec.k)
     cfg = dataclasses.replace(
-        _collection_config(spec, n_shards, executor), engine="vectorized"
+        _collection_config(spec, n_shards, executor),
+        engine="vectorized",
+        round_batch=round_batch,
     )
     curator = ShardedOnlineRetraSyn(grid, cfg, lam=_workload_lam(spec))
+    rounds = synthetic_rounds(spec)
     try:
-        for t, batch, entered, quitted, n_active in synthetic_rounds(spec):
-            curator.process_timestep(
-                t, participants=batch, newly_entered=entered,
-                quitted=quitted, n_real_active=n_active,
-            )
+        for lo in range(0, len(rounds), round_batch):
+            curator.process_timesteps(rounds[lo : lo + round_batch])
         syn = curator.synthetic_dataset(spec.horizon)
         return [(int(tr.start_time), list(tr.cells)) for tr in syn.trajectories]
+    finally:
+        curator.close()
+
+
+def _time_pipeline(spec: LoadSpec, n_shards: int, depth: int) -> float:
+    """Wall seconds for the full workload at one pipelining depth.
+
+    Distributed executor only — the fused ``-many`` frames and the
+    collection/synthesis overlap are both in play, so this measures the
+    end-to-end round throughput a depth buys (engine built outside the
+    timed window, as in :func:`_time_collection`).
+    """
+    grid = unit_grid(spec.k)
+    cfg = dataclasses.replace(
+        _collection_config(spec, n_shards, "distributed"),
+        engine="vectorized",
+        round_batch=depth,
+    )
+    curator = ShardedOnlineRetraSyn(grid, cfg, lam=_workload_lam(spec))
+    rounds = synthetic_rounds(spec)
+    try:
+        start = time.perf_counter()
+        for lo in range(0, len(rounds), depth):
+            curator.process_timesteps(rounds[lo : lo + depth])
+        return time.perf_counter() - start
     finally:
         curator.close()
 
@@ -138,6 +173,7 @@ def run_bench_distributed(
     seed: int = 0,
     shard_counts: tuple = (1, 4),
     synthesis_shards: int = 4,
+    round_batches: tuple = (1, 4, 8),
     quick: bool = False,
     repeats: Optional[int] = None,
 ) -> dict:
@@ -232,6 +268,57 @@ def run_bench_distributed(
     ]
     multi_core = (os.cpu_count() or 1) > 1
     gate_enforced = multi_core and not quick and n_users >= 100_000
+
+    # Tentpole: fused multi-timestamp rounds.  Small per-round batches
+    # over a long horizon put the workload in the regime the fusion
+    # targets (per-round transport latency dominates per-row work), at
+    # K=4 distributed; every depth is also checked bit-identical to the
+    # per-timestamp protocol on the full pipeline.
+    round_batches = tuple(sorted(set(int(d) for d in round_batches)))
+    if 1 not in round_batches:
+        round_batches = (1,) + round_batches
+    pipe_shards = 4 if 4 in shard_counts else max(shard_counts)
+    pipe_spec = LoadSpec(
+        n_users=200 if quick else 1_000,
+        horizon=24 if quick else 64,
+        k=k, epsilon=epsilon, w=w, seed=seed,
+    )
+    pipeline: dict[str, dict] = {}
+    for depth in round_batches:
+        wall = best_wall(_time_pipeline, pipe_spec, pipe_shards, depth)
+        pipeline[f"depth{depth}"] = {
+            "wall_seconds": round(wall, 4),
+            "rounds_per_sec": round(pipe_spec.horizon / wall, 1),
+        }
+    depth1_wall = pipeline["depth1"]["wall_seconds"]
+    for depth in round_batches:
+        pipeline[f"depth{depth}"]["speedup_vs_depth1"] = round(
+            depth1_wall / pipeline[f"depth{depth}"]["wall_seconds"], 2
+        )
+    pipe_probe = dataclasses.replace(
+        pipe_spec, n_users=min(pipe_spec.n_users, 500), horizon=12
+    )
+    pipe_reference = _full_run_fingerprint(
+        pipe_probe, pipe_shards, "distributed", round_batch=1
+    )
+    pipe_bit_identical = all(
+        _full_run_fingerprint(
+            pipe_probe, pipe_shards, "distributed", round_batch=depth
+        )
+        == pipe_reference
+        for depth in round_batches
+        if depth > 1
+    )
+    deep = [d for d in round_batches if d >= 4]
+    pipe_speedup = (
+        max(pipeline[f"depth{d}"]["speedup_vs_depth1"] for d in deep)
+        if deep
+        else 0.0
+    )
+    # Same enforcement policy as the executor gate: the fused frames only
+    # beat the per-timestamp protocol when the workers genuinely overlap,
+    # so a single-core (or reduced-scale) run records the ratio only.
+    pipe_gate_enforced = multi_core and not quick
     return {
         "benchmark": "distributed-shard-plane",
         "quick": bool(quick),
@@ -244,6 +331,20 @@ def run_bench_distributed(
         },
         "collection": collection,
         "bit_identical": bool(bit_identical),
+        "pipeline": {
+            "n_users": pipe_spec.n_users,
+            "horizon": pipe_spec.horizon,
+            "shards": pipe_shards,
+            "round_batches": list(round_batches),
+            "results": pipeline,
+            "bit_identical": bool(pipe_bit_identical),
+            "gate": {
+                "required_speedup_vs_depth1": REQUIRED_PIPELINE_SPEEDUP,
+                "measured": pipe_speedup,
+                "enforced": bool(pipe_gate_enforced),
+                "passed": bool(pipe_speedup >= REQUIRED_PIPELINE_SPEEDUP),
+            },
+        },
         "synthesis": {
             "n_streams": syn_streams,
             "shards": synthesis_shards,
@@ -285,6 +386,30 @@ def format_bench_distributed(payload: dict) -> list[str]:
             f"{row['speedup_distributed_vs_process']:.2f}x, "
             f"vs serial {row['speedup_distributed_vs_serial']:.2f}x"
         )
+    pipe = payload["pipeline"]
+    lines.append(
+        f"  K{pipe['shards']} pipelined rounds ({pipe['n_users']:,} users × "
+        f"{pipe['horizon']} timestamps, distributed):"
+    )
+    for depth in pipe["round_batches"]:
+        r = pipe["results"][f"depth{depth}"]
+        lines.append(
+            f"    depth {depth:<3} {r['rounds_per_sec']:>8,.1f} rounds/s  "
+            f"({r['wall_seconds']:.3f}s, {r['speedup_vs_depth1']:.2f}x "
+            f"vs depth 1)"
+        )
+    pgate = pipe["gate"]
+    lines.append(
+        f"    gate ≥{pgate['required_speedup_vs_depth1']:.1f}x at depth≥4: "
+        f"measured {pgate['measured']:.2f}x — "
+        + (
+            ("PASS" if pgate["passed"] else "FAIL")
+            if pgate["enforced"]
+            else "report-only (single-core host or reduced scale)"
+        )
+        + f"; depths bit-identical: "
+        + ("yes" if pipe["bit_identical"] else "NO")
+    )
     syn = payload["synthesis"]
     lines.append(
         f"  synthesis slabs ({syn['n_streams']:,} streams × "

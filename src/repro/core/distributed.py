@@ -100,9 +100,41 @@ def _recv_exact(sock: socket.socket, n: int, allow_eof: bool = False):
     return bytes(buf)
 
 
-def send_frame(sock: socket.socket, msg: dict) -> None:
-    """Serialize one v2 frame and write it fully."""
-    sock.sendall(schema.dump_frame(msg))
+def send_frame(sock: socket.socket, msg: dict) -> int:
+    """Serialize one v2 frame and write it fully; returns bytes sent.
+
+    The frame's segments — length prefix + JSON header, then each raw
+    column buffer — go out through one vectored ``sendmsg`` instead of
+    being copied into a contiguous bytes object first, so a megabyte
+    round's columns are never materialised twice on the send path.
+    """
+    parts = [memoryview(p).cast("B") for p in schema.dump_frame_parts(msg)]
+    total = sum(p.nbytes for p in parts)
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:  # pragma: no cover - platforms without sendmsg
+        sock.sendall(b"".join(parts))
+        return total
+    while parts:
+        sent = sendmsg(parts)
+        while parts and sent >= parts[0].nbytes:
+            sent -= parts[0].nbytes
+            parts.pop(0)
+        if parts and sent:
+            parts[0] = parts[0][sent:]
+    return total
+
+
+def recv_frame_sized(sock: socket.socket) -> tuple[Optional[dict], int]:
+    """:func:`recv_frame` plus the frame's on-wire byte count."""
+    prefix = _recv_exact(sock, _PREFIX_LEN, allow_eof=True)
+    if prefix is None:
+        return None, 0
+    if prefix[: len(schema.FRAME_MAGIC)] != schema.FRAME_MAGIC:
+        raise schema.SchemaError("not a binary frame (bad magic)")
+    header_len, payload_len = _PREFIX.unpack(prefix[len(schema.FRAME_MAGIC):])
+    body = _recv_exact(sock, header_len + payload_len)
+    msg, _end = schema.load_frame(prefix + body)
+    return msg, len(prefix) + len(body)
 
 
 def recv_frame(sock: socket.socket) -> Optional[dict]:
@@ -111,14 +143,7 @@ def recv_frame(sock: socket.socket) -> Optional[dict]:
     Raises :class:`ConnectionError` on a mid-frame EOF and
     :class:`~repro.api.schema.SchemaError` on malformed framing.
     """
-    prefix = _recv_exact(sock, _PREFIX_LEN, allow_eof=True)
-    if prefix is None:
-        return None
-    if prefix[: len(schema.FRAME_MAGIC)] != schema.FRAME_MAGIC:
-        raise schema.SchemaError("not a binary frame (bad magic)")
-    header_len, payload_len = _PREFIX.unpack(prefix[len(schema.FRAME_MAGIC):])
-    body = _recv_exact(sock, header_len + payload_len)
-    msg, _end = schema.load_frame(prefix + body)
+    msg, _nbytes = recv_frame_sized(sock)
     return msg
 
 
@@ -142,7 +167,9 @@ class _ShardService:
             if getattr(config, "track_privacy", True)
             else None
         )
-        self._staged: Optional[tuple] = None
+        # Staged rounds keyed by timestamp: a fused shard-submit-many may
+        # park several consecutive rounds before their advances arrive.
+        self._staged: dict[int, tuple] = {}
 
     def handle(self, msg: dict) -> dict:
         type_ = msg["type"]
@@ -150,6 +177,10 @@ class _ShardService:
             return self._submit(msg)
         if type_ == "shard-advance":
             return self._advance(msg)
+        if type_ == "shard-submit-many":
+            return self._submit_many(msg)
+        if type_ == "shard-advance-many":
+            return self._advance_many(msg)
         if type_ == "shard-checkpoint":
             return self._checkpoint(msg)
         if type_ == "shard-stats":
@@ -165,7 +196,7 @@ class _ShardService:
         )
         entered = np.asarray(msg["newly_entered"])
         quitted = np.asarray(msg["quitted"])
-        self._staged = (t, batch, entered, quitted)
+        self._staged[t] = (batch, entered, quitted)
         min_remaining = None
         if msg.get("want_remaining") and self.accountant is not None and len(batch):
             min_remaining = float(
@@ -173,17 +204,58 @@ class _ShardService:
             )
         return schema.message("ack", t=t, min_remaining=min_remaining)
 
-    def _advance(self, msg: dict) -> dict:
-        t = int(msg["t"])
-        if self._staged is None or self._staged[0] != t:
+    def _submit_many(self, msg: dict) -> dict:
+        """Stage several consecutive rounds carried by one fused frame.
+
+        The frame flattens every round's five report columns back to back;
+        the header's per-timestamp counts recover the slices.  Per-user
+        budget consultation has no fused form (the coordinator needs each
+        round's minimum *after* the previous round's spends), so
+        ``want_remaining`` is rejected here — adaptive-user configurations
+        stay on the per-timestamp verbs.
+        """
+        if msg.get("want_remaining"):
+            raise ConfigurationError(
+                "shard-submit-many does not support want_remaining; "
+                "per-user budget consultation requires per-timestamp rounds"
+            )
+        ts = [int(t) for t in msg["ts"]]
+        counts = [int(c) for c in msg["counts"]]
+        e_counts = [int(c) for c in msg["entered_counts"]]
+        q_counts = [int(c) for c in msg["quitted_counts"]]
+        if not (len(ts) == len(counts) == len(e_counts) == len(q_counts)):
+            raise ConfigurationError(
+                "shard-submit-many header lists disagree on length"
+            )
+        uids = np.asarray(msg["user_ids"])
+        states = np.asarray(msg["state_idx"])
+        kinds = np.asarray(msg["kinds"])
+        entered = np.asarray(msg["newly_entered"])
+        quitted = np.asarray(msg["quitted"])
+        pos = e_pos = q_pos = 0
+        for i, t in enumerate(ts):
+            n, ne, nq = counts[i], e_counts[i], q_counts[i]
+            batch = ReportBatch(
+                uids[pos : pos + n],
+                states[pos : pos + n],
+                kinds[pos : pos + n],
+            )
+            self._staged[t] = (
+                batch,
+                entered[e_pos : e_pos + ne],
+                quitted[q_pos : q_pos + nq],
+            )
+            pos, e_pos, q_pos = pos + n, e_pos + ne, q_pos + nq
+        return schema.message("ack", ts=ts)
+
+    def _run_round(self, t: int, rate: Optional[float], eps: float):
+        """Advance one staged round; shared by both advance verbs."""
+        staged = self._staged.pop(t, None)
+        if staged is None:
             raise ConfigurationError(
                 f"shard-advance for t={t} without a matching shard-submit"
             )
-        _t, batch, entered, quitted = self._staged
-        self._staged = None
-        rate = msg.get("rate")
-        rate = None if rate is None else float(rate)
-        eps = float(msg["eps"])
+        batch, entered, quitted = staged
         tic = time.perf_counter()
         ones, uids, user_seconds, support = self.shard.round_batch(
             t, batch, entered, quitted, rate, eps
@@ -192,13 +264,22 @@ class _ShardService:
         # the ledger's location differs from the parent-accounted pools.
         if self.accountant is not None and uids.size:
             self.accountant.spend_many(uids, t, eps)
+        return ones, uids, user_seconds, time.perf_counter() - tic, support
+
+    def _advance(self, msg: dict) -> dict:
+        t = int(msg["t"])
+        rate = msg.get("rate")
+        rate = None if rate is None else float(rate)
+        ones, uids, user_seconds, round_seconds, support = self._run_round(
+            t, rate, float(msg["eps"])
+        )
         reply = {
             "t": t,
             "n": int(uids.size),
             "user_seconds": float(user_seconds),
             # Wall-clock of the shard's whole round (selection, oracle,
             # ledger spend) — scraped as the per-shard /metrics gauge.
-            "round_seconds": float(time.perf_counter() - tic),
+            "round_seconds": float(round_seconds),
             "has_support": support is not None,
             "ones": np.asarray(ones, dtype=np.float64),
             "user_ids": np.asarray(uids, dtype=np.int64),
@@ -206,6 +287,62 @@ class _ShardService:
         if support is not None:
             reply["support"] = np.asarray(support, dtype=np.int8)
         return schema.message("shard-merge", **reply)
+
+    def _advance_many(self, msg: dict) -> dict:
+        """Run several staged rounds in timestamp order; one merged reply.
+
+        Rounds execute strictly in the order the header lists them — the
+        same shard-object call sequence the per-timestamp protocol makes —
+        so every rng draw and ledger row is identical to depth 1.
+        """
+        ts = [int(t) for t in msg["ts"]]
+        rates = msg["rates"]
+        epss = msg["eps"]
+        if not (len(ts) == len(rates) == len(epss)):
+            raise ConfigurationError(
+                "shard-advance-many header lists disagree on length"
+            )
+        ones_parts: list[np.ndarray] = []
+        uid_parts: list[np.ndarray] = []
+        support_parts: list[np.ndarray] = []
+        ns: list[int] = []
+        user_secs: list[float] = []
+        round_secs: list[float] = []
+        has_support: list[bool] = []
+        for t, rate, eps in zip(ts, rates, epss):
+            rate = None if rate is None else float(rate)
+            ones, uids, user_seconds, dt, support = self._run_round(
+                t, rate, float(eps)
+            )
+            ones_parts.append(np.asarray(ones, dtype=np.float64))
+            uid_parts.append(np.asarray(uids, dtype=np.int64))
+            ns.append(int(uids.size))
+            user_secs.append(float(user_seconds))
+            round_secs.append(float(dt))
+            has_support.append(support is not None)
+            if support is not None:
+                support_parts.append(np.asarray(support, dtype=np.int8))
+        reply = {
+            "ts": ts,
+            "ns": ns,
+            "user_seconds": user_secs,
+            "round_seconds": round_secs,
+            "has_support": has_support,
+            "ones_len": int(ones_parts[0].size) if ones_parts else 0,
+            "ones": (
+                np.concatenate(ones_parts)
+                if ones_parts
+                else np.empty(0, dtype=np.float64)
+            ),
+            "user_ids": (
+                np.concatenate(uid_parts)
+                if uid_parts
+                else np.empty(0, dtype=np.int64)
+            ),
+        }
+        if support_parts:
+            reply["support"] = np.concatenate(support_parts)
+        return schema.message("shard-merge-many", **reply)
 
     def _checkpoint(self, msg: dict) -> dict:
         if msg.get("op") == "get":
@@ -220,7 +357,7 @@ class _ShardService:
             self.shard, self.accountant = pickle.loads(
                 np.asarray(msg["blob"]).tobytes()
             )
-            self._staged = None
+            self._staged = {}
             return schema.message("ack")
         raise ConfigurationError(
             f"shard-checkpoint op must be 'get' or 'set', got {msg.get('op')!r}"
@@ -312,6 +449,19 @@ class ShardSocketPool:
         self._socks: list[socket.socket] = []
         #: Last advance's per-shard wall-clock seconds (metrics surface).
         self.shard_round_seconds: dict[int, float] = {}
+        #: Frame-level transport counters (scraped by /metrics).
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Optional callback observing each round-trip's wall seconds
+        #: (submit/advance verbs, fused or not); the session binds it to
+        #: a latency histogram's ``observe``.
+        self.latency_observer = None
+        # Reusable flat-column scratch of the fused submit path: one
+        # buffer per wire column, grown geometrically, refilled per shard
+        # instead of reallocating a concatenation every frame.
+        self._scratch: dict[str, np.ndarray] = {}
         for seed in seeds:
             parent_sock, child_sock = socket.socketpair()
             proc = ctx.Process(
@@ -352,7 +502,8 @@ class ShardSocketPool:
 
     def _send(self, k: int, msg: dict, op: str) -> None:
         try:
-            send_frame(self._socks[k], msg)
+            self.bytes_sent += send_frame(self._socks[k], msg)
+            self.frames_sent += 1
         except socket.timeout as exc:
             # Must precede OSError: socket.timeout is an OSError subclass,
             # and a stopped worker is a different diagnosis from a dead one.
@@ -362,7 +513,10 @@ class ShardSocketPool:
 
     def _recv(self, k: int, op: str, expect: str) -> dict:
         try:
-            msg = recv_frame(self._socks[k])
+            msg, nbytes = recv_frame_sized(self._socks[k])
+            self.bytes_received += nbytes
+            if msg is not None:
+                self.frames_received += 1
         except socket.timeout as exc:
             raise self._hung(k, op) from exc
         except (OSError, schema.SchemaError) as exc:
@@ -414,6 +568,7 @@ class ShardSocketPool:
         participants) — sufficient for ``adaptive-user`` proposals, which
         reduce the whole remaining vector to its minimum.
         """
+        tic = time.perf_counter()
         for k in range(len(self._socks)):
             self._send(
                 k,
@@ -434,6 +589,7 @@ class ShardSocketPool:
             ack = self._recv(k, "submit", expect="ack")
             if ack.get("min_remaining") is not None:
                 mins.append(float(ack["min_remaining"]))
+        self._observe(time.perf_counter() - tic)
         return min(mins) if mins else None
 
     def advance(self, t: int, rate: Optional[float], eps: float) -> list:
@@ -443,6 +599,7 @@ class ShardSocketPool:
         ``(ones, reporter_uids, user_seconds, support)`` — so the
         coordinator's merge code is shared across all executors.
         """
+        tic = time.perf_counter()
         for k in range(len(self._socks)):
             self._send(
                 k,
@@ -471,6 +628,134 @@ class ShardSocketPool:
                     support,
                 )
             )
+        self._observe(time.perf_counter() - tic)
+        return outs
+
+    # -------------------------------------------------------------- #
+    # the fused (multi-timestamp) round protocol
+    # -------------------------------------------------------------- #
+    def _observe(self, seconds: float) -> None:
+        if self.latency_observer is not None:
+            self.latency_observer(float(seconds))
+
+    def _concat(self, name: str, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate into the reusable per-column scratch buffer.
+
+        The returned view is only valid until the next ``_concat`` on the
+        same column — safe here because each shard's frame is fully sent
+        (blocking ``sendmsg``) before the next shard's is built.
+        """
+        dtype = schema._COLUMN_DTYPES[name]
+        total = int(sum(a.size for a in arrays))
+        buf = self._scratch.get(name)
+        if buf is None or buf.size < total:
+            grown = max(total, 1024, 2 * (buf.size if buf is not None else 0))
+            buf = np.empty(grown, dtype=dtype)
+            self._scratch[name] = buf
+        out = buf[:total]
+        pos = 0
+        for a in arrays:
+            out[pos : pos + a.size] = a
+            pos += a.size
+        return out
+
+    def submit_many(self, items: Sequence[tuple]) -> None:
+        """Stage several consecutive timestamps with one frame per shard.
+
+        ``items`` holds ``(t, parts, entered, quits)`` tuples in timestamp
+        order, each carrying the usual per-shard partitions.  There is no
+        ``want_remaining`` form — per-user budget consultation needs each
+        round's minimum after the previous round's spends, which only the
+        per-timestamp protocol provides.
+        """
+        tic = time.perf_counter()
+        ts = [int(t) for (t, _, _, _) in items]
+        for k in range(len(self._socks)):
+            parts = [item[1][k] for item in items]
+            entered = [np.asarray(item[2][k]) for item in items]
+            quits = [np.asarray(item[3][k]) for item in items]
+            self._send(
+                k,
+                schema.message(
+                    "shard-submit-many",
+                    ts=ts,
+                    counts=[len(p) for p in parts],
+                    entered_counts=[int(e.size) for e in entered],
+                    quitted_counts=[int(q.size) for q in quits],
+                    user_ids=self._concat(
+                        "user_ids", [p.user_ids for p in parts]
+                    ),
+                    state_idx=self._concat(
+                        "state_idx", [p.state_idx for p in parts]
+                    ),
+                    kinds=self._concat("kinds", [p.kinds for p in parts]),
+                    newly_entered=self._concat("newly_entered", entered),
+                    quitted=self._concat("quitted", quits),
+                ),
+                "submit-many",
+            )
+        for k in range(len(self._socks)):
+            self._recv(k, "submit-many", expect="ack")
+        self._observe(time.perf_counter() - tic)
+
+    def advance_many(
+        self,
+        ts: Sequence[int],
+        rates: Sequence[Optional[float]],
+        epss: Sequence[float],
+    ) -> list[list[tuple]]:
+        """Run the staged rounds everywhere with one round-trip per shard.
+
+        Returns one merge-tuple list per *timestamp* (in ``ts`` order),
+        each holding the per-shard ``(ones, reporter_uids, user_seconds,
+        support)`` tuples the shared merge code consumes.
+        """
+        tic = time.perf_counter()
+        for k in range(len(self._socks)):
+            self._send(
+                k,
+                schema.message(
+                    "shard-advance-many",
+                    ts=[int(t) for t in ts],
+                    rates=[None if r is None else float(r) for r in rates],
+                    eps=[float(e) for e in epss],
+                ),
+                "advance-many",
+            )
+        outs: list[list[tuple]] = [[] for _ in ts]
+        for k in range(len(self._socks)):
+            rep = self._recv(k, "advance-many", expect="shard-merge-many")
+            ns = [int(n) for n in rep["ns"]]
+            user_secs = [float(s) for s in rep["user_seconds"]]
+            round_secs = [float(s) for s in rep["round_seconds"]]
+            has_support = [bool(h) for h in rep["has_support"]]
+            width = int(rep["ones_len"])
+            ones_all = np.asarray(rep["ones"], dtype=np.float64)
+            uids_all = np.asarray(rep["user_ids"], dtype=np.int64)
+            support_all = (
+                np.asarray(rep["support"], dtype=np.int8)
+                if any(has_support)
+                else None
+            )
+            self.shard_round_seconds[k] = float(sum(round_secs))
+            uid_off = sup_off = 0
+            for i in range(len(ts)):
+                support = None
+                if has_support[i]:
+                    support = np.asarray(
+                        support_all[sup_off : sup_off + width], dtype=bool
+                    ).copy()
+                    sup_off += width
+                outs[i].append(
+                    (
+                        ones_all[i * width : (i + 1) * width],
+                        uids_all[uid_off : uid_off + ns[i]],
+                        user_secs[i],
+                        support,
+                    )
+                )
+                uid_off += ns[i]
+        self._observe(time.perf_counter() - tic)
         return outs
 
     # -------------------------------------------------------------- #

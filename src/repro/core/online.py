@@ -342,6 +342,21 @@ class OnlineRetraSyn:
             n_live_synthetic=self.synthesizer.n_live,
         )
 
+    def process_timesteps(self, items) -> list[TimestepResult]:
+        """Run a group of consecutive rounds; one result per timestamp.
+
+        ``items`` is a sequence of ``(t, participants, newly_entered,
+        quitted, n_real_active)`` tuples in timestamp order.  The unsharded
+        curator's collection phase draws from the engine RNG, so there is
+        no safe overlap here — this base implementation is the sequential
+        reference the sharded engine's pipelined override must stay
+        bit-identical to.
+        """
+        return [
+            self.process_timestep(t, participants, entered, quitted, n_active)
+            for t, participants, entered, quitted, n_active in items
+        ]
+
     # ------------------------------------------------------------------ #
     # phases
     # ------------------------------------------------------------------ #

@@ -71,6 +71,7 @@ class RetraSynConfig:
     n_shards: int = 1  # >1 routes collection through ShardedOnlineRetraSyn
     shard_executor: str = "serial"  # "serial" | "process" | "distributed"
     shard_round_timeout: float = 60.0  # distributed recv deadline (0 = none)
+    round_batch: int = 1  # timestamps coalesced per shard round (pipelining)
     dmu_prefilter: bool = False  # shard-local never-observed DMU prefilter
     track_privacy: bool = True
     accountant_mode: str = "columnar"  # "columnar" ledger | "object" reference
@@ -154,14 +155,19 @@ class RetraSyn:
         view = ColumnarStreamView(dataset, curator.space)
         try:
             start = time.perf_counter()
-            for t in range(dataset.n_timestamps):
-                curator.process_timestep(
-                    t,
-                    participants=view.batch_at(t),
-                    newly_entered=view.newly_entered_at(t),
-                    quitted=view.quitted_at(t),
-                    n_real_active=view.n_active_at(t),
-                )
+            depth = max(1, int(cfg.round_batch))
+            for lo in range(0, dataset.n_timestamps, depth):
+                group = [
+                    (
+                        t,
+                        view.batch_at(t),
+                        view.newly_entered_at(t),
+                        view.quitted_at(t),
+                        view.n_active_at(t),
+                    )
+                    for t in range(lo, min(lo + depth, dataset.n_timestamps))
+                ]
+                curator.process_timesteps(group)
             total_runtime = time.perf_counter() - start
         finally:
             if isinstance(curator, ShardedOnlineRetraSyn):

@@ -53,6 +53,7 @@ they produce identical output streams for a fixed configuration.
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import time
 from typing import Optional, Sequence
 
@@ -61,6 +62,7 @@ import numpy as np
 from repro.core.online import (
     _MIN_EPSILON,
     OnlineRetraSyn,
+    TimestepResult,
     sample_population_reporters_batch,
     support_mask,
 )
@@ -68,7 +70,7 @@ from repro.exceptions import ConfigurationError, ShardWorkerError
 from repro.geo.grid import Grid
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.stream.encoder import UserSideEncoder
-from repro.stream.reports import ReportBatch, shard_of_array
+from repro.stream.reports import ReportBatch, as_report_batch, shard_of_array
 from repro.stream.state_space import TransitionStateSpace
 from repro.stream.user_tracker import UserTracker
 
@@ -378,41 +380,26 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
     # ------------------------------------------------------------------ #
     # the sharded collection round
     # ------------------------------------------------------------------ #
-    def _collect_round(self, t, batch: ReportBatch, newly_entered, quitted):
-        cfg = self.config
+    def _partition(self, batch: ReportBatch, newly_entered, quitted):
+        """Hash-partition one timestamp's traffic: pure array slicing."""
         K = self.n_shards
-        distributed = self.executor == "distributed"
+        return batch.partition(K), _split_ids(newly_entered, K), _split_ids(quitted, K)
 
-        # Hash-partition this timestamp's traffic: pure array slicing.
-        parts = batch.partition(K)
-        entered = _split_ids(newly_entered, K)
-        quits = _split_ids(quitted, K)
+    def _propose(self, t, batch: ReportBatch, global_min: Optional[float]):
+        """The round's globally proposed ``(rate, ε_t)``.
 
-        # Distributed phase 1: stage the partitions on every shard and,
-        # when a per-user allocator needs ledger feedback, collect the
-        # global minimum remaining window budget from the shard-local
-        # accountants.  ``propose_for`` reduces the whole remaining vector
-        # to its minimum, so a min-of-shard-mins is an exact substitute
-        # for the parent-ledger query the other executors make.
-        global_min: Optional[float] = None
-        if distributed:
-            want_remaining = (
-                cfg.division != "population"
-                and getattr(self._budget_alloc, "consults_users", False)
-                and getattr(cfg, "track_privacy", True)
-            )
-            global_min = self._pool.submit(
-                t, parts, entered, quits, want_remaining
-            )
-
-        # Globally proposed rate / budget, from the merged feedback context.
+        Exactly the per-timestamp proposal sequence — including the budget
+        allocators' ``commit`` — so the fused paths can replay it upfront
+        for schedule-division allocators without changing a single call.
+        """
+        cfg = self.config
         rate: Optional[float] = None
         if cfg.division == "population":
             eps_t = cfg.epsilon
             if cfg.allocator != "random":
                 rate = self._pop_alloc.propose(t, self.context)
         else:
-            if distributed and getattr(
+            if self.executor == "distributed" and getattr(
                 self._budget_alloc, "consults_users", False
             ):
                 remaining = (
@@ -426,26 +413,16 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             if eps_t < _MIN_EPSILON:
                 eps_t = 0.0
             self._budget_alloc.commit(eps_t)
+        return rate, eps_t
 
-        if distributed:
-            # Phase 2: run the staged round everywhere; workers spend
-            # their reporters' budget locally before replying.
-            outs = self._pool.advance(t, rate, eps_t)
-        elif self._pool is not None:
-            rounds = [
-                (t, parts[k], entered[k], quits[k], rate, eps_t)
-                for k in range(K)
-            ]
-            outs = self._pool.run_rounds(rounds)
-        else:
-            outs = [
-                shard.round_batch(t, parts[k], entered[k], quits[k], rate, eps_t)
-                for k, shard in enumerate(self._shards)
-            ]
+    def _merge_outs(self, t, outs, eps_t):
+        """Merge per-shard round outputs into one debiased collection.
 
-        # Merge: one vector add per shard, one debias for the union.  Only
-        # the perturbation seconds count as user-side cost — the unsharded
-        # engine does not time selection either, keeping Table V comparable.
+        One vector add per shard, one debias for the union.  Only the
+        perturbation seconds count as user-side cost — the unsharded
+        engine does not time selection either, keeping Table V comparable.
+        """
+        cfg = self.config
         ones = np.zeros(self.space.size)
         uid_parts: list[np.ndarray] = []
         for shard_ones, uids, user_seconds, support in outs:
@@ -467,14 +444,251 @@ class ShardedOnlineRetraSyn(OnlineRetraSyn):
             collected = oracle.debias(ones, n_reporters) / n_reporters
             self.timings["model_construction"] += time.perf_counter() - tic
             # Distributed shards spent their partitions locally already.
-            if self.accountant is not None and not distributed:
+            if self.accountant is not None and self.executor != "distributed":
                 self.accountant.spend_many(reporter_uids, t, eps_used)
             self.context.record_collection(collected)
         return collected, n_reporters, eps_used
 
+    def _collect_round(self, t, batch: ReportBatch, newly_entered, quitted):
+        cfg = self.config
+        K = self.n_shards
+        distributed = self.executor == "distributed"
+
+        parts, entered, quits = self._partition(batch, newly_entered, quitted)
+
+        # Distributed phase 1: stage the partitions on every shard and,
+        # when a per-user allocator needs ledger feedback, collect the
+        # global minimum remaining window budget from the shard-local
+        # accountants.  ``propose_for`` reduces the whole remaining vector
+        # to its minimum, so a min-of-shard-mins is an exact substitute
+        # for the parent-ledger query the other executors make.
+        global_min: Optional[float] = None
+        if distributed:
+            want_remaining = (
+                cfg.division != "population"
+                and getattr(self._budget_alloc, "consults_users", False)
+                and getattr(cfg, "track_privacy", True)
+            )
+            global_min = self._pool.submit(
+                t, parts, entered, quits, want_remaining
+            )
+
+        # Globally proposed rate / budget, from the merged feedback context.
+        rate, eps_t = self._propose(t, batch, global_min)
+
+        if distributed:
+            # Phase 2: run the staged round everywhere; workers spend
+            # their reporters' budget locally before replying.
+            outs = self._pool.advance(t, rate, eps_t)
+        elif self._pool is not None:
+            rounds = [
+                (t, parts[k], entered[k], quits[k], rate, eps_t)
+                for k in range(K)
+            ]
+            outs = self._pool.run_rounds(rounds)
+        else:
+            outs = [
+                shard.round_batch(t, parts[k], entered[k], quits[k], rate, eps_t)
+                for k, shard in enumerate(self._shards)
+            ]
+
+        return self._merge_outs(t, outs, eps_t)
+
     # ------------------------------------------------------------------ #
-    # checkpointing
+    # the pipelined multi-timestamp round
     # ------------------------------------------------------------------ #
+    def _fusion_mode(self) -> Optional[str]:
+        """How far the distributed round protocol can be fused.
+
+        ``"full"``   — one ``shard-submit-many`` *and* one
+                       ``shard-advance-many`` per group: every per-t rate/ε
+                       is computable from the schedule alone (population
+                       uniform/sample/random; budget uniform/sample, whose
+                       proposals read only the allocator's own commit
+                       ledger, replayed here in the exact per-t order).
+        ``"submit"`` — fused submit, per-t advance: adaptive allocators
+                       read the collection feedback context, so each
+                       round's proposal must wait for the previous merge.
+        ``None``     — per-t submit *and* advance: ``adaptive-user``
+                       proposals need each round's cross-shard minimum
+                       remaining budget computed after the previous
+                       round's spends.
+        """
+        cfg = self.config
+        if self.executor != "distributed":
+            return None
+        if cfg.division == "population":
+            if cfg.allocator in ("uniform", "sample", "random"):
+                return "full"
+            return "submit"
+        if getattr(self._budget_alloc, "consults_users", False):
+            return None
+        if cfg.allocator in ("uniform", "sample"):
+            return "full"
+        return "submit"
+
+    def _launch_synthesis(self, t, n_active, n_rep, eps_used, n_sig):
+        """Start round ``t``'s synthesis on a background thread.
+
+        Safe to overlap with the *next* round's collection because the
+        sharded collector makes no parent-rng draws (shard randomness
+        lives in the shard objects / workers) and never touches the model
+        or the trajectory store.  The vectorized engine's compiled model
+        is refreshed here, on the caller's thread, so the in-flight step
+        reads only the front buffer while the caller's next merge stays
+        off the model until :meth:`_join_synthesis`.
+        """
+        compile_fn = getattr(self.synthesizer, "_compile", None)
+        if compile_fn is not None:
+            compile_fn()
+        holder: dict = {}
+
+        def run() -> None:
+            try:
+                self._synthesize(t, n_active)
+                holder["n_live"] = self.synthesizer.n_live
+            except BaseException as exc:  # propagated at join
+                holder["exc"] = exc
+
+        thread = threading.Thread(
+            target=run, name=f"retrasyn-synthesis-t{t}", daemon=True
+        )
+        thread.start()
+        return thread, holder, t, n_rep, eps_used, n_sig
+
+    def _join_synthesis(self, pending) -> TimestepResult:
+        thread, holder, t, n_rep, eps_used, n_sig = pending
+        thread.join()
+        if "exc" in holder:
+            raise holder["exc"]
+        return TimestepResult(
+            t=t,
+            n_reporters=n_rep,
+            epsilon_used=eps_used if n_rep else 0.0,
+            n_significant=n_sig,
+            n_live_synthetic=holder.get("n_live", self.synthesizer.n_live),
+        )
+
+    def process_timesteps(self, items) -> list[TimestepResult]:
+        """Pipelined group round: fused shard frames + synthesis overlap.
+
+        Bit-identical to running :meth:`process_timestep` per item: rounds
+        advance in timestamp order on the same shard states, the proposal
+        sequence is replayed exactly (see :meth:`_fusion_mode`), and the
+        parent rng is only ever consumed by synthesis, which runs one
+        round at a time — merely overlapped with the rng-free collection
+        of the next round.
+        """
+        items = list(items)
+        if len(items) <= 1:
+            return super().process_timesteps(items)
+        cfg = self.config
+
+        prepared = []
+        expect = self._last_t
+        for t, participants, entered, quitted, n_active in items:
+            t = int(t)
+            if expect is not None and t != expect + 1:
+                raise ConfigurationError(
+                    f"timestamps must be consecutive: got {t} after {expect}"
+                )
+            expect = t
+            batch = as_report_batch(self.space, participants)
+            if not cfg.model_entering_quitting:
+                batch = batch.moves_only()
+            prepared.append(
+                (
+                    t,
+                    batch,
+                    np.asarray(entered, dtype=np.int64),
+                    np.asarray(quitted, dtype=np.int64),
+                    int(n_active),
+                )
+            )
+
+        mode = self._fusion_mode()
+        results: list[TimestepResult] = []
+        pending = None
+        try:
+            if mode is None:
+                # Per-t protocol (serial/process executors, or distributed
+                # adaptive-user): only the synthesis overlap applies.
+                for t, batch, entered, quitted, n_active in prepared:
+                    self._last_t = t
+                    collected, n_rep, eps_used = self._collect_round(
+                        t, batch, entered, quitted
+                    )
+                    pending = self._finish_round(
+                        results, pending, t, collected, n_rep, eps_used,
+                        n_active,
+                    )
+            else:
+                groups = [
+                    (t, *self._partition(batch, entered, quitted))
+                    for t, batch, entered, quitted, _n in prepared
+                ]
+                self._pool.submit_many(groups)
+                if mode == "full":
+                    proposals = [
+                        self._propose(t, batch, None)
+                        for t, batch, _e, _q, _n in prepared
+                    ]
+                    outs_by_t = self._pool.advance_many(
+                        [t for t, *_ in prepared],
+                        [rate for rate, _eps in proposals],
+                        [eps for _rate, eps in proposals],
+                    )
+                    for i, (t, batch, _e, _q, n_active) in enumerate(prepared):
+                        self._last_t = t
+                        collected, n_rep, eps_used = self._merge_outs(
+                            t, outs_by_t[i], proposals[i][1]
+                        )
+                        pending = self._finish_round(
+                            results, pending, t, collected, n_rep, eps_used,
+                            n_active,
+                        )
+                else:  # fused submit, per-t advance
+                    for t, batch, _e, _q, n_active in prepared:
+                        self._last_t = t
+                        rate, eps_t = self._propose(t, batch, None)
+                        outs = self._pool.advance(t, rate, eps_t)
+                        collected, n_rep, eps_used = self._merge_outs(
+                            t, outs, eps_t
+                        )
+                        pending = self._finish_round(
+                            results, pending, t, collected, n_rep, eps_used,
+                            n_active,
+                        )
+            if pending is not None:
+                results.append(self._join_synthesis(pending))
+                pending = None
+        finally:
+            if pending is not None:
+                # An earlier phase raised: drain the in-flight synthesis so
+                # no background thread outlives the error (its own failure,
+                # if any, is secondary).
+                try:
+                    self._join_synthesis(pending)
+                except Exception:
+                    pass
+        return results
+
+    def _finish_round(
+        self, results, pending, t, collected, n_rep, eps_used, n_active
+    ):
+        """Join the in-flight synthesis, update the model, launch round t's.
+
+        The model (and the allocation context's significant-ratio signal)
+        is only ever mutated here, after the previous round's synthesis
+        has fully drained — the double-buffer handoff that keeps the
+        overlap bit-identical.
+        """
+        self.reporters_per_timestamp.append(n_rep)
+        if pending is not None:
+            results.append(self._join_synthesis(pending))
+        n_sig = self._update_model(collected, eps_used, n_rep)
+        self.significant_per_timestamp.append(n_sig)
+        return self._launch_synthesis(t, n_active, n_rep, eps_used, n_sig)
     def checkpoint_state(self) -> dict:
         """Base curator state plus each shard's full state.
 

@@ -179,7 +179,7 @@ class TestCliDerivation:
             "--epsilon", "--w", "--allocator", "--accountant-mode",
             "--engine", "--oracle-mode", "--compile-mode",
             "--shards", "--shard-executor", "--shard-round-timeout",
-            "--dmu-prefilter",
+            "--round-batch", "--dmu-prefilter",
             "--synthesis-shards", "--synthesis-executor",
         }
 
