@@ -1,6 +1,6 @@
 """Docs check: every path README.md links or mentions must exist.
 
-Two rules, applied to README.md, docs/ARCHITECTURE.md and docs/STREAMING.md:
+Two rules, applied to README.md and every doc under docs/:
 
 * every relative markdown link target must exist in the repo;
 * every `path`-looking inline-code span (contains a `/` or ends in .py/.md
@@ -21,6 +21,7 @@ DOCS = [
     ROOT / "docs" / "ARCHITECTURE.md",
     ROOT / "docs" / "STREAMING.md",
     ROOT / "docs" / "API.md",
+    ROOT / "docs" / "ANALYSIS.md",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#]+)\)")

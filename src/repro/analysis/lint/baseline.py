@@ -1,0 +1,171 @@
+"""The committed grandfather file of ``repro lint``.
+
+A baseline entry absorbs up to ``count`` findings of one rule in one file
+whose *source line text* matches ``code`` — content-addressed, so entries
+survive unrelated line-number drift but expire the moment the offending
+line itself changes.  Every entry carries a one-line ``justification``;
+an entry that no longer matches anything is reported as *stale* so the
+file and the tree cannot quietly diverge.
+
+Format (``lint-baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "wall-clock",
+          "path": "core/online.py",
+          "code": "tic = time.perf_counter()",
+          "count": 4,
+          "justification": "phase timings are observability-only; ..."
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass
+class BaselineEntry:
+    """Grandfathers up to ``count`` findings of ``rule`` in ``path``."""
+
+    rule: str
+    path: str  #: package-relative posix path (``Finding.pkg_path``)
+    code: str  #: stripped source line the finding sits on
+    count: int = 1
+    justification: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "code": self.code,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The entry set plus load/save/match logic."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: expected a version-{BASELINE_VERSION} baseline object"
+            )
+        entries = []
+        for i, entry in enumerate(raw.get("entries", [])):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(entry["rule"]),
+                        path=str(entry["path"]),
+                        code=str(entry["code"]),
+                        count=int(entry.get("count", 1)),
+                        justification=str(entry.get("justification", "")),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(f"{path}: malformed entry #{i}: {exc}") from exc
+            if entries[-1].count < 1:
+                raise BaselineError(f"{path}: entry #{i} has count < 1")
+        return cls(entries)
+
+    def save(self, path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.code)
+                )
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    def filter(
+        self, findings: Sequence["Finding"]
+    ) -> Tuple[List["Finding"], int, List[str]]:
+        """Split ``findings`` into (reported, absorbed count, stale keys).
+
+        Identical lines in one file are absorbed in source order up to the
+        entry's ``count``; surplus findings are reported.  Entries with
+        unused capacity — the grandfathered line was fixed or moved — come
+        back as human-readable *stale* descriptions.
+        """
+        capacity: Dict[Tuple[str, str, str], int] = {}
+        justified: Dict[Tuple[str, str, str], BaselineEntry] = {}
+        for entry in self.entries:
+            capacity[entry.key()] = capacity.get(entry.key(), 0) + entry.count
+            justified[entry.key()] = entry
+        reported: List["Finding"] = []
+        absorbed = 0
+        used: Counter = Counter()
+        for finding in sorted(findings, key=lambda f: (f.pkg_path, f.line)):
+            key = (finding.rule, finding.pkg_path, finding.code)
+            if capacity.get(key, 0) > 0:
+                capacity[key] -= 1
+                used[key] += 1
+                absorbed += 1
+            else:
+                reported.append(finding)
+        stale = [
+            f"{key[1]}: {key[0]}: {remaining} unmatched of "
+            f"{justified[key].count} ({justified[key].code!r})"
+            for key, remaining in sorted(capacity.items())
+            if remaining > 0
+        ]
+        return reported, absorbed, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence["Finding"], justification: str = ""
+    ) -> "Baseline":
+        """A baseline absorbing exactly ``findings`` (``--write-baseline``)."""
+        counts: Counter = Counter(
+            (f.rule, f.pkg_path, f.code) for f in findings
+        )
+        return cls(
+            [
+                BaselineEntry(
+                    rule=rule,
+                    path=path,
+                    code=code,
+                    count=n,
+                    justification=justification,
+                )
+                for (rule, path, code), n in sorted(counts.items())
+            ]
+        )

@@ -1,0 +1,176 @@
+"""Concurrency rules: checkpoint pickle safety and lock-scope hygiene.
+
+Checkpoints pickle curator ``__dict__`` wholesale (PR 2), so any class in
+the checkpointed planes that stores process-local machinery — locks,
+threads, sockets, pools — must exclude it via ``__getstate__`` /
+``__reduce__`` (the PR 4 "pool excluded from pickles" pattern).  And the
+PR 8 hung-coordinator class of bug came from blocking socket reads while
+holding a lock; the sanctioned shapes are ``with lock:`` blocks that
+never contain a blocking receive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.lint.engine import Finding, Module, Rule
+from repro.analysis.lint.rules_determinism import DETERMINISTIC_PLANES
+
+#: Constructors whose instances must never reach a pickle.
+_UNPICKLABLE = frozenset(
+    {
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "threading.Event", "threading.Semaphore", "threading.BoundedSemaphore",
+        "threading.Barrier", "threading.Thread", "threading.local",
+        "socket.socket", "socket.socketpair", "socket.create_connection",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.thread.ThreadPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool", "multiprocessing.pool.Pool",
+        "multiprocessing.Process", "multiprocessing.Queue",
+        "multiprocessing.Pipe", "multiprocessing.Manager",
+        "queue.Queue", "queue.SimpleQueue", "queue.LifoQueue",
+        "queue.PriorityQueue",
+    }
+)
+
+#: Dunder methods that take pickling into the class's own hands.
+_PICKLE_HOOKS = frozenset({"__getstate__", "__reduce__", "__reduce_ex__"})
+
+#: Blocking receive shapes (stdlib socket plus this repo's frame helpers).
+_BLOCKING_RECV = frozenset(
+    {"recv", "recv_into", "recvfrom", "recvmsg", "accept",
+     "recv_frame", "recv_frame_sized", "_recv_exact", "_recv"}
+)
+
+
+class PickleSafetyRule(Rule):
+    """Checkpointed classes must not pickle locks/threads/sockets/pools."""
+
+    name = "pickle-unsafe-state"
+    severity = "error"
+    description = (
+        "classes in the checkpointed planes (core/, ldp/, stream/) that "
+        "store locks/threads/sockets/pools on self must define "
+        "__getstate__ or __reduce__ excluding them"
+    )
+
+    def visit_module(self, module: Module) -> Iterable[Finding]:
+        if module.plane not in DETERMINISTIC_PLANES:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: Module, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        has_hook = any(
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name in _PICKLE_HOOKS
+            for item in cls.body
+        )
+        if has_hook:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(item):
+                value: Optional[ast.AST] = None
+                targets: List[ast.AST] = []
+                if isinstance(stmt, ast.Assign):
+                    value, targets = stmt.value, stmt.targets
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    value, targets = stmt.value, [stmt.target]
+                if value is None:
+                    continue
+                self_attrs = [
+                    t for t in targets
+                    if isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ]
+                if not self_attrs:
+                    continue
+                bad = self._unpicklable_call(module, value)
+                if bad is not None:
+                    attr = self_attrs[0].attr
+                    yield module.finding(
+                        self, stmt,
+                        f"{cls.name}.{attr} holds a {bad} but {cls.name} "
+                        "defines no __getstate__/__reduce__; checkpoints "
+                        "pickle instance state wholesale (exclude it like "
+                        "the synthesis pool does)",
+                    )
+
+    def _unpicklable_call(self, module: Module, expr: ast.AST) -> Optional[str]:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                origin = module.resolve_call(node.func)
+                if origin in _UNPICKLABLE:
+                    return origin
+        return None
+
+
+class LockScopeRule(Rule):
+    """Locks via ``with`` only; never block on a socket inside one."""
+
+    name = "lock-scope"
+    severity = "error"
+    description = (
+        "no bare .acquire() (locks are held via 'with'), and no blocking "
+        "socket receive inside a lock-holding 'with' block"
+    )
+
+    def visit_module(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "acquire"
+                    and not self._is_with_context(module, node)
+                ):
+                    yield module.finding(
+                        self, node,
+                        "bare .acquire() risks a leaked lock on any "
+                        "exception path; hold locks via 'with'",
+                    )
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                if not self._holds_lock(node):
+                    continue
+                for inner in ast.walk(node):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr in _BLOCKING_RECV
+                    ):
+                        yield module.finding(
+                            self, inner,
+                            f"blocking receive '{inner.func.attr}()' while "
+                            "holding a lock can hang every other holder "
+                            "(the PR 8 hung-coordinator bug class); "
+                            "receive outside the lock, then publish",
+                        )
+
+    def _holds_lock(self, node) -> bool:
+        for item in node.items:
+            text = ast.unparse(item.context_expr).lower()
+            # `with lock:` / `with self._state_lock:`; condition variables
+            # are lock-like too.  `with pool.lock_free_view()` would false-
+            # positive — suppress inline if that shape ever appears.
+            if "lock" in text or "mutex" in text or "cond" in text:
+                return True
+        return False
+
+    def _is_with_context(self, module: Module, call: ast.Call) -> bool:
+        """True when the .acquire() call is itself a `with` context item
+        (``with lock.acquire():`` is unusual but not a leak)."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.context_expr is call:
+                        return True
+        return False

@@ -51,6 +51,28 @@ SYNTHESIS_EXECUTORS = ("thread", "process")
 TRANSPORTS = ("direct", "ingest")
 
 
+#: Machine-readable registry of spec fields that deliberately carry no
+#: ``metadata["cli"]`` entry, with the reason why.  The ``spec-flag-drift``
+#: static-analysis rule (``repro lint``) fails on any *Spec field that is
+#: neither CLI-exposed nor justified here, so adding a config knob forces
+#: an explicit decision about its command-line surface.
+NON_CLI_FIELDS = {
+    "division": "repro run derives it from --method; repro serve adds its "
+                "own --division flag outside the generated group",
+    "alpha": "EMA smoothing constant pinned by the paper (Section III-E)",
+    "kappa": "deviation threshold pinned by the paper (Section III-E)",
+    "p_max": "sampling-rate ceiling pinned by the paper (Section III-E)",
+    "track_privacy": "exposed as the inverted --no-audit convenience flag",
+    "update_strategy": "encoded in the method name (AllUpdate_* variants)",
+    "model_entering_quitting": "encoded in the method name (NoEQ_* variants)",
+    "lam": "estimated from the dataset (average trajectory length)",
+    "transport": "implied by the command: run=direct, serve=ingest",
+    "http_host": "bound to the hand-written --host flag of repro serve",
+    "http_port": "bound to the hand-written --http PORT flag of repro serve",
+    "seed": "every command takes a shared top-level --seed flag",
+}
+
+
 def _cli(flag: str, help: str, *, type=None, choices=None, store_true=False):
     """Field-metadata entry describing one generated argparse flag."""
     return {
@@ -556,3 +578,14 @@ def iter_cli_fields(
         for f in fields(cls):
             if "cli" in f.metadata:
                 yield cls, f
+
+
+def cli_field_names(spec_cls) -> tuple[str, ...]:
+    """Names of the CLI-exposed fields of one spec class, in field order.
+
+    Consumers that must cover *exactly* the command-line surface of a
+    spec — e.g. the flat :class:`repro.serve.ServeSettings` mirrors of
+    :class:`ServiceSpec` — derive their field lists from this registry
+    instead of maintaining a parallel tuple that can drift.
+    """
+    return tuple(f.name for f in fields(spec_cls) if "cli" in f.metadata)

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -136,8 +135,6 @@ class _LdpIds:
         # Budget-division bookkeeping.
         eps_dissim = cfg.epsilon / (2 * cfg.w)
         pub_spends: list[float] = []  # publication budget per past timestamp
-        absorb_units = 0  # LBA/LPA: units accumulated since last publication
-        nullified = 0  # LBA/LPA: timestamps blocked after absorption
 
         # Population-division bookkeeping (fixed-set assumption).
         n0 = max(1, dataset.n_active_at(0))
@@ -152,8 +149,6 @@ class _LdpIds:
                 for uid, s in dataset.participants_at(t)
                 if s.kind is StateKind.MOVE
             ]
-            n_all = len(moves)
-            published = False
             n_reporters_t = 0
 
             if cfg.division == "budget":

@@ -407,7 +407,7 @@ def format_bench_distributed(payload: dict) -> list[str]:
             if pgate["enforced"]
             else "report-only (single-core host or reduced scale)"
         )
-        + f"; depths bit-identical: "
+        + "; depths bit-identical: "
         + ("yes" if pipe["bit_identical"] else "NO")
     )
     syn = payload["synthesis"]

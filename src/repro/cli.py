@@ -235,6 +235,12 @@ def _add_experiment_parser(sub) -> None:
     p.add_argument("--datasets", nargs="+", default=None)
 
 
+def _add_lint_parser(sub) -> None:
+    from repro.analysis.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
+
 def _add_plan_parser(sub) -> None:
     p = sub.add_parser(
         "plan", help="predict noise/SNR for a deployment configuration"
@@ -261,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate_parser(sub)
     _add_experiment_parser(sub)
     _add_plan_parser(sub)
+    _add_lint_parser(sub)
     return parser
 
 
@@ -574,6 +581,12 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint.cli import run_lint_cli
+
+    return run_lint_cli(args)
+
+
 def _cmd_plan(args) -> int:
     from repro.planning import DeploymentPlan, format_plan_report, plan_report
 
@@ -600,6 +613,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "plan": _cmd_plan,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -199,7 +199,9 @@ def save_checkpoint(curator, path: Union[str, Path], spec=None, keep: int = 1) -
         target = path
     else:
         existing = _generation_files(path)
-        stamp = time.time_ns()
+        # Rotation stamps order checkpoint *files* on disk; they never
+        # enter the checkpointed state, so replay stays bit-identical.
+        stamp = time.time_ns()  # repro-lint: disable=wall-clock
         if existing:
             # Guarantee strictly increasing stamps even on coarse clocks.
             prev = int(existing[0].name[len(path.name) + 2:])

@@ -33,7 +33,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.exceptions import ConfigurationError
 from repro.geo.trajectory import average_length
 from repro.ldp.accountant import ColumnarPrivacyAccountant, PrivacyAccountant
 from repro.rng import RngLike

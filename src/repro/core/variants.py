@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.retrasyn import RetraSyn, RetraSynConfig
 from repro.rng import RngLike

@@ -28,11 +28,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 import networkx as nx
-import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.geo.grid import Grid
-from repro.geo.point import BoundingBox, Point
+from repro.geo.point import BoundingBox
 from repro.geo.trajectory import CellTrajectory
 from repro.rng import RngLike, ensure_rng
 from repro.stream.stream import StreamDataset

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.baselines.ldp_ids import make_baseline
-from repro.core.retrasyn import RetraSyn, RetraSynConfig, SynthesisRun
+from repro.core.retrasyn import SynthesisRun
 from repro.core.variants import make_all_update, make_no_eq, make_retrasyn
 from repro.datasets.registry import load_dataset
 from repro.exceptions import ConfigurationError

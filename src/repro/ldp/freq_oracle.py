@@ -10,7 +10,7 @@ how each user's value is encoded and perturbed, but all expose the same
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ module centralises that convention so components never call
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

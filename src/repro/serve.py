@@ -20,12 +20,11 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
-from repro.api.specs import ServiceSpec
+from repro.api.specs import ServiceSpec, cli_field_names
 from repro.core.online import OnlineRetraSyn
 from repro.core.persistence import checkpoint_exists, load_checkpoint
 from repro.core.retrasyn import RetraSynConfig, SynthesisRun
@@ -35,19 +34,13 @@ from repro.stream.ingest import IngestStats, dataset_reports, ingest_events
 from repro.stream.reports import ColumnarStreamView
 from repro.stream.stream import StreamDataset
 
-#: ServiceSpec fields mirrored as flat ServeSettings kwargs.  Every
-#: CLI-exposed ServiceSpec field must appear here (pinned by the drift
-#: test in ``tests/test_serve_settings.py``) so ``repro serve`` flags
-#: cannot silently stop reaching the service layer.
-_MIRRORED_SERVICE_FIELDS = (
-    "queue_size",
-    "max_lateness",
-    "checkpoint_path",
-    "checkpoint_every",
-    "checkpoint_keep",
-    "drain_deadline",
-    "ingest_consumers",
-)
+#: ServiceSpec fields mirrored as flat ServeSettings kwargs — derived
+#: from the spec's own CLI registry so a new CLI-exposed ServiceSpec
+#: field is forwarded automatically instead of relying on someone
+#: extending a hand-maintained tuple.  ServeSettings still needs the
+#: matching ``Optional`` attribute; the ``spec-flag-drift`` lint rule
+#: and ``tests/test_serve_settings.py`` both pin that.
+_MIRRORED_SERVICE_FIELDS = cli_field_names(ServiceSpec)
 
 
 @dataclass

@@ -446,6 +446,28 @@ class MultiConsumerAssembler(TimestampAssembler):
             self._n_buffered -= sum(len(s) for s in segments)
         return segments
 
+    # ------------------------------------------------------------------ #
+    # pickling (quiesced snapshots only)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        # Locks are process-local machinery and must never reach a pickle;
+        # buffered rows and watermark state are plain data.  Snapshots are
+        # only meaningful with no concurrent feeders (the service drains
+        # before checkpointing).
+        state = dict(self.__dict__)
+        state["_part_locks"] = None
+        state["_state_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        import threading
+
+        self.__dict__.update(state)
+        self._part_locks = [
+            threading.Lock() for _ in range(self.n_partitions)
+        ]
+        self._state_lock = threading.Lock()
+
 
 def make_assembler(
     space, start_t: int = 0, max_lateness: int = 0, consumers: int = 1

@@ -29,8 +29,8 @@ index is which transition) stays owned by ``TransitionStateSpace``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 

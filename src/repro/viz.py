@@ -56,11 +56,11 @@ def side_by_side(left: str, right: str, gap: int = 4) -> str:
     l_lines = left.splitlines()
     r_lines = right.splitlines()
     height = max(len(l_lines), len(r_lines))
-    width = max((len(l) for l in l_lines), default=0)
+    width = max((len(ln) for ln in l_lines), default=0)
     l_lines += [""] * (height - len(l_lines))
     r_lines += [""] * (height - len(r_lines))
     return "\n".join(
-        f"{l:<{width}}{' ' * gap}{r}" for l, r in zip(l_lines, r_lines)
+        f"{ln:<{width}}{' ' * gap}{r}" for ln, r in zip(l_lines, r_lines)
     )
 
 

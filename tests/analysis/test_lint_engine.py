@@ -1,0 +1,189 @@
+"""Engine behaviour of ``repro lint``: suppressions, baseline, paths."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import Baseline, BaselineEntry, all_rules, run_lint
+from repro.analysis.lint.baseline import BaselineError
+from repro.analysis.lint.engine import package_path
+
+
+BAD = "import random\nx = random.random()\n"
+
+
+def write_tree(tmp_path: Path, files: dict) -> None:
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+
+
+class TestPackagePath:
+    def test_anchors_at_last_repro_component(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "online.py"
+        assert package_path(path, tmp_path) == "core/online.py"
+
+    def test_fixture_tree_anchors_at_scan_root(self, tmp_path):
+        path = tmp_path / "core" / "x.py"
+        assert package_path(path, tmp_path) == "core/x.py"
+
+    def test_unrelated_path_falls_back_to_name(self, tmp_path):
+        other = tmp_path / "elsewhere" / "x.py"
+        assert package_path(other, tmp_path / "scanned") == "x.py"
+
+
+class TestSuppressions:
+    def test_same_line_marker(self, tmp_path):
+        write_tree(tmp_path, {
+            "core/x.py": (
+                "import random\n"
+                "x = random.random()  # repro-lint: disable=rng-global-state\n"
+            ),
+        })
+        result = run_lint([tmp_path], rules=all_rules(["rng-global-state"]))
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_line_above_marker(self, tmp_path):
+        write_tree(tmp_path, {
+            "core/x.py": (
+                "import random\n"
+                "# repro-lint: disable=rng-global-state\n"
+                "x = random.random()\n"
+            ),
+        })
+        result = run_lint([tmp_path], rules=all_rules(["rng-global-state"]))
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_file_level_marker(self, tmp_path):
+        write_tree(tmp_path, {
+            "core/x.py": (
+                "# repro-lint: disable-file=rng-global-state\n"
+                "import random\n"
+                "x = random.random()\n"
+                "y = random.random()\n"
+            ),
+        })
+        result = run_lint([tmp_path], rules=all_rules(["rng-global-state"]))
+        assert result.ok
+        assert result.suppressed == 2
+
+    def test_marker_for_other_rule_does_not_suppress(self, tmp_path):
+        write_tree(tmp_path, {
+            "core/x.py": (
+                "import random\n"
+                "x = random.random()  # repro-lint: disable=wall-clock\n"
+            ),
+        })
+        result = run_lint([tmp_path], rules=all_rules(["rng-global-state"]))
+        assert [f.rule for f in result.findings] == ["rng-global-state"]
+        assert result.suppressed == 0
+
+
+class TestBaseline:
+    def _findings(self, tmp_path, files=None):
+        write_tree(tmp_path, files or {"core/x.py": BAD})
+        return run_lint(
+            [tmp_path], rules=all_rules(["rng-global-state"])
+        ).findings
+
+    def test_round_trip_absorbs_everything(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings, justification="seeded later")
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        reloaded = Baseline.load(target)
+        result = run_lint(
+            [tmp_path],
+            rules=all_rules(["rng-global-state"]),
+            baseline=reloaded,
+        )
+        assert result.ok
+        assert result.baselined == len(findings)
+        assert not result.stale_baseline
+
+    def test_entries_are_content_addressed(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        # Unrelated lines above shift line numbers; the entry still matches.
+        write_tree(tmp_path, {
+            "core/x.py": "import random\nPAD = 1\nx = random.random()\n"
+        })
+        result = run_lint(
+            [tmp_path], rules=all_rules(["rng-global-state"]), baseline=baseline
+        )
+        assert result.ok
+        assert result.baselined == 1
+
+    def test_changed_line_expires_entry_and_reports_stale(self, tmp_path):
+        findings = self._findings(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        write_tree(tmp_path, {
+            "core/x.py": "import random\ny = random.randint(0, 3)\n"
+        })
+        result = run_lint(
+            [tmp_path], rules=all_rules(["rng-global-state"]), baseline=baseline
+        )
+        # The new line is a fresh finding; the old entry is stale.
+        assert [f.rule for f in result.findings] == ["rng-global-state"]
+        assert result.baselined == 0
+        assert len(result.stale_baseline) == 1
+        assert "x = random.random()" in result.stale_baseline[0]
+
+    def test_count_caps_absorption(self, tmp_path):
+        write_tree(tmp_path, {
+            "core/x.py": (
+                "import random\n"
+                "x = random.random()\n"
+                "x = random.random()\n"
+            ),
+        })
+        baseline = Baseline([
+            BaselineEntry(
+                rule="rng-global-state",
+                path="core/x.py",
+                code="x = random.random()",
+                count=1,
+            )
+        ])
+        result = run_lint(
+            [tmp_path], rules=all_rules(["rng-global-state"]), baseline=baseline
+        )
+        assert len(result.findings) == 1
+        assert result.baselined == 1
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)
+        bad.write_text('{"version": 1, "entries": [{"rule": "x"}]}')
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)
+        bad.write_text(
+            '{"version": 1, "entries": [{"rule": "x", "path": "p", '
+            '"code": "c", "count": 0}]}'
+        )
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)
+
+
+class TestParseErrors:
+    def test_unparseable_file_is_a_finding_not_a_crash(self, tmp_path):
+        write_tree(tmp_path, {"core/broken.py": "def f(:\n"})
+        result = run_lint([tmp_path], rules=all_rules(["rng-global-state"]))
+        assert [f.rule for f in result.findings] == ["parse-error"]
+
+    def test_findings_sorted_by_path_then_line(self, tmp_path):
+        write_tree(tmp_path, {
+            "core/b.py": BAD,
+            "core/a.py": "import random\n\n\nx = random.random()\n",
+        })
+        result = run_lint([tmp_path], rules=all_rules(["rng-global-state"]))
+        assert [f.pkg_path for f in result.findings] == [
+            "core/a.py", "core/b.py"
+        ]

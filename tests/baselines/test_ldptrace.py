@@ -1,6 +1,5 @@
 """Tests for the LDPTrace-style historical synthesizer."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.ldptrace import (

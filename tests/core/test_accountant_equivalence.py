@@ -9,7 +9,6 @@ ring buffer survive a save → resume with shared identity intact and the
 resumed stream continues bit-for-bit.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.online import OnlineRetraSyn

@@ -147,9 +147,12 @@ class TestEngineIntegration:
         )
         consulted = []
         original = curator.accountant.remaining_many
-        curator.accountant.remaining_many = lambda ids, t: (
-            consulted.append(int(t)) or original(ids, t)
-        )
+
+        def spying_remaining_many(ids, t):
+            consulted.append(int(t))
+            return original(ids, t)
+
+        curator.accountant.remaining_many = spying_remaining_many
         view = ColumnarStreamView(walk_data, curator.space)
         try:
             for t in range(4):

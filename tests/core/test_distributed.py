@@ -13,7 +13,6 @@ exceptions the in-process path raises.
 
 import pickle
 
-import numpy as np
 import pytest
 
 from repro.core.persistence import load_checkpoint, save_checkpoint
@@ -21,7 +20,6 @@ from repro.core.retrasyn import RetraSynConfig
 from repro.core.sharded import ShardedOnlineRetraSyn
 from repro.datasets.synthetic import make_random_walks
 from repro.exceptions import ConfigurationError, PrivacyBudgetError
-from repro.geo.grid import unit_grid
 
 
 @pytest.fixture(scope="module")

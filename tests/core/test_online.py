@@ -1,6 +1,5 @@
 """Tests for the incremental OnlineRetraSyn curator."""
 
-import numpy as np
 import pytest
 
 from repro.core.online import OnlineRetraSyn, TimestepResult

@@ -331,9 +331,10 @@ class TestCheckpointRotation:
                 quitted=data.quitted_at(t),
                 n_real_active=data.n_active_at(t),
             )
-        fp = lambda c: [
-            (tr.start_time, list(tr.cells))
-            for tr in c.synthetic_dataset(data.n_timestamps).trajectories
-        ]
+        def fp(c):
+            return [
+                (tr.start_time, list(tr.cells))
+                for tr in c.synthetic_dataset(data.n_timestamps).trajectories
+            ]
         assert fp(resumed) == fp(reference)
         assert resumed.accountant.summary() == reference.accountant.summary()

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.online import OnlineRetraSyn
 from repro.core.retrasyn import RetraSyn, RetraSynConfig
-from repro.core.sharded import CollectionShard, ShardedOnlineRetraSyn, shard_of
+from repro.core.sharded import ShardedOnlineRetraSyn, shard_of
 from repro.datasets.synthetic import make_random_walks
 from repro.exceptions import ConfigurationError
 

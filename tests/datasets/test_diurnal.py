@@ -3,7 +3,6 @@
 from collections import Counter
 
 import numpy as np
-import pytest
 
 from repro.datasets.tdrive import TDriveConfig, make_tdrive
 from repro.metrics.divergence import jsd_from_counts

@@ -81,13 +81,13 @@ class TestReport:
     def test_best_marker_lower_better(self):
         rows = {"A": {1: 0.5}, "B": {1: 0.9}}
         text = format_table("T", rows, [1], best_of="density_error")
-        a_line = next(l for l in text.splitlines() if l.startswith("A"))
+        a_line = next(ln for ln in text.splitlines() if ln.startswith("A"))
         assert a_line.rstrip().endswith("*")
 
     def test_best_marker_higher_better(self):
         rows = {"A": {1: 0.5}, "B": {1: 0.9}}
         text = format_table("T", rows, [1], best_of="kendall_tau")
-        b_line = next(l for l in text.splitlines() if l.startswith("B"))
+        b_line = next(ln for ln in text.splitlines() if ln.startswith("B"))
         assert b_line.rstrip().endswith("*")
 
     def test_missing_cells_dash(self):

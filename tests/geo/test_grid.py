@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ConfigurationError, DomainError
 from repro.geo.grid import (
-    Grid,
     cells_to_centers,
     chebyshev_cell_distance,
     manhattan_cell_distance,

@@ -6,7 +6,6 @@ metric boundedness must hold for *every* sampled configuration.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Additional hypothesis property tests on the substrates."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

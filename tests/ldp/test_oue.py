@@ -84,7 +84,6 @@ class TestUserSide:
 
 class TestCuratorSide:
     def test_unbiasedness_exact_mode(self):
-        oue = OptimizedUnaryEncoding(5, 2.0, rng=0, mode="exact")
         values = [0] * 600 + [1] * 300 + [2] * 100
         runs = np.stack([
             OptimizedUnaryEncoding(5, 2.0, rng=i, mode="exact").collect(values)

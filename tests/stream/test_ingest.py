@@ -1,6 +1,5 @@
 """Tests for the async ingestion front-end (assembler + service)."""
 
-import numpy as np
 import pytest
 
 from repro.core.online import OnlineRetraSyn
@@ -15,7 +14,7 @@ from repro.stream.ingest import (
     dataset_reports,
     ingest_events,
 )
-from repro.stream.reports import KIND_ENTER, KIND_MOVE, KIND_QUIT, ColumnarStreamView
+from repro.stream.reports import KIND_ENTER, ColumnarStreamView
 from repro.stream.state_space import TransitionStateSpace
 
 

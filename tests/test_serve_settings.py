@@ -89,9 +89,9 @@ class TestCliFlagDrift:
             f.name for _cls, f in iter_cli_fields(spec_classes=(ServiceSpec,))
         ]
         assert set(cli_fields) == set(probes), (
-            "ServiceSpec grew/lost a CLI flag; mirror it in ServeSettings "
-            "(and _MIRRORED_SERVICE_FIELDS in repro.serve) and extend this "
-            "probe table"
+            "ServiceSpec grew/lost a CLI flag; add the matching Optional "
+            "attribute on ServeSettings (the mirror tuple is derived via "
+            "cli_field_names) and extend this probe table"
         )
         for name in cli_fields:
             settings = ServeSettings(**{name: probes[name]})

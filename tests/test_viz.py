@@ -13,7 +13,7 @@ class TestDensityHeatmap:
         art = density_heatmap(grid4, np.zeros(16))
         lines = art.splitlines()
         assert len(lines) == 5  # 4 rows + border
-        assert all(len(l) == 2 * 4 + 2 for l in lines)
+        assert all(len(ln) == 2 * 4 + 2 for ln in lines)
 
     def test_hot_cell_rendered_dense(self, grid4):
         counts = np.zeros(16)
@@ -50,11 +50,11 @@ class TestTimeseries:
         art = timeseries([0, 1, 0, 1], width=10, height=4, label="s")
         lines = art.splitlines()
         assert "min=0" in lines[0] and "max=1" in lines[0]
-        assert any("*" in l for l in lines[1:])
+        assert any("*" in ln for ln in lines[1:])
 
     def test_long_series_pooled(self):
         art = timeseries(list(range(1000)), width=20, height=4)
-        assert max(len(l) for l in art.splitlines()) <= 20
+        assert max(len(ln) for ln in art.splitlines()) <= 20
 
     def test_empty(self):
         assert "empty" in timeseries([], label="x")
